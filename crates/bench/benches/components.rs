@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the substrates: cache, TLB, predictor,
+//! energy model, program generation and the functional walker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cfr_energy::EnergyModel;
+use cfr_mem::{AccessKind, Cache, CacheConfig, PageTable, Tlb, TlbConfig};
+use cfr_types::{PageGeometry, TlbOrganization, Vpn};
+use cfr_workload::{generate, GeneratorParams, LaidProgram, Walker};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::default_il1());
+        cache.access(0x1000, AccessKind::Read);
+        b.iter(|| black_box(cache.access(black_box(0x1000), AccessKind::Read)));
+    });
+    c.bench_function("cache_access_streaming", |b| {
+        let mut cache = Cache::new(CacheConfig::default_il1());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(32);
+            black_box(cache.access(black_box(addr), AccessKind::Read))
+        });
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_lookup_hit", |b| {
+        let mut tlb = Tlb::new(TlbConfig::default_itlb());
+        let mut pt = PageTable::new();
+        tlb.lookup(Vpn::new(1), &mut pt);
+        b.iter(|| black_box(tlb.lookup(black_box(Vpn::new(1)), &mut pt)));
+    });
+}
+
+fn bench_energy(c: &mut Criterion) {
+    c.bench_function("energy_model_tlb_access", |b| {
+        let model = EnergyModel::default();
+        let org = TlbOrganization::fully_associative(32);
+        b.iter(|| black_box(model.tlb_access_pj(black_box(&org))));
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("generate_small_program", |b| {
+        b.iter(|| black_box(generate(&GeneratorParams::small_test())));
+    });
+    c.bench_function("walker_step", |b| {
+        let prog = generate(&GeneratorParams::small_test());
+        let laid = LaidProgram::lay_out(&prog, PageGeometry::default_4k(), false);
+        let mut walker = Walker::new(&laid, 1);
+        b.iter(|| black_box(walker.step()));
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_tlb, bench_energy, bench_workload);
+criterion_main!(benches);

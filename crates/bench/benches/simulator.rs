@@ -1,0 +1,36 @@
+//! Criterion benchmark of whole-pipeline simulation throughput per
+//! strategy: how many simulated instructions per second the harness
+//! achieves, which bounds how large the reproduction runs can be.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cfr_core::{SimConfig, Simulator, StrategyKind};
+use cfr_types::AddressingMode;
+use cfr_workload::{generate, GeneratorParams};
+
+fn bench_pipeline(c: &mut Criterion) {
+    const COMMITS: u64 = 20_000;
+    let program = generate(&GeneratorParams::small_test());
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(COMMITS));
+    group.sample_size(10);
+    for kind in [StrategyKind::Base, StrategyKind::HoA, StrategyKind::Ia] {
+        group.bench_with_input(BenchmarkId::new("vipt", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut cfg = SimConfig::default_config();
+                cfg.max_commits = COMMITS;
+                black_box(Simulator::run_program(
+                    black_box(&program),
+                    &cfg,
+                    kind,
+                    AddressingMode::ViPt,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

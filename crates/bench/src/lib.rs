@@ -1,0 +1,53 @@
+//! # cfr-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index), plus criterion
+//! microbenchmarks of the substrate.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```sh
+//! cargo run -p cfr-bench --release --bin fig4 -- --commits 1000000
+//! ```
+//!
+//! Every binary accepts `--commits N` (committed instructions per run;
+//! default 1,000,000) and prints both our measured values and the paper's
+//! published numbers side by side.
+
+use cfr_core::ExperimentScale;
+
+/// Parses `--commits N` from the command line into an experiment scale.
+#[must_use]
+pub fn scale_from_args() -> ExperimentScale {
+    let mut scale = ExperimentScale::full();
+    scale.max_commits = 1_000_000;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--commits") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            scale.max_commits = n;
+        }
+    }
+    scale
+}
+
+/// Formats a ratio as the percentage style the paper's tables use.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn default_scale() {
+        let s = scale_from_args();
+        assert!(s.max_commits > 0);
+    }
+}

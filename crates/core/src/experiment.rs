@@ -1,0 +1,504 @@
+//! Reproduction of every table and figure in the paper's evaluation
+//! (§4), as reusable functions: the `cfr-bench` binaries print these rows,
+//! and the integration tests assert their shapes at reduced scale.
+
+use cfr_types::{AddressingMode, TlbOrganization};
+use cfr_workload::{measure, profiles, static_branch_stats, BenchmarkProfile, LaidProgram};
+use serde::{Deserialize, Serialize};
+
+use crate::simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+use crate::strategy::StrategyKind;
+
+/// How big to run each experiment. The paper simulated 250 M committed
+/// instructions; rates are stationary so smaller runs reproduce the same
+/// normalized results (DESIGN.md §2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Committed instructions per run.
+    pub max_commits: u64,
+    /// Walker seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The default reproduction scale (1/100 of the paper's 250 M).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            max_commits: 2_500_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A fast scale for CI and integration tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            max_commits: 120_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Scale factor to extrapolate absolute numbers to the paper's 250 M
+    /// instructions (energies and cycles scale linearly in instructions).
+    #[must_use]
+    pub fn to_paper_factor(&self) -> f64 {
+        250e6 / self.max_commits as f64
+    }
+
+    fn config(&self) -> SimConfig {
+        let mut cfg = SimConfig::default_config();
+        cfg.max_commits = self.max_commits;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+fn run(
+    profile: &BenchmarkProfile,
+    scale: &ExperimentScale,
+    kind: StrategyKind,
+    mode: AddressingMode,
+) -> RunReport {
+    Simulator::run_profile(profile, &scale.config(), kind, mode)
+}
+
+// ---------------------------------------------------------------- Table 2
+
+/// One row of Table 2: benchmark characteristics under the default
+/// configuration. Energies in mJ, cycles in raw counts; the bench binary
+/// extrapolates to the paper's 250 M-instruction scale for display.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Base VI-PT cycles.
+    pub vipt_cycles: u64,
+    /// Base VI-PT iTLB energy (mJ).
+    pub vipt_energy_mj: f64,
+    /// Base VI-VT cycles.
+    pub vivt_cycles: u64,
+    /// Base VI-VT iTLB energy (mJ).
+    pub vivt_energy_mj: f64,
+    /// iL1 miss rate.
+    pub il1_miss_rate: f64,
+    /// Dynamic branches.
+    pub branches: u64,
+    /// Branches / committed.
+    pub branch_fraction: f64,
+    /// BOUNDARY page crossings.
+    pub crossings_boundary: u64,
+    /// BRANCH page crossings.
+    pub crossings_branch: u64,
+}
+
+/// Reproduces Table 2.
+#[must_use]
+pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let vipt = run(p, scale, StrategyKind::Base, AddressingMode::ViPt);
+            let vivt = run(p, scale, StrategyKind::Base, AddressingMode::ViVt);
+            Table2Row {
+                name: p.name,
+                vipt_cycles: vipt.cycles,
+                vipt_energy_mj: vipt.itlb_energy_mj(),
+                vivt_cycles: vivt.cycles,
+                vivt_energy_mj: vivt.itlb_energy_mj(),
+                il1_miss_rate: vipt.cpu.il1.miss_rate(),
+                branches: vipt.cpu.branches,
+                branch_fraction: vipt.cpu.branches as f64 / vipt.committed as f64,
+                crossings_boundary: vipt.cpu.crossings_boundary,
+                crossings_branch: vipt.cpu.crossings_branch,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ Figures 4/5
+
+/// One benchmark's normalized results for one addressing mode: energy (and
+/// cycles) of each scheme relative to the base case (Figure 4's bars, and
+/// Figure 5's when `mode == ViVt`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Addressing mode.
+    pub mode: AddressingMode,
+    /// Normalized iTLB energy per scheme, base = 1.0:
+    /// `[HoA, SoCA, SoLA, IA, OPT]`.
+    pub energy: [f64; 5],
+    /// Normalized execution cycles per scheme, same order.
+    pub cycles: [f64; 5],
+}
+
+/// The scheme order used by [`Fig4Row`].
+pub const FIG4_SCHEMES: [StrategyKind; 5] = [
+    StrategyKind::HoA,
+    StrategyKind::SoCA,
+    StrategyKind::SoLA,
+    StrategyKind::Ia,
+    StrategyKind::Opt,
+];
+
+/// Reproduces Figure 4 (both the VI-PT and VI-VT panels).
+#[must_use]
+pub fn fig4(scale: &ExperimentScale) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for mode in [AddressingMode::ViPt, AddressingMode::ViVt] {
+        for p in profiles::all() {
+            let base = run(&p, scale, StrategyKind::Base, mode);
+            let mut energy = [0.0; 5];
+            let mut cycles = [0.0; 5];
+            for (i, kind) in FIG4_SCHEMES.iter().enumerate() {
+                let r = run(&p, scale, *kind, mode);
+                energy[i] = r.energy_vs(&base);
+                cycles[i] = r.cycles_vs(&base);
+            }
+            rows.push(Fig4Row {
+                name: p.name,
+                mode,
+                energy,
+                cycles,
+            });
+        }
+    }
+    rows
+}
+
+/// Reproduces Figure 5: normalized execution cycles for VI-VT (the VI-VT
+/// half of [`fig4`], exposed separately to mirror the paper's figure list).
+#[must_use]
+pub fn fig5(scale: &ExperimentScale) -> Vec<Fig4Row> {
+    fig4(scale)
+        .into_iter()
+        .filter(|r| r.mode == AddressingMode::ViVt)
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 3
+
+/// Dynamic iTLB lookups for the software schemes, split by cause (VI-PT).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `[SoCA, SoLA, IA]` × (boundary lookups, branch lookups).
+    pub lookups: [(u64, u64); 3],
+}
+
+/// Reproduces Table 3.
+#[must_use]
+pub fn table3(scale: &ExperimentScale) -> Vec<Table3Row> {
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let mut lookups = [(0, 0); 3];
+            for (i, kind) in [StrategyKind::SoCA, StrategyKind::SoLA, StrategyKind::Ia]
+                .iter()
+                .enumerate()
+            {
+                let r = run(p, scale, *kind, AddressingMode::ViPt);
+                lookups[i] = (r.breakdown.boundary, r.breakdown.branch);
+            }
+            Table3Row {
+                name: p.name,
+                lookups,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+/// Static and dynamic branch statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Static branch sites.
+    pub static_total: u64,
+    /// Static analyzable sites.
+    pub static_analyzable: u64,
+    /// Static analyzable sites crossing a page.
+    pub static_crossing: u64,
+    /// Static analyzable sites staying in-page.
+    pub static_in_page: u64,
+    /// Dynamic branch instances.
+    pub dyn_total: u64,
+    /// Dynamic analyzable instances.
+    pub dyn_analyzable: u64,
+    /// Dynamic analyzable instances crossing a page.
+    pub dyn_crossing: u64,
+    /// Dynamic analyzable instances staying in-page.
+    pub dyn_in_page: u64,
+}
+
+/// Reproduces Table 4 (functional walk; no pipeline needed).
+#[must_use]
+pub fn table4(scale: &ExperimentScale) -> Vec<Table4Row> {
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let program = p.generate();
+            let laid = LaidProgram::lay_out(
+                &program,
+                cfr_types::PageGeometry::default_4k(),
+                false,
+            );
+            let st = static_branch_stats(&laid);
+            let dynamic = measure::measure(&laid, scale.max_commits, scale.seed);
+            Table4Row {
+                name: p.name,
+                static_total: st.total,
+                static_analyzable: st.analyzable,
+                static_crossing: st.analyzable_crossing,
+                static_in_page: st.analyzable_in_page,
+                dyn_total: dynamic.branches,
+                dyn_analyzable: dynamic.analyzable,
+                dyn_crossing: dynamic.analyzable_crossing,
+                dyn_in_page: dynamic.analyzable_in_page,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Table 5
+
+/// Reproduces Table 5: branch predictor accuracy per benchmark (from the
+/// base VI-PT pipeline run, over all branch kinds).
+#[must_use]
+pub fn table5(scale: &ExperimentScale) -> Vec<(&'static str, f64)> {
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let r = run(p, scale, StrategyKind::Base, AddressingMode::ViPt);
+            (p.name, r.cpu.predictor_accuracy())
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- Tables 6/7
+
+/// The four monolithic iTLB configurations of Table 6, in paper order.
+#[must_use]
+pub fn table6_itlbs() -> [(&'static str, TlbOrganization); 4] {
+    [
+        ("1", TlbOrganization::fully_associative(1)),
+        ("8,FA", TlbOrganization::fully_associative(8)),
+        ("16,2w", TlbOrganization::set_associative(16, 2)),
+        ("32,FA", TlbOrganization::fully_associative(32)),
+    ]
+}
+
+/// One benchmark × one iTLB configuration of Table 6.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// iTLB label (`"1"`, `"8,FA"`, `"16,2w"`, `"32,FA"`).
+    pub itlb: &'static str,
+    /// VI-PT energies (mJ): `[Base, OPT, IA]`.
+    pub vipt_energy_mj: [f64; 3],
+    /// VI-VT energies (mJ): `[Base, OPT, IA]`.
+    pub vivt_energy_mj: [f64; 3],
+    /// VI-VT cycles: `[Base, OPT, IA]`.
+    pub vivt_cycles: [u64; 3],
+    /// VI-PT cycles for IA (feeds Table 7).
+    pub vipt_ia_cycles: u64,
+}
+
+/// Reproduces Table 6 (and supplies Table 7's column).
+#[must_use]
+pub fn table6(scale: &ExperimentScale) -> Vec<Table6Row> {
+    let mut rows = Vec::new();
+    for (label, org) in table6_itlbs() {
+        for p in profiles::all() {
+            let mut cfg = scale.config();
+            cfg.itlb = ItlbChoice::Mono(org);
+            let kinds = [StrategyKind::Base, StrategyKind::Opt, StrategyKind::Ia];
+            let mut vipt_energy = [0.0; 3];
+            let mut vivt_energy = [0.0; 3];
+            let mut vivt_cycles = [0; 3];
+            let mut vipt_ia_cycles = 0;
+            for (i, kind) in kinds.iter().enumerate() {
+                let rp = Simulator::run_profile(&p, &cfg, *kind, AddressingMode::ViPt);
+                vipt_energy[i] = rp.itlb_energy_mj();
+                if *kind == StrategyKind::Ia {
+                    vipt_ia_cycles = rp.cycles;
+                }
+                let rv = Simulator::run_profile(&p, &cfg, *kind, AddressingMode::ViVt);
+                vivt_energy[i] = rv.itlb_energy_mj();
+                vivt_cycles[i] = rv.cycles;
+            }
+            rows.push(Table6Row {
+                name: p.name,
+                itlb: label,
+                vipt_energy_mj: vipt_energy,
+                vivt_energy_mj: vivt_energy,
+                vivt_cycles,
+                vipt_ia_cycles,
+            });
+        }
+    }
+    rows
+}
+
+/// Reproduces Table 7: IA (VI-PT) execution cycles across iTLB sizes.
+/// Returns `(benchmark, [cycles for 1, 8FA, 16x2, 32FA])`.
+#[must_use]
+pub fn table7(scale: &ExperimentScale) -> Vec<(&'static str, [u64; 4])> {
+    let rows = table6(scale);
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let mut cycles = [0u64; 4];
+            for (i, (label, _)) in table6_itlbs().iter().enumerate() {
+                cycles[i] = rows
+                    .iter()
+                    .find(|r| r.name == p.name && r.itlb == *label)
+                    .expect("table6 covers the matrix")
+                    .vipt_ia_cycles;
+            }
+            (p.name, cycles)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig 6
+
+/// One benchmark's two-level-vs-monolithic comparison (Figure 6).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Configuration label (`"1+32"` or `"32+96"`).
+    pub config: &'static str,
+    /// Two-level base energy normalized to the monolithic-IA reference.
+    pub energy_ratio: f64,
+    /// Two-level base cycles normalized to the monolithic-IA reference.
+    pub cycle_ratio: f64,
+}
+
+/// Reproduces Figure 6: serial two-level iTLBs (base execution) against
+/// monolithic iTLBs running IA — (1+32) vs mono-32+IA, and (32+96) vs
+/// mono-128+IA. Evaluated on VI-PT, where the iTLB is exercised per fetch.
+#[must_use]
+pub fn fig6(scale: &ExperimentScale) -> Vec<Fig6Row> {
+    let combos = [
+        (
+            "1+32",
+            ItlbChoice::TwoLevel(
+                TlbOrganization::fully_associative(1),
+                TlbOrganization::fully_associative(32),
+                1,
+            ),
+            TlbOrganization::fully_associative(32),
+        ),
+        (
+            "32+96",
+            ItlbChoice::TwoLevel(
+                TlbOrganization::fully_associative(32),
+                TlbOrganization::fully_associative(96),
+                1,
+            ),
+            TlbOrganization::fully_associative(128),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, two_level, mono) in combos {
+        for p in profiles::all() {
+            let mut two_cfg = scale.config();
+            two_cfg.itlb = two_level;
+            let two = Simulator::run_profile(&p, &two_cfg, StrategyKind::Base, AddressingMode::ViPt);
+            let mut mono_cfg = scale.config();
+            mono_cfg.itlb = ItlbChoice::Mono(mono);
+            let reference =
+                Simulator::run_profile(&p, &mono_cfg, StrategyKind::Ia, AddressingMode::ViPt);
+            rows.push(Fig6Row {
+                name: p.name,
+                config: label,
+                energy_ratio: two.itlb_energy_mj() / reference.itlb_energy_mj(),
+                cycle_ratio: two.cycles as f64 / reference.cycles as f64,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Table 8
+
+/// One benchmark's PI-PT study (Table 8): energy (mJ) and cycles for the
+/// four configurations the paper compares.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table8Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Base PI-PT (energy mJ, cycles).
+    pub pipt_base: (f64, u64),
+    /// PI-PT with IA.
+    pub pipt_ia: (f64, u64),
+    /// Base VI-PT.
+    pub vipt_base: (f64, u64),
+    /// Base VI-VT.
+    pub vivt_base: (f64, u64),
+}
+
+/// Reproduces Table 8.
+#[must_use]
+pub fn table8(scale: &ExperimentScale) -> Vec<Table8Row> {
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let e = |r: &RunReport| (r.itlb_energy_mj(), r.cycles);
+            Table8Row {
+                name: p.name,
+                pipt_base: e(&run(p, scale, StrategyKind::Base, AddressingMode::PiPt)),
+                pipt_ia: e(&run(p, scale, StrategyKind::Ia, AddressingMode::PiPt)),
+                vipt_base: e(&run(p, scale, StrategyKind::Base, AddressingMode::ViPt)),
+                vivt_base: e(&run(p, scale, StrategyKind::Base, AddressingMode::ViVt)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Experiments over the six full profiles are exercised (at quick scale)
+    // by the integration tests in `tests/`; here we keep one smoke test per
+    // shape helper that doesn't need a pipeline.
+
+    #[test]
+    fn scale_factors() {
+        let s = ExperimentScale::full();
+        assert!((s.to_paper_factor() - 100.0).abs() < 1e-9);
+        assert!(ExperimentScale::quick().max_commits < s.max_commits);
+    }
+
+    #[test]
+    fn table6_itlb_list_matches_paper() {
+        let list = table6_itlbs();
+        assert_eq!(list.len(), 4);
+        assert_eq!(list[0].1.entries, 1);
+        assert_eq!(list[2].1.associativity, 2);
+        assert_eq!(list[3].1.entries, 32);
+    }
+
+    #[test]
+    fn table4_runs_without_pipeline() {
+        let rows = table4(&ExperimentScale {
+            max_commits: 20_000,
+            seed: 1,
+        });
+        assert_eq!(rows.len(), 6);
+        for r in rows {
+            assert!(r.static_analyzable <= r.static_total);
+            assert_eq!(r.static_in_page + r.static_crossing, r.static_analyzable);
+            assert_eq!(r.dyn_in_page + r.dyn_crossing, r.dyn_analyzable);
+        }
+    }
+}

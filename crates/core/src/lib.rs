@@ -1,0 +1,52 @@
+//! # cfr-core
+//!
+//! The paper's contribution: **Current Frame Register (CFR) mechanisms for
+//! saving instruction-TLB energy** (Kadayif et al., MICRO 2002).
+//!
+//! One translation — `<VPN, PFN, protection bits>` for the page currently
+//! executing — lives in the [`Cfr`] register. As long as fetches stay on
+//! that page the physical address is formed directly from the CFR and the
+//! iTLB is never consulted. Six [`StrategyKind`]s decide *when* the CFR can
+//! be trusted:
+//!
+//! | kind | mechanism |
+//! |------|-----------|
+//! | [`StrategyKind::Base`]  | no CFR: the iTLB serves every translation demand |
+//! | [`StrategyKind::Opt`]   | oracle lower bound: iTLB only on a true page change |
+//! | [`StrategyKind::HoA`]   | hardware comparator on every fetch (VAX-style) |
+//! | [`StrategyKind::SoCA`]  | compiler: boundary branches + lookup at *every* branch target |
+//! | [`StrategyKind::SoLA`]  | SoCA + statically-marked in-page branches skip the lookup |
+//! | [`StrategyKind::Ia`]    | boundary branches + BTB-target page compare (Figure 3) |
+//!
+//! The strategies implement `cfr-cpu`'s `FetchTranslator`, so any of them
+//! can drive the out-of-order core under any iL1 addressing mode (PI-PT,
+//! VI-PT, VI-VT) and any iTLB organization (monolithic or two-level).
+//!
+//! ```
+//! use cfr_core::{SimConfig, Simulator, StrategyKind};
+//! use cfr_types::AddressingMode;
+//! use cfr_workload::profiles;
+//!
+//! let mut cfg = SimConfig::default_config();
+//! cfg.max_commits = 20_000; // keep the doctest quick
+//! let base = Simulator::run_profile(&profiles::mesa(), &cfg, StrategyKind::Base, AddressingMode::ViPt);
+//! let ia = Simulator::run_profile(&profiles::mesa(), &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+//! // The headline result: IA eliminates the overwhelming majority of
+//! // iTLB energy on a VI-PT iL1.
+//! assert!(ia.itlb_energy_mj() < 0.2 * base.itlb_energy_mj());
+//! ```
+
+mod cfr;
+pub mod compiler;
+mod experiment;
+mod simulator;
+mod strategy;
+
+pub use cfr::Cfr;
+pub use experiment::{
+    fig4, fig5, fig6, table2, table3, table4, table5, table6, table6_itlbs, table7, table8,
+    ExperimentScale, Fig4Row, Fig6Row, Table2Row, Table3Row, Table4Row, Table6Row, Table8Row,
+    FIG4_SCHEMES,
+};
+pub use simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+pub use strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};

@@ -1,0 +1,309 @@
+//! End-to-end simulation: program → compiler → pipeline → report.
+
+use cfr_cpu::{CpuConfig, CpuStats, Pipeline};
+use cfr_energy::{EnergyMeter, EnergyModel};
+use cfr_mem::{TlbConfig, TlbStats, TwoLevelTlb};
+use cfr_types::{AddressingMode, TlbOrganization};
+use cfr_workload::{BenchmarkProfile, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::compiler;
+use crate::strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};
+
+/// Which iTLB structure a run models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ItlbChoice {
+    /// A monolithic TLB of the given shape.
+    Mono(TlbOrganization),
+    /// A serial two-level TLB (level-1 shape, level-2 shape, level-2
+    /// latency in cycles).
+    TwoLevel(TlbOrganization, TlbOrganization, u32),
+}
+
+impl ItlbChoice {
+    /// The paper's default: 32-entry fully associative.
+    #[must_use]
+    pub fn default_mono() -> Self {
+        ItlbChoice::Mono(TlbOrganization::fully_associative(32))
+    }
+
+    fn build(self, miss_penalty: u32) -> ItlbModel {
+        match self {
+            ItlbChoice::Mono(org) => ItlbModel::Mono(cfr_mem::Tlb::new(TlbConfig {
+                organization: org,
+                miss_penalty,
+            })),
+            ItlbChoice::TwoLevel(l1, l2, lat) => ItlbModel::TwoLevel(TwoLevelTlb::new(
+                TlbConfig {
+                    organization: l1,
+                    miss_penalty,
+                },
+                TlbConfig {
+                    organization: l2,
+                    miss_penalty,
+                },
+                lat,
+            )),
+        }
+    }
+}
+
+/// Everything a single simulation run needs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core + memory-hierarchy configuration (Table 1).
+    pub cpu: CpuConfig,
+    /// iTLB structure.
+    pub itlb: ItlbChoice,
+    /// iTLB miss (page-walk) penalty in cycles.
+    pub itlb_miss_penalty: u32,
+    /// Committed instructions to simulate. The paper ran 250 M; the default
+    /// here is 1/100 of that (rates are stationary, see DESIGN.md).
+    pub max_commits: u64,
+    /// Walker seed (same seed ⇒ identical instruction stream).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's default configuration at 1/100 scale.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            cpu: CpuConfig::default_config(),
+            itlb: ItlbChoice::default_mono(),
+            itlb_miss_penalty: 50,
+            max_commits: 2_500_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::default_config()
+    }
+}
+
+/// The result of one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Strategy that ran.
+    pub strategy: StrategyKind,
+    /// iL1 addressing mode.
+    pub mode: AddressingMode,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// iTLB behavioural counters.
+    pub itlb: TlbStats,
+    /// Translation-path energy accounting (iTLB accesses/refills, CFR
+    /// reads, comparators).
+    pub energy: EnergyMeter,
+    /// Lookup cause breakdown (Table 3).
+    pub breakdown: LookupBreakdown,
+    /// Full pipeline statistics.
+    pub cpu: CpuStats,
+}
+
+impl RunReport {
+    /// Total translation-path energy in millijoules.
+    #[must_use]
+    pub fn itlb_energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Energy normalized against a base run (Figure 4's y-axis).
+    #[must_use]
+    pub fn energy_vs(&self, base: &RunReport) -> f64 {
+        self.itlb_energy_mj() / base.itlb_energy_mj()
+    }
+
+    /// Cycles normalized against a base run (Figure 5's y-axis).
+    #[must_use]
+    pub fn cycles_vs(&self, base: &RunReport) -> f64 {
+        self.cycles as f64 / base.cycles as f64
+    }
+}
+
+/// The top-level runner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Compiles `program` for `kind` and runs it to completion.
+    #[must_use]
+    pub fn run_program(
+        program: &Program,
+        cfg: &SimConfig,
+        kind: StrategyKind,
+        mode: AddressingMode,
+    ) -> RunReport {
+        let laid = compiler::compile_for(program, cfg.cpu.geometry, kind);
+        let mut strategy = Strategy::with_itlb(
+            kind,
+            mode,
+            cfg.cpu.geometry,
+            cfg.itlb.build(cfg.itlb_miss_penalty),
+            EnergyModel::default(),
+        );
+        let mut pipe = Pipeline::new(&laid, cfg.cpu, cfg.seed);
+        pipe.run(&mut strategy, cfg.max_commits);
+        let stats = *pipe.stats();
+        RunReport {
+            strategy: kind,
+            mode,
+            committed: stats.committed,
+            cycles: stats.cycles,
+            itlb: {
+                use cfr_cpu::FetchTranslator as _;
+                strategy.itlb_stats()
+            },
+            energy: {
+                use cfr_cpu::FetchTranslator as _;
+                strategy.meter().clone()
+            },
+            breakdown: strategy.breakdown(),
+            cpu: stats,
+        }
+    }
+
+    /// Generates `profile`'s program and runs it.
+    #[must_use]
+    pub fn run_profile(
+        profile: &BenchmarkProfile,
+        cfg: &SimConfig,
+        kind: StrategyKind,
+        mode: AddressingMode,
+    ) -> RunReport {
+        let program = profile.generate();
+        Self::run_program(&program, cfg, kind, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfr_workload::{generate, GeneratorParams};
+
+    fn quick_cfg() -> SimConfig {
+        let mut cfg = SimConfig::default_config();
+        cfg.max_commits = 30_000;
+        cfg
+    }
+
+    fn quick_report(kind: StrategyKind, mode: AddressingMode) -> RunReport {
+        let program = generate(&GeneratorParams::small_test());
+        Simulator::run_program(&program, &quick_cfg(), kind, mode)
+    }
+
+    #[test]
+    fn base_vipt_charges_itlb_per_fetch() {
+        let r = quick_report(StrategyKind::Base, AddressingMode::ViPt);
+        assert_eq!(r.committed, 30_000);
+        // Every fetch (right and wrong path) accessed the iTLB.
+        let fetches = r.cpu.fetched + r.cpu.wrong_path_fetched;
+        assert_eq!(r.itlb.accesses, fetches);
+        assert!(r.itlb_energy_mj() > 0.0);
+    }
+
+    #[test]
+    fn ia_saves_most_of_the_energy() {
+        let base = quick_report(StrategyKind::Base, AddressingMode::ViPt);
+        let ia = quick_report(StrategyKind::Ia, AddressingMode::ViPt);
+        let ratio = ia.energy_vs(&base);
+        assert!(ratio < 0.25, "IA should cut >75% of iTLB energy: {ratio}");
+    }
+
+    #[test]
+    fn ordering_matches_figure4() {
+        let cfg = quick_cfg();
+        let program = generate(&GeneratorParams::small_test());
+        let run = |k| Simulator::run_program(&program, &cfg, k, AddressingMode::ViPt);
+        let base = run(StrategyKind::Base);
+        let opt = run(StrategyKind::Opt);
+        let hoa = run(StrategyKind::HoA);
+        let soca = run(StrategyKind::SoCA);
+        let sola = run(StrategyKind::SoLA);
+        let ia = run(StrategyKind::Ia);
+        // OPT is the floor; SoCA the worst of the four schemes; everything
+        // beats base by a lot.
+        let e = |r: &RunReport| r.itlb_energy_mj();
+        assert!(e(&opt) <= e(&ia));
+        assert!(e(&ia) <= e(&sola) * 1.05, "IA ~ SoLA or better");
+        assert!(e(&sola) < e(&soca), "static analysis must help");
+        assert!(e(&hoa) < e(&soca), "SoCA is the most conservative");
+        for r in [&opt, &hoa, &soca, &sola, &ia] {
+            assert!(e(r) < 0.6 * e(&base), "{} vs base", r.strategy);
+        }
+    }
+
+    #[test]
+    fn vivt_base_consumes_far_less_than_vipt_base() {
+        let vipt = quick_report(StrategyKind::Base, AddressingMode::ViPt);
+        let vivt = quick_report(StrategyKind::Base, AddressingMode::ViVt);
+        assert!(
+            vivt.itlb_energy_mj() < 0.3 * vipt.itlb_energy_mj(),
+            "VI-VT translates only on iL1 misses"
+        );
+        assert!(vivt.cycles >= vipt.cycles, "VI-VT pays miss-path latency");
+    }
+
+    #[test]
+    fn pipt_base_is_slowest_and_ia_repairs_it() {
+        let pipt_base = quick_report(StrategyKind::Base, AddressingMode::PiPt);
+        let pipt_ia = quick_report(StrategyKind::Ia, AddressingMode::PiPt);
+        let vipt_base = quick_report(StrategyKind::Base, AddressingMode::ViPt);
+        assert!(
+            pipt_base.cycles > vipt_base.cycles,
+            "serial iTLB must cost cycles"
+        );
+        assert!(
+            pipt_ia.cycles < pipt_base.cycles,
+            "the CFR pulls the iTLB off the critical path"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = quick_report(StrategyKind::Base, AddressingMode::ViPt);
+        let b = quick_report(StrategyKind::Base, AddressingMode::ViPt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_level_base_vs_mono_ia_energy() {
+        // Fig 6, 32-entry flavour: two-level (1 + 32) base consumes more
+        // energy than monolithic 32 with IA.
+        let program = generate(&GeneratorParams::small_test());
+        let mut cfg = quick_cfg();
+        cfg.itlb = ItlbChoice::TwoLevel(
+            TlbOrganization::fully_associative(1),
+            TlbOrganization::fully_associative(32),
+            1,
+        );
+        let two_level_base =
+            Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViPt);
+        let mut mono_cfg = quick_cfg();
+        mono_cfg.itlb = ItlbChoice::default_mono();
+        let mono_ia =
+            Simulator::run_program(&program, &mono_cfg, StrategyKind::Ia, AddressingMode::ViPt);
+        assert!(
+            two_level_base.itlb_energy_mj() > mono_ia.itlb_energy_mj(),
+            "filter TLB still pays a per-fetch comparison; the CFR does not"
+        );
+        assert!(
+            two_level_base.cycles >= mono_ia.cycles,
+            "two-level pays the serial L2 lookup on filter misses"
+        );
+    }
+
+    #[test]
+    fn soca_breakdown_has_both_causes() {
+        let r = quick_report(StrategyKind::SoCA, AddressingMode::ViPt);
+        assert!(r.breakdown.branch > 0);
+        // The tiny test program may or may not execute boundary branches;
+        // the sum must equal the iTLB access count either way.
+        assert_eq!(r.breakdown.branch + r.breakdown.boundary, r.itlb.accesses);
+    }
+}

@@ -1,0 +1,724 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Trace-driven in the sim-outorder style: the [`Walker`] supplies the
+//! architectural path; the fetch engine follows *predictions*, running down
+//! wrong paths (which cost real iL1/iTLB energy) until the mispredicted
+//! branch resolves, then flushes and redirects.
+//!
+//! Modeling notes (fidelity matches what the paper measures):
+//!
+//! - One iL1 access and one translation event per fetched instruction, as
+//!   sim-outorder charges them.
+//! - The iL1 is behaviourally indexed by virtual address in all three
+//!   addressing modes; PI-PT/VI-PT/VI-VT differ in *when the translation
+//!   happens and what it costs* (latency/energy via [`FetchTranslator`]),
+//!   not in hit/miss behaviour — the paper's mechanisms "do not affect iL1
+//!   and L2 hits or misses".
+//! - Register dependencies use an infinite-rename scoreboard (ready-cycle
+//!   per architectural register); memory dependencies are not modeled.
+//! - Two memory ports (sim-outorder's default; the paper's Table 1 lists
+//!   only the ALU mix).
+
+use std::collections::VecDeque;
+
+use cfr_mem::{AccessKind, Cache, Dram, PageTable, Tlb};
+use cfr_types::{PageGeometry, VirtAddr, INSTRUCTION_BYTES};
+use cfr_workload::{LaidProgram, OpClass, RegId, Walker};
+
+use crate::bpred::BranchPredictor;
+use crate::config::CpuConfig;
+use crate::stats::CpuStats;
+use crate::translate::{FetchEvent, FetchKind, FetchTranslator, TranslationOutcome};
+
+/// Memory ports (sim-outorder default, not in the paper's Table 1).
+const MEM_PORTS: u32 = 2;
+
+/// Safety valve: a run may take at most this many cycles per committed
+/// instruction before the pipeline declares itself wedged.
+const MAX_CPI: u64 = 1000;
+
+#[derive(Clone, Copy, Debug)]
+struct FetchedBranch {
+    mispredicted: bool,
+    recovery_slot: usize,
+    taken: bool,
+    target: VirtAddr,
+}
+
+#[derive(Clone, Debug)]
+struct FetchedInstr {
+    slot: usize,
+    pc: VirtAddr,
+    wrong_path: bool,
+    mem_addr: Option<VirtAddr>,
+    branch: Option<FetchedBranch>,
+    is_boundary: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RuuEntry {
+    slot: usize,
+    pc: VirtAddr,
+    class: OpClass,
+    srcs: [Option<RegId>; 2],
+    dst: Option<RegId>,
+    mem_addr: Option<VirtAddr>,
+    wrong_path: bool,
+    branch: Option<FetchedBranch>,
+    is_boundary: bool,
+    decoded_at: u64,
+    issued: bool,
+    done: bool,
+    done_at: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PendingKind {
+    Sequential,
+    BranchTarget {
+        in_page_marked: bool,
+        from_boundary: bool,
+    },
+    Recovery,
+}
+
+/// The out-of-order core.
+pub struct Pipeline<'p> {
+    prog: &'p LaidProgram,
+    cfg: CpuConfig,
+    geom: PageGeometry,
+    walker: Walker<'p>,
+    predictor: BranchPredictor,
+    il1: Cache,
+    dl1: Cache,
+    l2: Cache,
+    dram: Dram,
+    dtlb: Tlb,
+    page_table: PageTable,
+
+    fetch_q: VecDeque<FetchedInstr>,
+    ruu: VecDeque<RuuEntry>,
+    lsq_used: usize,
+    reg_ready: [u64; RegId::COUNT],
+
+    fetch_slot: usize,
+    wrong_path: bool,
+    fetch_stall_until: u64,
+    pending_kind: PendingKind,
+    last_fetch_pc: VirtAddr,
+
+    cycle: u64,
+    stats: CpuStats,
+}
+
+impl<'p> Pipeline<'p> {
+    /// Builds a pipeline over a laid-out program. `seed` drives the
+    /// architectural walker (branch outcomes, data addresses) — the same
+    /// seed across strategies compares them on the identical instruction
+    /// stream.
+    #[must_use]
+    pub fn new(prog: &'p LaidProgram, cfg: CpuConfig, seed: u64) -> Self {
+        let entry = prog.entry_slot();
+        Self {
+            prog,
+            geom: cfg.geometry,
+            walker: Walker::new(prog, seed),
+            predictor: BranchPredictor::new(cfg.predictor),
+            il1: Cache::new(cfg.il1),
+            dl1: Cache::new(cfg.dl1),
+            l2: Cache::new(cfg.l2),
+            dram: Dram::new(cfg.dram),
+            dtlb: Tlb::new(cfg.dtlb),
+            page_table: PageTable::new(),
+            fetch_q: VecDeque::with_capacity(cfg.fetch_queue),
+            ruu: VecDeque::with_capacity(cfg.ruu_size),
+            lsq_used: 0,
+            reg_ready: [0; RegId::COUNT],
+            fetch_slot: entry,
+            wrong_path: false,
+            fetch_stall_until: 0,
+            pending_kind: PendingKind::Sequential,
+            last_fetch_pc: prog.addr_of(entry),
+            cycle: 0,
+            cfg,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runs until `max_commits` instructions have committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline wedges (cycles exceed `1000 × max_commits`),
+    /// which indicates a simulator bug rather than a slow workload.
+    pub fn run(&mut self, translator: &mut dyn FetchTranslator, max_commits: u64) {
+        let cycle_cap = max_commits.saturating_mul(MAX_CPI) + 1_000_000;
+        while self.stats.committed < max_commits {
+            self.commit(max_commits);
+            if self.stats.committed >= max_commits {
+                break;
+            }
+            self.resolve_completions(translator);
+            self.issue();
+            self.decode();
+            self.fetch(translator);
+            self.cycle += 1;
+            assert!(
+                self.cycle < cycle_cap,
+                "pipeline wedged: {} commits in {} cycles",
+                self.stats.committed,
+                self.cycle
+            );
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.il1 = *self.il1.stats();
+        self.stats.dl1 = *self.dl1.stats();
+        self.stats.l2 = *self.l2.stats();
+        self.stats.dtlb = *self.dtlb.stats();
+    }
+
+    // ---- commit ------------------------------------------------------
+
+    fn commit(&mut self, max_commits: u64) {
+        for _ in 0..self.cfg.commit_width {
+            if self.stats.committed >= max_commits {
+                break;
+            }
+            let Some(head) = self.ruu.front() else { break };
+            if !head.done || head.done_at > self.cycle {
+                break;
+            }
+            debug_assert!(!head.wrong_path, "wrong-path instruction at commit");
+            let entry = self.ruu.pop_front().expect("checked front");
+            if matches!(entry.class, OpClass::Load | OpClass::Store) {
+                self.lsq_used -= 1;
+            }
+            if entry.is_boundary {
+                self.stats.boundary_branches += 1;
+            }
+            self.stats.committed += 1;
+        }
+    }
+
+    // ---- execute completion & branch resolution ----------------------
+
+    fn resolve_completions(&mut self, translator: &mut dyn FetchTranslator) {
+        let mut resolve_at: Option<usize> = None;
+        for (i, e) in self.ruu.iter_mut().enumerate() {
+            if e.issued && !e.done && e.done_at <= self.cycle {
+                e.done = true;
+                if let Some(b) = e.branch {
+                    if !e.wrong_path {
+                        // Train the predictor at resolution.
+                        let spec = self.prog.slots[e.slot]
+                            .instr
+                            .branch
+                            .as_ref()
+                            .expect("branch entry has spec");
+                        self.predictor.update(e.pc, spec, b.taken, b.target);
+                        if b.mispredicted && resolve_at.is_none() {
+                            resolve_at = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(i) = resolve_at {
+            let recovery = self.ruu[i].branch.expect("resolved branch").recovery_slot;
+            let done_at = self.ruu[i].done_at;
+            // Flush everything younger: by construction it is wrong-path.
+            while self.ruu.len() > i + 1 {
+                let dropped = self.ruu.pop_back().expect("len checked");
+                if matches!(dropped.class, OpClass::Load | OpClass::Store) {
+                    self.lsq_used -= 1;
+                }
+            }
+            self.fetch_q.clear();
+            self.wrong_path = false;
+            self.fetch_slot = recovery;
+            self.pending_kind = PendingKind::Recovery;
+            self.fetch_stall_until = self
+                .fetch_stall_until
+                .max(done_at + u64::from(self.cfg.mispredict_penalty));
+            translator.on_mispredict();
+        }
+    }
+
+    // ---- issue -------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut issued = 0usize;
+        let mut fu = [0u32; 5]; // IntAlu, IntMul, FpAlu, FpMul, Mem
+        let cycle = self.cycle;
+        for idx in 0..self.ruu.len() {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let ready = {
+                let e = &self.ruu[idx];
+                if e.issued || e.decoded_at >= cycle {
+                    continue;
+                }
+                e.srcs
+                    .iter()
+                    .flatten()
+                    .all(|r| self.reg_ready[r.0 as usize] <= cycle)
+            };
+            if !ready {
+                continue;
+            }
+            let (fu_idx, fu_limit) = match self.ruu[idx].class {
+                OpClass::IntAlu | OpClass::Branch => (0, self.cfg.int_alu),
+                OpClass::IntMul => (1, self.cfg.int_mul),
+                OpClass::FpAlu => (2, self.cfg.fp_alu),
+                OpClass::FpMul => (3, self.cfg.fp_mul),
+                OpClass::Load | OpClass::Store => (4, MEM_PORTS),
+            };
+            if fu[fu_idx] >= fu_limit {
+                continue;
+            }
+            fu[fu_idx] += 1;
+
+            let class = self.ruu[idx].class;
+            let mem_addr = self.ruu[idx].mem_addr;
+            let base_latency = self.prog.slots[self.ruu[idx].slot].instr.latency();
+            let latency = match (class, mem_addr) {
+                (OpClass::Load, Some(addr)) => base_latency + self.data_access(addr, AccessKind::Read),
+                (OpClass::Store, Some(addr)) => {
+                    // Stores retire through a write buffer: the dL1/dTLB are
+                    // exercised (energy/behaviour) but the store does not
+                    // stall the pipeline beyond address generation.
+                    let _ = self.data_access(addr, AccessKind::Write);
+                    base_latency
+                }
+                _ => base_latency,
+            };
+
+            let e = &mut self.ruu[idx];
+            e.issued = true;
+            e.done_at = cycle + u64::from(latency);
+            if let Some(dst) = e.dst {
+                self.reg_ready[dst.0 as usize] = e.done_at;
+            }
+            match class {
+                OpClass::Load => self.stats.loads += 1,
+                OpClass::Store => self.stats.stores += 1,
+                _ => {}
+            }
+            issued += 1;
+        }
+    }
+
+    /// dTLB + dL1 (+L2, +DRAM) access for a data reference; returns the
+    /// added latency in cycles.
+    fn data_access(&mut self, addr: VirtAddr, kind: AccessKind) -> u32 {
+        let vpn = self.geom.vpn(addr);
+        let t = self.dtlb.lookup(vpn, &mut self.page_table);
+        let mut latency = t.penalty; // 0 on hit, 50 on miss
+        let pa = self.geom.join(t.pfn, self.geom.offset(addr));
+        let r = self.dl1.access(addr.raw(), kind);
+        if r.hit {
+            latency += self.dl1.hit_latency() - 1; // first cycle counted in issue latency
+        } else {
+            let l2r = self.l2.access(pa.raw(), AccessKind::Read);
+            latency += self.l2.hit_latency();
+            if !l2r.hit {
+                latency += self.dram.access(pa.raw());
+            }
+            if let Some(wb) = l2r.writeback {
+                self.dram.access(wb);
+            }
+        }
+        if let Some(wb) = r.writeback {
+            // Dirty dL1 eviction drains to L2 off the critical path.
+            let wbl2 = self.l2.access(wb, AccessKind::Write);
+            if let Some(wb2) = wbl2.writeback {
+                self.dram.access(wb2);
+            }
+        }
+        latency
+    }
+
+    // ---- decode ------------------------------------------------------
+
+    fn decode(&mut self) {
+        for _ in 0..self.cfg.decode_width {
+            if self.ruu.len() >= self.cfg.ruu_size {
+                break;
+            }
+            let Some(f) = self.fetch_q.front() else { break };
+            let is_mem = {
+                let s = &self.prog.slots[f.slot];
+                matches!(s.instr.class, OpClass::Load | OpClass::Store)
+            };
+            if is_mem && self.lsq_used >= self.cfg.lsq_size {
+                break;
+            }
+            let f = self.fetch_q.pop_front().expect("checked front");
+            let s = &self.prog.slots[f.slot];
+            if is_mem {
+                self.lsq_used += 1;
+            }
+            self.ruu.push_back(RuuEntry {
+                slot: f.slot,
+                pc: f.pc,
+                class: s.instr.class,
+                srcs: s.instr.srcs,
+                dst: s.instr.dst,
+                mem_addr: f.mem_addr,
+                wrong_path: f.wrong_path,
+                branch: f.branch,
+                is_boundary: f.is_boundary,
+                decoded_at: self.cycle,
+                issued: false,
+                done: matches!(s.instr.class, OpClass::Branch) && f.branch.is_none(),
+                done_at: self.cycle,
+            });
+        }
+    }
+
+    // ---- fetch -------------------------------------------------------
+
+    fn fetch(&mut self, translator: &mut dyn FetchTranslator) {
+        if self.cycle < self.fetch_stall_until {
+            return;
+        }
+        let mut group_stall: u32 = 0;
+        let mut fetched_any = false;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_q.len() >= self.cfg.fetch_queue {
+                break;
+            }
+            let slot = self.fetch_slot % self.prog.slots.len();
+            let pc = self.prog.addr_of(slot);
+
+            // Translation event for this fetch.
+            let kind = match self.pending_kind {
+                PendingKind::Sequential => FetchKind::Sequential {
+                    page_crossed: !self.geom.same_page(self.last_fetch_pc, pc),
+                },
+                PendingKind::BranchTarget {
+                    in_page_marked,
+                    from_boundary,
+                } => FetchKind::BranchTarget {
+                    in_page_marked,
+                    from_boundary,
+                },
+                PendingKind::Recovery => FetchKind::Recovery,
+            };
+            let ev = FetchEvent {
+                pc,
+                kind,
+                wrong_path: self.wrong_path,
+            };
+            let out = translator.on_fetch(&ev, &mut self.page_table);
+            group_stall = group_stall.max(out.stall);
+
+            // iL1 (virtually keyed; see module docs).
+            let il1_missed = !self.il1.access(pc.raw(), AccessKind::Read).hit;
+            if il1_missed {
+                let miss_out: TranslationOutcome =
+                    translator.on_il1_miss(&ev, &mut self.page_table);
+                let pfn = miss_out
+                    .pfn
+                    .expect("il1 miss translation must produce a frame");
+                let pa = self.geom.join(pfn, self.geom.offset(pc));
+                let l2r = self.l2.access(pa.raw(), AccessKind::Read);
+                let mut miss_stall = miss_out.stall + self.l2.hit_latency();
+                if !l2r.hit {
+                    miss_stall += self.dram.access(pa.raw());
+                }
+                group_stall = group_stall.max(miss_stall);
+            }
+
+            // Instruction + prediction + oracle.
+            self.pending_kind = PendingKind::Sequential;
+            self.last_fetch_pc = pc;
+            let instr_branch = self.prog.slots[slot].instr.branch.clone();
+            let is_boundary = instr_branch.as_ref().is_some_and(|b| b.boundary);
+
+            let mut fetched = FetchedInstr {
+                slot,
+                pc,
+                wrong_path: self.wrong_path,
+                mem_addr: None,
+                branch: None,
+                is_boundary,
+            };
+            let mut break_after = il1_missed;
+
+            if self.wrong_path {
+                self.stats.wrong_path_fetched += 1;
+                // Follow predictions blindly; nothing here resolves.
+                if let Some(spec) = &instr_branch {
+                    let pred =
+                        self.predictor
+                            .predict(pc, spec, pc.add(INSTRUCTION_BYTES));
+                    translator.on_branch_predicted(pc, pred.target);
+                    if pred.taken {
+                        if let Some(t) = pred.target {
+                            self.fetch_slot = self
+                                .prog
+                                .slot_of(t)
+                                .unwrap_or((slot + 1) % self.prog.slots.len());
+                            self.pending_kind = PendingKind::BranchTarget {
+                                in_page_marked: spec.in_page_hint,
+                                from_boundary: spec.boundary,
+                            };
+                            break_after = true;
+                        } else {
+                            self.fetch_slot = slot + 1;
+                        }
+                    } else {
+                        self.fetch_slot = slot + 1;
+                    }
+                } else {
+                    self.fetch_slot = slot + 1;
+                }
+            } else {
+                self.stats.fetched += 1;
+                debug_assert_eq!(
+                    self.walker.current_slot(),
+                    slot,
+                    "fetch engine diverged from the architectural walker"
+                );
+                let step = self.walker.step();
+                fetched.mem_addr = step.mem_addr;
+
+                // Page-crossing statistics (Table 2), on the architectural
+                // stream.
+                let next_pc = self.prog.addr_of(step.next_slot);
+                if !self.geom.same_page(step.addr, next_pc) {
+                    match step.branch {
+                        Some(b) if b.taken && !step.is_boundary => {
+                            self.stats.crossings_branch += 1;
+                        }
+                        _ => self.stats.crossings_boundary += 1,
+                    }
+                }
+
+                if let Some(exec) = step.branch {
+                    self.stats.branches += 1;
+                    let spec = instr_branch.as_ref().expect("branch step has spec");
+                    let pred =
+                        self.predictor
+                            .predict(pc, spec, pc.add(INSTRUCTION_BYTES));
+                    translator.on_branch_predicted(pc, pred.target);
+
+                    let predicted_next = if pred.taken {
+                        pred.target
+                            .and_then(|t| self.prog.slot_of(t))
+                            .unwrap_or(slot + 1)
+                    } else {
+                        slot + 1
+                    };
+                    let mispredicted = predicted_next != step.next_slot;
+                    if mispredicted {
+                        self.stats.mispredicts += 1;
+                        self.wrong_path = true;
+                    }
+                    fetched.branch = Some(FetchedBranch {
+                        mispredicted,
+                        recovery_slot: step.next_slot,
+                        taken: exec.taken,
+                        target: exec.next_addr,
+                    });
+                    self.fetch_slot = predicted_next;
+                    if pred.taken && pred.target.is_some() {
+                        self.pending_kind = PendingKind::BranchTarget {
+                            in_page_marked: spec.in_page_hint,
+                            from_boundary: spec.boundary,
+                        };
+                        // Fetch breaks on predicted-taken branches.
+                        break_after = true;
+                    }
+                } else {
+                    self.fetch_slot = step.next_slot;
+                }
+            }
+
+            self.fetch_q.push_back(fetched);
+            fetched_any = true;
+            if break_after {
+                break;
+            }
+        }
+        if fetched_any {
+            self.fetch_stall_until = self.cycle + 1 + u64::from(group_stall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::NullTranslator;
+    use cfr_workload::{generate, GeneratorParams, LaidProgram};
+
+    fn laid() -> LaidProgram {
+        let prog = generate(&GeneratorParams::small_test());
+        LaidProgram::lay_out(&prog, PageGeometry::default_4k(), false)
+    }
+
+    fn run_for(laid: &LaidProgram, n: u64) -> CpuStats {
+        let mut pipe = Pipeline::new(laid, CpuConfig::default_config(), 42);
+        let mut t = NullTranslator::default();
+        pipe.run(&mut t, n);
+        *pipe.stats()
+    }
+
+    #[test]
+    fn commits_exactly_requested() {
+        let p = laid();
+        let s = run_for(&p, 20_000);
+        assert_eq!(s.committed, 20_000);
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn ipc_is_physical() {
+        let p = laid();
+        let s = run_for(&p, 20_000);
+        let ipc = s.ipc();
+        assert!(ipc > 0.1, "pipeline far too slow: IPC {ipc}");
+        assert!(ipc <= 4.0, "IPC cannot exceed commit width: {ipc}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = laid();
+        let a = run_for(&p, 10_000);
+        let b = run_for(&p, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branches_and_mispredicts_counted() {
+        let p = laid();
+        let s = run_for(&p, 50_000);
+        assert!(s.branches > 1000, "branches {}", s.branches);
+        assert!(s.mispredicts > 0);
+        assert!(s.mispredicts < s.branches);
+        let acc = s.predictor_accuracy();
+        assert!((0.5..1.0).contains(&acc), "accuracy {acc}");
+    }
+
+    #[test]
+    fn wrong_path_fetches_happen() {
+        let p = laid();
+        let s = run_for(&p, 50_000);
+        assert!(s.wrong_path_fetched > 0, "no speculative wrong-path fetch");
+        // Wrong-path work is bounded by mispredicts x window.
+        assert!(s.wrong_path_fetched < s.fetched);
+    }
+
+    #[test]
+    fn memory_system_exercised() {
+        let p = laid();
+        let s = run_for(&p, 50_000);
+        assert!(s.il1.accesses >= s.fetched);
+        assert!(s.dl1.accesses > 0);
+        assert!(s.dtlb.accesses > 0);
+        assert_eq!(s.loads + s.stores >= s.dl1.accesses, true);
+    }
+
+    #[test]
+    fn page_crossings_match_functional_measure() {
+        // The pipeline's architectural crossing counts must agree with the
+        // functional walker's (same seed, same stream).
+        let p = laid();
+        let s = run_for(&p, 30_000);
+        let f = cfr_workload::measure::measure(&p, 30_000, 42);
+        let total_pipe = s.crossings();
+        let total_func = f.crossings();
+        // The pipeline counts at fetch; at most a window of drift remains
+        // in flight at the end.
+        let drift = (total_pipe as i64 - total_func as i64).unsigned_abs();
+        assert!(
+            drift <= 80,
+            "crossings diverged: pipeline {total_pipe} vs functional {total_func}"
+        );
+    }
+
+    #[test]
+    fn higher_latency_translator_slows_the_core() {
+        // A PI-PT-like translator that stalls every fetch group must cost
+        // cycles vs the free translator.
+        struct SlowTranslator(NullTranslator);
+        impl FetchTranslator for SlowTranslator {
+            fn addressing_mode(&self) -> cfr_types::AddressingMode {
+                cfr_types::AddressingMode::PiPt
+            }
+            fn on_fetch(&mut self, ev: &FetchEvent, pt: &mut PageTable) -> TranslationOutcome {
+                let mut o = self.0.on_il1_miss(ev, pt);
+                o.stall = 1;
+                o
+            }
+            fn on_il1_miss(&mut self, ev: &FetchEvent, pt: &mut PageTable) -> TranslationOutcome {
+                self.0.on_il1_miss(ev, pt)
+            }
+            fn meter(&self) -> &cfr_energy::EnergyMeter {
+                self.0.meter()
+            }
+            fn itlb_stats(&self) -> cfr_mem::TlbStats {
+                cfr_mem::TlbStats::default()
+            }
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+        }
+        let p = laid();
+        let mut fast_pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+        let mut fast = NullTranslator::default();
+        fast_pipe.run(&mut fast, 20_000);
+        let mut slow_pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+        let mut slow = SlowTranslator(NullTranslator::default());
+        slow_pipe.run(&mut slow, 20_000);
+        assert!(
+            slow_pipe.stats().cycles > fast_pipe.stats().cycles,
+            "serial translation latency must cost cycles: {} vs {}",
+            slow_pipe.stats().cycles,
+            fast_pipe.stats().cycles
+        );
+    }
+
+    #[test]
+    fn instrumented_layout_commits_boundary_branches() {
+        let prog = generate(&GeneratorParams::small_test());
+        let p = LaidProgram::lay_out(&prog, PageGeometry::default_4k(), true);
+        let s = run_for(&p, 100_000);
+        // small_test programs are compact; boundary branches exist but may
+        // be cold. At minimum the counter must be consistent.
+        assert!(s.boundary_branches <= s.committed);
+    }
+
+    #[test]
+    fn smaller_il1_misses_more() {
+        let p = laid();
+        let mut small_cfg = CpuConfig::default_config();
+        small_cfg.il1.organization.size_bytes = 512;
+        let mut small_pipe = Pipeline::new(&p, small_cfg, 42);
+        let mut t1 = NullTranslator::default();
+        small_pipe.run(&mut t1, 20_000);
+        let mut big_pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+        let mut t2 = NullTranslator::default();
+        big_pipe.run(&mut t2, 20_000);
+        assert!(
+            small_pipe.stats().il1.miss_rate() > big_pipe.stats().il1.miss_rate(),
+            "512B iL1 should miss more than 8KB"
+        );
+        assert!(small_pipe.stats().cycles > big_pipe.stats().cycles);
+    }
+}

@@ -1,0 +1,90 @@
+//! Pipeline statistics.
+
+use cfr_mem::{CacheStats, TlbStats};
+use serde::{Deserialize, Serialize};
+
+/// Everything a run reports (Table 2's columns come from here).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched (right path).
+    pub fetched: u64,
+    /// Instructions fetched on mispredicted (wrong) paths — these still pay
+    /// iTLB/iL1 energy, as in sim-outorder.
+    pub wrong_path_fetched: u64,
+    /// Right-path branches fetched.
+    pub branches: u64,
+    /// ... of which mispredicted (direction or target).
+    pub mispredicts: u64,
+    /// Committed boundary branches (SoCA/SoLA/IA instruction overhead).
+    pub boundary_branches: u64,
+    /// Page crossings caused by taken branches (Table 2 BRANCH).
+    pub crossings_branch: u64,
+    /// Sequential page crossings (Table 2 BOUNDARY; boundary-branch hops
+    /// count here — they are the sequential crossing made explicit).
+    pub crossings_boundary: u64,
+    /// iL1 counters.
+    pub il1: CacheStats,
+    /// dL1 counters.
+    pub dl1: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// dTLB counters.
+    pub dtlb: TlbStats,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+impl CpuStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch prediction accuracy (Table 5).
+    #[must_use]
+    pub fn predictor_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Total page crossings.
+    #[must_use]
+    pub fn crossings(&self) -> u64 {
+        self.crossings_branch + self.crossings_boundary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = CpuStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.predictor_accuracy(), 0.0);
+        s.cycles = 100;
+        s.committed = 250;
+        s.branches = 10;
+        s.mispredicts = 1;
+        s.crossings_branch = 7;
+        s.crossings_boundary = 3;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.predictor_accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(s.crossings(), 10);
+    }
+}

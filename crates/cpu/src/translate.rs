@@ -1,0 +1,170 @@
+//! The fetch-translation interface: where the paper's strategies plug into
+//! the pipeline.
+//!
+//! The fetch engine calls [`FetchTranslator::on_fetch`] for **every**
+//! instruction fetch (right-path and wrong-path — speculative fetches cost
+//! real iTLB energy, exactly as in sim-outorder) and
+//! [`FetchTranslator::on_il1_miss`] when a fetch misses the iL1 and a
+//! physical address is needed for the (PI-PT) L2. The strategy decides what
+//! each event costs: an iTLB CAM search, a CFR register read, a comparator
+//! activation, nothing at all — and how many serial stall cycles the fetch
+//! group pays.
+
+use cfr_energy::EnergyMeter;
+use cfr_mem::{PageTable, TlbStats};
+use cfr_types::{AddressingMode, Pfn, VirtAddr};
+
+/// Why this instruction is being fetched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Next sequential instruction. `page_crossed` marks the BOUNDARY case:
+    /// the previous instruction was on a different page.
+    Sequential {
+        /// Whether this sequential fetch crossed a page boundary.
+        page_crossed: bool,
+    },
+    /// First instruction at a predicted-taken branch's target.
+    BranchTarget {
+        /// The source branch carried SoLA's in-page bit.
+        in_page_marked: bool,
+        /// The source branch was a compiler-inserted boundary branch.
+        from_boundary: bool,
+    },
+    /// First instruction after a mispredict recovery (the iTLB lookup the
+    /// paper's Figure 3 charges at return points B and D).
+    Recovery,
+}
+
+/// One instruction-fetch event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchEvent {
+    /// Address being fetched.
+    pub pc: VirtAddr,
+    /// Why it is being fetched.
+    pub kind: FetchKind,
+    /// Whether the fetch engine is currently on a mispredicted path.
+    pub wrong_path: bool,
+}
+
+/// What a translation event produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationOutcome {
+    /// The frame, when the addressing mode required translating here
+    /// (`None` for VI-VT's `on_fetch`, which defers to the miss path).
+    pub pfn: Option<Pfn>,
+    /// Serial stall cycles charged to this fetch group (PI-PT's in-front
+    /// lookup, VI-VT's miss-path lookup, or a 50-cycle iTLB miss).
+    pub stall: u32,
+}
+
+impl TranslationOutcome {
+    /// A free, translation-less outcome.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            pfn: None,
+            stall: 0,
+        }
+    }
+}
+
+/// The strategy interface (Base, OPT, HoA, SoCA, SoLA, IA live in
+/// `cfr-core`).
+pub trait FetchTranslator {
+    /// Which iL1 addressing scheme this run models.
+    fn addressing_mode(&self) -> AddressingMode;
+
+    /// Called once per instruction fetch, before/parallel-to the iL1.
+    fn on_fetch(&mut self, ev: &FetchEvent, pt: &mut PageTable) -> TranslationOutcome;
+
+    /// Called when the fetch misses iL1 and the physical address is needed
+    /// for L2 (the VI-VT translation point; PI-PT/VI-PT strategies return
+    /// the already-translated frame for free).
+    fn on_il1_miss(&mut self, ev: &FetchEvent, pt: &mut PageTable) -> TranslationOutcome;
+
+    /// A branch was fetched and predicted — IA's CFR-vs-BTB comparison
+    /// point (Figure 2). `predicted_target` is the predicted target when
+    /// the front end has one (BTB hit, or the return-address stack for
+    /// returns — the paper generalizes: "wait until a branch target address
+    /// is available and then perform a comparison").
+    fn on_branch_predicted(&mut self, branch_pc: VirtAddr, predicted_target: Option<VirtAddr>) {
+        let _ = (branch_pc, predicted_target);
+    }
+
+    /// A right-path branch mispredicted; the next fetch will be
+    /// [`FetchKind::Recovery`].
+    fn on_mispredict(&mut self) {}
+
+    /// Energy accounting for the translation path.
+    fn meter(&self) -> &EnergyMeter;
+
+    /// iTLB behavioural counters.
+    fn itlb_stats(&self) -> TlbStats;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// A translator that translates for free with no iTLB at all: used to unit
+/// test the pipeline in isolation and as the "no translation cost" control.
+#[derive(Debug, Default)]
+pub struct NullTranslator {
+    meter: EnergyMeter,
+}
+
+impl FetchTranslator for NullTranslator {
+    fn addressing_mode(&self) -> AddressingMode {
+        AddressingMode::ViPt
+    }
+
+    fn on_fetch(&mut self, _ev: &FetchEvent, _pt: &mut PageTable) -> TranslationOutcome {
+        TranslationOutcome::none()
+    }
+
+    fn on_il1_miss(&mut self, ev: &FetchEvent, pt: &mut PageTable) -> TranslationOutcome {
+        // Translation is still functionally required for the L2's physical
+        // address; it just costs nothing here.
+        let geom = cfr_types::PageGeometry::default_4k();
+        let (pfn, _) = pt.translate(geom.vpn(ev.pc), cfr_types::Protection::code());
+        TranslationOutcome {
+            pfn: Some(pfn),
+            stall: 0,
+        }
+    }
+
+    fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    fn itlb_stats(&self) -> TlbStats {
+        TlbStats::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_translator_costs_nothing() {
+        let mut t = NullTranslator::default();
+        let mut pt = PageTable::new();
+        let ev = FetchEvent {
+            pc: VirtAddr::new(0x40_0000),
+            kind: FetchKind::Sequential {
+                page_crossed: false,
+            },
+            wrong_path: false,
+        };
+        let out = t.on_fetch(&ev, &mut pt);
+        assert_eq!(out, TranslationOutcome::none());
+        let miss = t.on_il1_miss(&ev, &mut pt);
+        assert_eq!(miss.stall, 0);
+        assert!(miss.pfn.is_some());
+        assert_eq!(t.meter().total_pj(), 0.0);
+    }
+}

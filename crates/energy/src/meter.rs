@@ -1,0 +1,193 @@
+//! Event-count energy accounting.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated energy for one named component.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentEnergy {
+    /// Number of charged events.
+    pub events: u64,
+    /// Total energy in picojoules.
+    pub total_pj: f64,
+}
+
+/// Accumulates `(event count, picojoules)` per named component.
+///
+/// The meter deliberately stores *counts alongside joules*: the paper argues
+/// its savings come from reduced access counts, so every experiment report
+/// exposes both, and swapping the [`crate::EnergyModel`] coefficients never
+/// changes the counts.
+///
+/// ```
+/// use cfr_energy::EnergyMeter;
+///
+/// let mut meter = EnergyMeter::new();
+/// meter.charge("itlb_access", 440.0);
+/// meter.charge_n("cfr_read", 3, 4.6);
+/// assert_eq!(meter.events("cfr_read"), 3);
+/// assert!((meter.total_pj() - 453.8).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    components: BTreeMap<String, ComponentEnergy>,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one event of `pj` picojoules to `component`.
+    pub fn charge(&mut self, component: &str, pj: f64) {
+        self.charge_n(component, 1, pj);
+    }
+
+    /// Charges `n` events of `pj_each` picojoules to `component`.
+    pub fn charge_n(&mut self, component: &str, n: u64, pj_each: f64) {
+        if n == 0 {
+            return;
+        }
+        let entry = self
+            .components
+            .entry(component.to_owned())
+            .or_default();
+        entry.events += n;
+        entry.total_pj += pj_each * n as f64;
+    }
+
+    /// Event count for `component` (0 if never charged).
+    #[must_use]
+    pub fn events(&self, component: &str) -> u64 {
+        self.components.get(component).map_or(0, |c| c.events)
+    }
+
+    /// Energy in picojoules for `component` (0 if never charged).
+    #[must_use]
+    pub fn component_pj(&self, component: &str) -> f64 {
+        self.components.get(component).map_or(0.0, |c| c.total_pj)
+    }
+
+    /// Total energy across all components, in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.components.values().map(|c| c.total_pj).sum()
+    }
+
+    /// Total energy across all components, in millijoules.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        crate::pj_to_mj(self.total_pj())
+    }
+
+    /// Iterates components in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ComponentEnergy)> {
+        self.components.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another meter's charges into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for (name, c) in &other.components {
+            let entry = self.components.entry(name.clone()).or_default();
+            entry.events += c.events;
+            entry.total_pj += c.total_pj;
+        }
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        self.components.clear();
+    }
+}
+
+impl fmt::Display for EnergyMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return write!(f, "(no energy charged)");
+        }
+        for (name, c) in &self.components {
+            writeln!(
+                f,
+                "{name:<20} {:>14} events  {:>12.6} mJ",
+                c.events,
+                crate::pj_to_mj(c.total_pj)
+            )?;
+        }
+        write!(f, "{:<20} {:>14}  {:>12.6} mJ", "TOTAL", "", self.total_mj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.total_pj(), 0.0);
+        assert_eq!(m.events("anything"), 0);
+        assert_eq!(m.component_pj("anything"), 0.0);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = EnergyMeter::new();
+        m.charge("a", 10.0);
+        m.charge("a", 5.0);
+        m.charge_n("b", 4, 2.5);
+        assert_eq!(m.events("a"), 2);
+        assert_eq!(m.events("b"), 4);
+        assert!((m.component_pj("a") - 15.0).abs() < 1e-12);
+        assert!((m.component_pj("b") - 10.0).abs() < 1e-12);
+        assert!((m.total_pj() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_zero_events_is_noop() {
+        let mut m = EnergyMeter::new();
+        m.charge_n("a", 0, 100.0);
+        assert_eq!(m.events("a"), 0);
+        assert_eq!(m.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = EnergyMeter::new();
+        a.charge("x", 1.0);
+        let mut b = EnergyMeter::new();
+        b.charge("x", 2.0);
+        b.charge("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.events("x"), 2);
+        assert!((a.total_pj() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = EnergyMeter::new();
+        m.charge("x", 1.0);
+        m.clear();
+        assert_eq!(m.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut m = EnergyMeter::new();
+        assert!(!format!("{m}").is_empty());
+        m.charge("itlb", 440.0);
+        let s = format!("{m}");
+        assert!(s.contains("itlb"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn total_mj_matches_pj() {
+        let mut m = EnergyMeter::new();
+        m.charge_n("x", 1_000_000, 1000.0);
+        assert!((m.total_mj() - 1.0).abs() < 1e-9); // 1e9 pJ = 1 mJ
+    }
+}

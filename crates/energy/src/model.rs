@@ -1,0 +1,284 @@
+//! The analytical energy model and its calibration.
+
+use serde::{Deserialize, Serialize};
+
+pub use cfr_types::{CacheOrganization, TlbOrganization};
+
+/// Technology coefficients, in picojoules, for the component-level model.
+///
+/// # Calibration
+///
+/// The coefficients below were fitted to the *ratios* the paper reports for
+/// its 0.1 µm CACTI numbers (Tables 2 and 6, 250 M committed instructions):
+///
+/// - a 32-entry fully-associative iTLB costs ≈ 0.44 nJ/access
+///   (≈ 110 mJ / ≈ 250 M fetch accesses);
+/// - an 8-entry FA iTLB costs ≈ 0.9× the 32-entry one (CAM searches are
+///   dominated by drivers/sense-amps, not entry count);
+/// - a 16-entry 2-way set-associative iTLB costs ≈ 1.3× the 32-entry FA one
+///   (two full tag+data ways are read per access);
+/// - a 1-entry "TLB" degenerates to a register + comparator at ≈ 0.05× the
+///   32-entry CAM;
+/// - the HoA page comparator costs ≈ 2.5% of a 32-entry CAM search per
+///   fetch (the HoA-vs-OPT gap in Figure 4);
+/// - a CFR register read costs ≈ 1% of a CAM search (the SoLA-vs-OPT gap
+///   net of its extra lookups).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// Constant CAM-search cost: search-line drivers, sense amps, I/O (pJ).
+    pub cam_base_pj: f64,
+    /// Per-entry match-line precharge/evaluate cost (pJ).
+    pub cam_matchline_pj_per_entry: f64,
+    /// Per-entry, per-tag-bit search-line cost (pJ).
+    pub cam_searchline_pj_per_bit: f64,
+    /// Constant SRAM-array cost: decoder + sense amps (pJ).
+    pub sram_base_pj: f64,
+    /// Per-row bit-line loading cost (pJ).
+    pub sram_pj_per_row: f64,
+    /// Per-bit cost of reading a way out of an SRAM array (pJ).
+    pub sram_read_pj_per_bit: f64,
+    /// Per-bit cost of reading a latch/register (pJ).
+    pub register_pj_per_bit: f64,
+    /// Per-bit cost of an equality comparator (pJ).
+    pub comparator_pj_per_bit: f64,
+    /// TLB refill (entry write) cost relative to one access.
+    pub write_factor: f64,
+    /// Virtual-address tag bits compared/translated (32-bit VA, 4 KB pages).
+    pub tag_bits: u32,
+    /// Data bits per TLB entry (PFN + protection/other bits).
+    pub data_bits: u32,
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self {
+            cam_base_pj: 360.0,
+            cam_matchline_pj_per_entry: 0.8,
+            cam_searchline_pj_per_bit: 0.04,
+            sram_base_pj: 150.0,
+            sram_pj_per_row: 2.0,
+            sram_read_pj_per_bit: 5.0,
+            register_pj_per_bit: 0.2,
+            comparator_pj_per_bit: 0.5,
+            write_factor: 1.2,
+            tag_bits: 20,
+            data_bits: 23,
+        }
+    }
+}
+
+/// The dynamic-energy model: maps structure shapes to per-event picojoules.
+///
+/// All methods are pure; accounting lives in [`crate::EnergyMeter`].
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyModel {
+    params: TechnologyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with explicit technology parameters.
+    #[must_use]
+    pub fn new(params: TechnologyParams) -> Self {
+        Self { params }
+    }
+
+    /// The technology parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &TechnologyParams {
+        &self.params
+    }
+
+    /// Energy of one TLB lookup (pJ), choosing the implementation the
+    /// organization implies: register+comparator (1 entry), CAM search
+    /// (fully associative), or set-associative SRAM read.
+    #[must_use]
+    pub fn tlb_access_pj(&self, org: &TlbOrganization) -> f64 {
+        let p = &self.params;
+        if org.entries == 1 {
+            // Register file holding one translation: read the tag, compare,
+            // read the data side.
+            self.register_read_pj(p.tag_bits)
+                + self.comparator_pj(p.tag_bits)
+                + self.register_read_pj(p.data_bits)
+        } else if org.is_cam() {
+            let entries = f64::from(org.entries);
+            p.cam_base_pj
+                + entries
+                    * (p.cam_matchline_pj_per_entry
+                        + p.cam_searchline_pj_per_bit * f64::from(p.tag_bits))
+                + self.register_read_pj(p.data_bits) * 2.0
+        } else {
+            // Set-associative SRAM: decode the set, read every way's tag and
+            // data, compare tags.
+            let rows = f64::from(org.sets());
+            let way_bits = f64::from(p.tag_bits + p.data_bits);
+            p.sram_base_pj
+                + rows * p.sram_pj_per_row
+                + f64::from(org.associativity)
+                    * (way_bits * p.sram_read_pj_per_bit + self.comparator_pj(p.tag_bits))
+        }
+    }
+
+    /// Energy of one TLB refill — writing a new entry after a miss (pJ).
+    ///
+    /// The paper's energy equation is `n_a·E_a + n_m·E_m`; this is `E_m`.
+    /// The page-walk memory traffic itself is charged to the memory system,
+    /// not the TLB, matching CACTI's structure-local scope.
+    #[must_use]
+    pub fn tlb_refill_pj(&self, org: &TlbOrganization) -> f64 {
+        self.tlb_access_pj(org) * self.params.write_factor
+    }
+
+    /// Energy of one cache access (pJ): decode, read `associativity` tag
+    /// ways plus one data way, compare.
+    ///
+    /// The paper never charges cache energy to the iTLB budget; this exists
+    /// so examples and extensions can report whole-hierarchy numbers.
+    #[must_use]
+    pub fn cache_access_pj(&self, org: &CacheOrganization) -> f64 {
+        let p = &self.params;
+        let rows = org.sets() as f64;
+        let tag_read = f64::from(p.tag_bits) * p.sram_read_pj_per_bit;
+        let data_read = f64::from(org.block_bytes) * 8.0 * p.sram_read_pj_per_bit / 4.0;
+        p.sram_base_pj * 2.0
+            + rows.sqrt() * p.sram_pj_per_row * 8.0
+            + f64::from(org.associativity) * (tag_read + self.comparator_pj(p.tag_bits))
+            + data_read
+    }
+
+    /// Energy of reading `bits` bits out of a latch/register (pJ) — the CFR
+    /// read on every bypassed fetch.
+    #[must_use]
+    pub fn register_read_pj(&self, bits: u32) -> f64 {
+        f64::from(bits) * self.params.register_pj_per_bit
+    }
+
+    /// Energy of a `bits`-wide equality comparator (pJ) — HoA pays this on
+    /// every fetch; IA pays it once per BTB-predicted branch.
+    #[must_use]
+    pub fn comparator_pj(&self, bits: u32) -> f64 {
+        f64::from(bits) * self.params.comparator_pj_per_bit
+    }
+
+    /// Energy of the full CFR read: PFN + protection bits (pJ).
+    #[must_use]
+    pub fn cfr_read_pj(&self) -> f64 {
+        self.register_read_pj(self.params.data_bits)
+    }
+
+    /// Energy of the HoA/IA virtual-page comparison against the CFR (pJ).
+    #[must_use]
+    pub fn cfr_compare_pj(&self) -> f64 {
+        self.comparator_pj(self.params.tag_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    #[test]
+    fn itlb32_near_half_nanojoule() {
+        let e = model().tlb_access_pj(&TlbOrganization::fully_associative(32));
+        assert!(
+            (380.0..520.0).contains(&e),
+            "32-entry FA iTLB should be ~0.44 nJ, got {e}"
+        );
+    }
+
+    #[test]
+    fn cam_costs_grow_slowly_with_entries() {
+        let m = model();
+        let e8 = m.tlb_access_pj(&TlbOrganization::fully_associative(8));
+        let e32 = m.tlb_access_pj(&TlbOrganization::fully_associative(32));
+        let e128 = m.tlb_access_pj(&TlbOrganization::fully_associative(128));
+        assert!(e8 < e32 && e32 < e128);
+        // Paper Table 6: 8-entry base energy ≈ 0.9× of 32-entry.
+        let r = e8 / e32;
+        assert!((0.85..0.95).contains(&r), "8/32 ratio {r}");
+        // Paper Fig 6 relies on 128-entry being meaningfully pricier.
+        assert!(e128 / e32 > 1.15);
+    }
+
+    #[test]
+    fn two_way_sram_tlb_costs_more_than_cam() {
+        let m = model();
+        let e16x2 = m.tlb_access_pj(&TlbOrganization::set_associative(16, 2));
+        let e32 = m.tlb_access_pj(&TlbOrganization::fully_associative(32));
+        // Paper Table 6: the 16-entry 2-way consumes MORE than the 32 FA
+        // (reads two full ways).
+        let r = e16x2 / e32;
+        assert!((1.1..1.6).contains(&r), "16x2/32FA ratio {r}");
+    }
+
+    #[test]
+    fn one_entry_tlb_is_register_cheap() {
+        let m = model();
+        let e1 = m.tlb_access_pj(&TlbOrganization::fully_associative(1));
+        let e32 = m.tlb_access_pj(&TlbOrganization::fully_associative(32));
+        let r = e1 / e32;
+        assert!((0.02..0.09).contains(&r), "1-entry ratio {r}");
+    }
+
+    #[test]
+    fn comparator_is_small_fraction_of_cam() {
+        let m = model();
+        let cmp = m.cfr_compare_pj();
+        let e32 = m.tlb_access_pj(&TlbOrganization::fully_associative(32));
+        let r = cmp / e32;
+        // Fig 4: HoA-vs-OPT gap ≈ 2.5% per fetch.
+        assert!((0.01..0.05).contains(&r), "comparator ratio {r}");
+    }
+
+    #[test]
+    fn cfr_read_is_nearly_free() {
+        let m = model();
+        let r = m.cfr_read_pj() / m.tlb_access_pj(&TlbOrganization::fully_associative(32));
+        assert!(r < 0.02, "CFR read ratio {r}");
+    }
+
+    #[test]
+    fn refill_costs_more_than_access() {
+        let m = model();
+        let org = TlbOrganization::fully_associative(32);
+        assert!(m.tlb_refill_pj(&org) > m.tlb_access_pj(&org));
+    }
+
+    #[test]
+    fn cache_energy_positive_and_monotonic_in_assoc() {
+        let m = model();
+        let c1 = CacheOrganization {
+            size_bytes: 8192,
+            associativity: 1,
+            block_bytes: 32,
+        };
+        let c2 = CacheOrganization {
+            size_bytes: 8192,
+            associativity: 2,
+            block_bytes: 32,
+        };
+        assert!(m.cache_access_pj(&c1) > 0.0);
+        assert!(m.cache_access_pj(&c2) > m.cache_access_pj(&c1));
+    }
+
+    #[test]
+    fn multilevel_shapes_from_fig6() {
+        // Fig 6 compares a (1 + 32FA) two-level against a monolithic 32FA,
+        // and a (32FA + 96FA) against a monolithic 128FA. The level-1 energy
+        // per access plus a fraction of level-2 accesses must be able to
+        // exceed the monolithic-with-CFR energy; the raw ingredients:
+        let m = model();
+        let e1 = m.tlb_access_pj(&TlbOrganization::fully_associative(1));
+        let e32 = m.tlb_access_pj(&TlbOrganization::fully_associative(32));
+        let e96 = m.tlb_access_pj(&TlbOrganization::fully_associative(96));
+        let e128 = m.tlb_access_pj(&TlbOrganization::fully_associative(128));
+        // A per-fetch 1-entry filter costs far more than a per-page-change
+        // CAM search amortized over ~45 fetches/page-crossing.
+        assert!(e1 > e32 / 45.0);
+        assert!(e96 < e128);
+    }
+}

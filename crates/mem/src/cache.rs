@@ -1,0 +1,379 @@
+//! Set-associative, true-LRU, write-back/write-allocate blocking cache.
+//!
+//! The cache is deliberately *address-space agnostic*: it indexes and tags
+//! whatever `u64` key the caller supplies. The paper's PI-PT / VI-PT / VI-VT
+//! distinction is about **which** address (virtual or physical, for index
+//! and for tag) reaches a cache — that policy lives with the fetch engine,
+//! not here. A VI-VT iL1 is this cache fed virtual addresses; a PI-PT iL1 is
+//! this cache fed physical ones.
+
+use cfr_types::CacheOrganization;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Geometry (capacity, ways, block size).
+    pub organization: CacheOrganization,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// The paper's default iL1: 8 KB direct-mapped, 32-byte blocks, 1 cycle.
+    #[must_use]
+    pub fn default_il1() -> Self {
+        Self {
+            organization: CacheOrganization {
+                size_bytes: 8 * 1024,
+                associativity: 1,
+                block_bytes: 32,
+            },
+            hit_latency: 1,
+        }
+    }
+
+    /// The paper's default dL1: 8 KB 2-way, 32-byte blocks, 1 cycle.
+    #[must_use]
+    pub fn default_dl1() -> Self {
+        Self {
+            organization: CacheOrganization {
+                size_bytes: 8 * 1024,
+                associativity: 2,
+                block_bytes: 32,
+            },
+            hit_latency: 1,
+        }
+    }
+
+    /// The paper's default unified L2: 1 MB 2-way, 128-byte blocks, 10
+    /// cycles.
+    #[must_use]
+    pub fn default_l2() -> Self {
+        Self {
+            organization: CacheOrganization {
+                size_bytes: 1024 * 1024,
+                associativity: 2,
+                block_bytes: 128,
+            },
+            hit_latency: 10,
+        }
+    }
+}
+
+/// Read or write access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load or an instruction fetch.
+    Read,
+    /// A store (write-allocate).
+    Write,
+}
+
+/// Outcome of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the block was present.
+    pub hit: bool,
+    /// Block-aligned address of a dirty block evicted by this access, if
+    /// any. The caller owns writing it back to the next level.
+    pub writeback: Option<u64>,
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty evictions handed to the caller.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1]; 0 for an untouched cache.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A blocking, set-associative, true-LRU, write-back/write-allocate cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>, // sets * associativity, row-major by set
+    assoc: usize,
+    sets: u64,
+    block_bits: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the organization is degenerate (see
+    /// [`CacheOrganization::sets`]).
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.organization.sets();
+        let assoc = cfg.organization.associativity as usize;
+        Self {
+            cfg,
+            ways: vec![Way::default(); sets as usize * assoc],
+            assoc,
+            sets,
+            block_bits: cfg.organization.block_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit latency in cycles.
+    #[must_use]
+    pub fn hit_latency(&self) -> u32 {
+        self.cfg.hit_latency
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.block_bits;
+        let set = (block % self.sets) as usize;
+        let tag = block / self.sets;
+        (set, tag)
+    }
+
+    /// Accesses `addr`, allocating on a miss. Returns hit/miss and any dirty
+    /// eviction the caller must write back.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.tick;
+            if kind == AccessKind::Write {
+                way.dirty = true;
+            }
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.stats.misses += 1;
+        let sets = self.sets;
+        let block_bits = self.block_bits;
+        // Victim: an invalid way if any, else true LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("cache has at least one way");
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some(((victim.tag * sets) + set as u64) << block_bits)
+        } else {
+            None
+        };
+        victim.tag = tag;
+        victim.valid = true;
+        victim.dirty = kind == AccessKind::Write;
+        victim.lru = self.tick;
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Whether `addr` is resident, without touching LRU state or stats.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates everything (e.g., on an address-space switch for a
+    /// virtually-tagged cache without ASIDs).
+    pub fn invalidate_all(&mut self) {
+        for w in &mut self.ways {
+            w.valid = false;
+            w.dirty = false;
+        }
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn resident_blocks(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> Cache {
+        // 4 sets x assoc ways x 16-byte blocks.
+        Cache::new(CacheConfig {
+            organization: CacheOrganization {
+                size_bytes: u64::from(64 * assoc),
+                associativity: assoc,
+                block_bytes: 16,
+            },
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn default_configs_match_table1() {
+        let il1 = Cache::new(CacheConfig::default_il1());
+        assert_eq!(il1.config().organization.sets(), 256);
+        let dl1 = Cache::new(CacheConfig::default_dl1());
+        assert_eq!(dl1.config().organization.sets(), 128);
+        let l2 = Cache::new(CacheConfig::default_l2());
+        assert_eq!(l2.config().organization.sets(), 4096);
+        assert_eq!(l2.hit_latency(), 10);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(1);
+        assert!(!c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x100, AccessKind::Read).hit);
+        assert!(c.access(0x10F, AccessKind::Read).hit, "same block");
+        assert!(!c.access(0x110, AccessKind::Read).hit, "next block");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = tiny(1); // 4 sets, 16B blocks: addresses 64 apart conflict
+        c.access(0x000, AccessKind::Read);
+        c.access(0x040, AccessKind::Read); // same set, evicts
+        assert!(!c.access(0x000, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn two_way_holds_two_conflicting_blocks() {
+        let mut c = tiny(2);
+        c.access(0x000, AccessKind::Read);
+        c.access(0x040, AccessKind::Read);
+        assert!(c.access(0x000, AccessKind::Read).hit);
+        assert!(c.access(0x040, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2);
+        c.access(0x000, AccessKind::Read); // way A
+        c.access(0x040, AccessKind::Read); // way B
+        c.access(0x000, AccessKind::Read); // touch A -> B is LRU
+        c.access(0x080, AccessKind::Read); // evicts B
+        assert!(c.access(0x000, AccessKind::Read).hit);
+        assert!(!c.access(0x040, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(1);
+        c.access(0x000, AccessKind::Write);
+        let r = c.access(0x040, AccessKind::Read); // evicts dirty 0x000
+        assert_eq!(r.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny(1);
+        c.access(0x000, AccessKind::Read);
+        let r = c.access(0x040, AccessKind::Read);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny(1);
+        c.access(0x000, AccessKind::Read);
+        c.access(0x000, AccessKind::Write);
+        let r = c.access(0x040, AccessKind::Read);
+        assert_eq!(r.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn writeback_address_is_block_aligned() {
+        let mut c = tiny(1);
+        c.access(0x137, AccessKind::Write);
+        let r = c.access(0x177, AccessKind::Read); // same set (0x130>>4=19, %4=3; 0x170>>4=23,%4=3)
+        assert_eq!(r.writeback, Some(0x130));
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut c = tiny(1);
+        c.access(0x000, AccessKind::Read);
+        let before = *c.stats();
+        assert!(c.probe(0x00F));
+        assert!(!c.probe(0x040));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = tiny(2);
+        c.access(0x000, AccessKind::Write);
+        c.access(0x040, AccessKind::Read);
+        assert_eq!(c.resident_blocks(), 2);
+        c.invalidate_all();
+        assert_eq!(c.resident_blocks(), 0);
+        assert!(!c.access(0x000, AccessKind::Read).hit);
+        // Dirty state must not leak a writeback after invalidation.
+        assert!(c.access(0x040, AccessKind::Read).writeback.is_none());
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny(1);
+        c.access(0x000, AccessKind::Read);
+        c.access(0x000, AccessKind::Read);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

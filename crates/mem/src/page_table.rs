@@ -1,0 +1,162 @@
+//! A deterministic virtual→physical page mapping.
+//!
+//! Frames are allocated on first touch. The VPN→PFN assignment is a
+//! scrambled (but reproducible) bijection of the allocation order, so
+//! physically-indexed structures see realistic frame scatter rather than an
+//! identity mapping, while runs remain bit-for-bit repeatable.
+
+use std::collections::HashMap;
+
+use cfr_types::{Pfn, Protection, Vpn};
+
+/// Multiplying an odd constant modulo 2^k is a bijection, so truncating the
+/// product to `FRAME_BITS` still yields unique frames for up to 2^FRAME_BITS
+/// allocations.
+const FRAME_SCRAMBLE: u64 = 0x9E37_79B1;
+const FRAME_BITS: u32 = 28;
+
+/// The OS page table: allocates and remembers translations, and supports the
+/// eviction/remap hooks the paper's §3.2 OS support needs.
+#[derive(Clone, Debug, Default)]
+pub struct PageTable {
+    map: HashMap<Vpn, (Pfn, Protection)>,
+    allocations: u64,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_pfn(&mut self) -> Pfn {
+        let n = self.allocations;
+        self.allocations += 1;
+        Pfn::new(n.wrapping_mul(FRAME_SCRAMBLE) & ((1 << FRAME_BITS) - 1))
+    }
+
+    /// Translates `vpn`, allocating a frame with `prot` protection on first
+    /// touch. Subsequent calls return the same frame (until a
+    /// [`remap`](Self::remap)).
+    pub fn translate(&mut self, vpn: Vpn, prot: Protection) -> (Pfn, Protection) {
+        if let Some(&entry) = self.map.get(&vpn) {
+            return entry;
+        }
+        let pfn = self.fresh_pfn();
+        self.map.insert(vpn, (pfn, prot));
+        (pfn, prot)
+    }
+
+    /// Looks up an existing translation without allocating.
+    #[must_use]
+    pub fn probe(&self, vpn: Vpn) -> Option<(Pfn, Protection)> {
+        self.map.get(&vpn).copied()
+    }
+
+    /// Moves `vpn` to a fresh frame (page migration / swap-in at a new
+    /// location). Returns the new frame, or `None` if the page was never
+    /// mapped. Any cached copy of the old translation — in a TLB *or in the
+    /// CFR* — is now stale; the paper requires the OS to invalidate both.
+    pub fn remap(&mut self, vpn: Vpn) -> Option<Pfn> {
+        if !self.map.contains_key(&vpn) {
+            return None;
+        }
+        let pfn = self.fresh_pfn();
+        let entry = self.map.get_mut(&vpn).expect("checked above");
+        entry.0 = pfn;
+        Some(pfn)
+    }
+
+    /// Removes the mapping for `vpn` (page evicted to backing store).
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.map.remove(&vpn).map(|(pfn, _)| pfn)
+    }
+
+    /// Number of live mappings.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_stable() {
+        let mut pt = PageTable::new();
+        let (a, _) = pt.translate(Vpn::new(5), Protection::code());
+        let (b, _) = pt.translate(Vpn::new(5), Protection::code());
+        assert_eq!(a, b);
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let (pfn, _) = pt.translate(Vpn::new(i), Protection::data());
+            assert!(seen.insert(pfn), "duplicate frame for page {i}");
+        }
+    }
+
+    #[test]
+    fn frames_are_scrambled_not_identity() {
+        let mut pt = PageTable::new();
+        let (a, _) = pt.translate(Vpn::new(0), Protection::code());
+        let (b, _) = pt.translate(Vpn::new(1), Protection::code());
+        assert_ne!(b.raw(), a.raw() + 1, "frames should not be sequential");
+    }
+
+    #[test]
+    fn protection_is_remembered() {
+        let mut pt = PageTable::new();
+        pt.translate(Vpn::new(9), Protection::data());
+        let (_, prot) = pt.translate(Vpn::new(9), Protection::code());
+        assert_eq!(prot, Protection::data(), "first touch wins");
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.probe(Vpn::new(1)), None);
+        assert_eq!(pt.mapped_pages(), 0);
+        pt.translate(Vpn::new(1), Protection::code());
+        assert!(pt.probe(Vpn::new(1)).is_some());
+    }
+
+    #[test]
+    fn remap_changes_frame() {
+        let mut pt = PageTable::new();
+        let (old, _) = pt.translate(Vpn::new(3), Protection::code());
+        let new = pt.remap(Vpn::new(3)).unwrap();
+        assert_ne!(old, new);
+        let (cur, _) = pt.translate(Vpn::new(3), Protection::code());
+        assert_eq!(cur, new);
+        assert_eq!(pt.remap(Vpn::new(999)), None);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut pt = PageTable::new();
+        pt.translate(Vpn::new(3), Protection::code());
+        assert!(pt.unmap(Vpn::new(3)).is_some());
+        assert_eq!(pt.probe(Vpn::new(3)), None);
+        assert_eq!(pt.unmap(Vpn::new(3)), None);
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let mut a = PageTable::new();
+        let mut b = PageTable::new();
+        for i in [5u64, 1, 9, 2] {
+            assert_eq!(
+                a.translate(Vpn::new(i), Protection::code()),
+                b.translate(Vpn::new(i), Protection::code())
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Prints measured-vs-paper statistics for every benchmark profile.
+//!
+//! Used while tuning `profiles.rs`; kept as a runnable artifact so the
+//! calibration is reproducible:
+//!
+//! ```sh
+//! cargo run -p cfr-workload --release --example calibrate
+//! ```
+
+use cfr_types::PageGeometry;
+use cfr_workload::{measure::measure, profiles, LaidProgram};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "profile",
+        "branch%",
+        "analyzable%",
+        "in-page%",
+        "bimodal%",
+        "il1 miss%",
+        "boundary%",
+        "cross%"
+    );
+    for p in profiles::all() {
+        let prog = p.generate();
+        let laid = LaidProgram::lay_out(&prog, PageGeometry::default_4k(), false);
+        let s = measure(&laid, n, 1);
+        let t = &p.paper;
+        let fmt = |m: f64, target: f64| format!("{:5.2}/{:5.2}", m * 100.0, target * 100.0);
+        println!(
+            "{:<12} {:>14} {:>14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            p.name,
+            fmt(s.branch_fraction(), t.branch_fraction),
+            fmt(s.analyzable_fraction(), t.analyzable_fraction),
+            fmt(s.in_page_fraction(), t.in_page_fraction),
+            fmt(s.bimodal_accuracy(), t.predictor_accuracy),
+            fmt(s.il1_miss_rate(), t.il1_miss_rate),
+            fmt(s.boundary_share(), t.boundary_share),
+            fmt(s.crossing_fraction(), t.crossing_fraction),
+        );
+        println!(
+            "{:<12} static instrs {}  pages {}  fns {}  kinds c/j/call/ret/ind {:.1}/{:.1}/{:.1}/{:.1}/{:.1}%",
+            "",
+            laid.slots.len(),
+            laid.code_pages(),
+            p.params.functions,
+            100.0 * s.cond_branches as f64 / s.branches as f64,
+            100.0 * s.jumps as f64 / s.branches as f64,
+            100.0 * s.calls as f64 / s.branches as f64,
+            100.0 * s.returns as f64 / s.branches as f64,
+            100.0 * s.indirects as f64 / s.branches as f64,
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! OS-support demonstration (paper §3.2): the CFR across context switches
+//! and page evictions/remaps.
+//!
+//! The CFR is supervisor-owned state. This example drives a `Strategy`
+//! directly (without the pipeline) to show the three OS interactions:
+//! save/invalidate on a context switch, shoot-down on page eviction, and
+//! the protection bits travelling with the translation.
+//!
+//! ```sh
+//! cargo run --release --example os_interaction
+//! ```
+
+use cfr_sim::core::{Strategy, StrategyKind};
+use cfr_sim::cpu::{FetchEvent, FetchKind, FetchTranslator};
+use cfr_sim::energy::EnergyModel;
+use cfr_sim::mem::{PageTable, TlbConfig};
+use cfr_sim::types::{AddressingMode, PageGeometry, VirtAddr};
+
+fn fetch_at(pc: u64) -> FetchEvent {
+    FetchEvent {
+        pc: VirtAddr::new(pc),
+        kind: FetchKind::Sequential {
+            page_crossed: false,
+        },
+        wrong_path: false,
+    }
+}
+
+fn main() {
+    let geom = PageGeometry::default_4k();
+    let mut strategy = Strategy::new(
+        StrategyKind::Ia,
+        AddressingMode::ViPt,
+        geom,
+        TlbConfig::default_itlb(),
+        EnergyModel::default(),
+    );
+    let mut pt = PageTable::new();
+
+    // 1. Normal operation: first fetch establishes the CFR; later fetches
+    //    on the page ride it.
+    for i in 0..100 {
+        strategy.on_fetch(&fetch_at(0x40_0000 + i * 4), &mut pt);
+    }
+    println!(
+        "after 100 same-page fetches: {} iTLB accesses, CFR holds vpn {}",
+        strategy.itlb_stats().accesses,
+        strategy.cfr().vpn()
+    );
+
+    // 2. Context switch: the OS saves and invalidates the CFR; the next
+    //    fetch re-establishes it through the iTLB.
+    strategy.on_context_switch();
+    println!(
+        "after context switch: CFR valid = {}",
+        strategy.cfr().is_valid()
+    );
+    strategy.on_fetch(&fetch_at(0x40_0190), &mut pt);
+    println!(
+        "first fetch back: {} iTLB accesses (one more), CFR valid = {}",
+        strategy.itlb_stats().accesses,
+        strategy.cfr().is_valid()
+    );
+
+    // 3. Page eviction: remapping the current page shoots down both the
+    //    iTLB entry and the CFR, so the stale frame can never be used.
+    let vpn = geom.vpn(VirtAddr::new(0x40_0190));
+    let old = pt.probe(vpn).expect("mapped").0;
+    let new = pt.remap(vpn).expect("remap");
+    strategy.on_page_evicted(vpn);
+    println!("\npage {vpn} remapped: frame {old} -> {new}");
+    let out = strategy.on_fetch(&fetch_at(0x40_0194), &mut pt);
+    println!(
+        "next fetch translates to frame {} (fresh, via iTLB miss + walk, stall {} cycles)",
+        out.pfn.expect("translated"),
+        out.stall
+    );
+
+    // 4. Protection bits travel with the CFR.
+    println!(
+        "\nCFR protection bits: {} (code pages are r-x; the program cannot",
+        strategy.cfr().prot()
+    );
+    println!("alter them without a supervisor-mode round trip)");
+}

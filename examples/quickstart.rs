@@ -1,0 +1,47 @@
+//! Quickstart: run one benchmark under the base configuration and under IA,
+//! and print the headline comparison the paper makes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cfr_sim::core::{SimConfig, Simulator, StrategyKind};
+use cfr_sim::types::AddressingMode;
+use cfr_sim::workload::profiles;
+
+fn main() {
+    let profile = profiles::mesa();
+    let mut cfg = SimConfig::default_config();
+    cfg.max_commits = 500_000;
+
+    println!("workload: {} ({} committed instructions)\n", profile.name, cfg.max_commits);
+
+    let base = Simulator::run_profile(&profile, &cfg, StrategyKind::Base, AddressingMode::ViPt);
+    let ia = Simulator::run_profile(&profile, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+
+    println!("VI-PT iL1, 32-entry fully-associative iTLB:");
+    println!(
+        "  base: {:>12} iTLB accesses, {:.6} mJ, {} cycles",
+        base.itlb.accesses,
+        base.itlb_energy_mj(),
+        base.cycles
+    );
+    println!(
+        "  IA:   {:>12} iTLB accesses, {:.6} mJ, {} cycles",
+        ia.itlb.accesses,
+        ia.itlb_energy_mj(),
+        ia.cycles
+    );
+    println!(
+        "\nIA keeps the current page's translation in the CFR and avoids {:.1}% of",
+        100.0 * (1.0 - ia.itlb.accesses as f64 / base.itlb.accesses as f64)
+    );
+    println!(
+        "iTLB accesses, cutting iTLB energy to {:.2}% of base — the paper reports",
+        100.0 * ia.energy_vs(&base)
+    );
+    println!("3.8% on average across its six benchmarks (Figure 4, top).");
+
+    println!("\nTranslation-path energy breakdown for IA:");
+    println!("{}", ia.energy);
+}

@@ -1,0 +1,43 @@
+//! # cfr-sim
+//!
+//! A reproduction of *"Generating Physical Addresses Directly for Saving
+//! Instruction TLB Energy"* (Kadayif et al., MICRO 2002).
+//!
+//! The paper keeps the current instruction page's translation in a single
+//! **Current Frame Register (CFR)** and avoids instruction-TLB lookups until
+//! execution leaves that page. This workspace implements the whole system
+//! from scratch:
+//!
+//! - [`types`] — address/page newtypes shared by every crate,
+//! - [`energy`] — an analytical CACTI-like energy model,
+//! - [`mem`] — caches, TLBs (mono + two-level), page table, DRAM,
+//! - [`workload`] — a synthetic SPEC2000-like program generator,
+//! - [`cpu`] — a cycle-level out-of-order core (fetch queue, RUU, LSQ,
+//!   bimodal predictor, BTB),
+//! - [`core`] — the paper's contribution: the CFR, the Base/OPT/HoA/SoCA/
+//!   SoLA/IA fetch-translation strategies, the compiler passes, and the
+//!   experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cfr_sim::core::{Simulator, SimConfig, StrategyKind};
+//! use cfr_sim::mem::AddressingMode;
+//! use cfr_sim::workload::profiles;
+//!
+//! let profile = profiles::mesa();
+//! let mut cfg = SimConfig::default_config();
+//! cfg.max_commits = 50_000; // keep the doctest fast
+//! let report = Simulator::run_profile(&profile, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+//! assert!(report.itlb.accesses < report.committed);
+//! ```
+//!
+//! The per-table/per-figure reproduction binaries live in the `cfr-bench`
+//! crate; see `DESIGN.md` and `EXPERIMENTS.md` at the repository root.
+
+pub use cfr_core as core;
+pub use cfr_cpu as cpu;
+pub use cfr_energy as energy;
+pub use cfr_mem as mem;
+pub use cfr_types as types;
+pub use cfr_workload as workload;

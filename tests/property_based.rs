@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: cache vs reference model, TLB translation consistency, page
+//! geometry round-trips, layout/walker invariants, CFR trust.
+
+use proptest::prelude::*;
+
+use cfr_sim::core::{Cfr, StrategyKind};
+use cfr_sim::energy::EnergyModel;
+use cfr_sim::mem::{AccessKind, Cache, CacheConfig, PageTable, Tlb, TlbConfig};
+use cfr_sim::types::{
+    CacheOrganization, PageGeometry, Pfn, Protection, TlbOrganization, VirtAddr, Vpn,
+};
+use cfr_sim::workload::{generate, GeneratorParams, LaidProgram, Walker};
+
+proptest! {
+    /// Page geometry: split-and-join is the identity for every address and
+    /// every power-of-two page size.
+    #[test]
+    fn geometry_round_trip(addr in 0u64..u64::MAX / 2, shift in 4u32..20) {
+        let geom = PageGeometry::new(1 << shift).unwrap();
+        let va = VirtAddr::new(addr);
+        let rebuilt = geom.join_virt(geom.vpn(va), geom.offset(va));
+        prop_assert_eq!(rebuilt, va);
+        prop_assert!(geom.offset(va) < geom.page_bytes());
+    }
+
+    /// `same_page` is exactly "equal VPN".
+    #[test]
+    fn same_page_iff_same_vpn(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let geom = PageGeometry::default_4k();
+        let (va, vb) = (VirtAddr::new(a), VirtAddr::new(b));
+        prop_assert_eq!(geom.same_page(va, vb), geom.vpn(va) == geom.vpn(vb));
+    }
+
+    /// A fully-associative cache of N blocks must hit on any address that
+    /// is among the N most recently touched distinct blocks (true LRU).
+    #[test]
+    fn cache_lru_recency(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+        let blocks = 8usize;
+        let mut cache = Cache::new(CacheConfig {
+            organization: CacheOrganization {
+                size_bytes: (blocks * 32) as u64,
+                associativity: blocks as u32,
+                block_bytes: 32,
+            },
+            hit_latency: 1,
+        });
+        let mut recency: Vec<u64> = Vec::new(); // most recent block last
+        for &a in &addrs {
+            let block = a >> 5;
+            let expected_hit = recency.iter().rev().take(blocks).any(|&b| b == block);
+            let r = cache.access(a, AccessKind::Read);
+            prop_assert_eq!(r.hit, expected_hit, "addr {:#x}", a);
+            recency.retain(|&b| b != block);
+            recency.push(block);
+        }
+    }
+
+    /// The TLB never returns a translation that disagrees with the page
+    /// table, across arbitrary lookup/invalidate sequences.
+    #[test]
+    fn tlb_translation_consistency(
+        ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..300)
+    ) {
+        let mut tlb = Tlb::new(TlbConfig {
+            organization: TlbOrganization::fully_associative(8),
+            miss_penalty: 50,
+        });
+        let mut pt = PageTable::new();
+        for (page, invalidate) in ops {
+            let vpn = Vpn::new(page);
+            if invalidate {
+                tlb.invalidate(vpn);
+            } else {
+                let r = tlb.lookup(vpn, &mut pt);
+                let (expected, _) = pt.translate(vpn, Protection::code());
+                prop_assert_eq!(r.pfn, expected);
+            }
+        }
+        prop_assert!(tlb.resident_entries() <= 8);
+    }
+
+    /// The page table is injective: distinct pages never share a frame.
+    #[test]
+    fn page_table_injective(pages in proptest::collection::hash_set(0u64..1 << 30, 1..200)) {
+        let mut pt = PageTable::new();
+        let mut frames = std::collections::HashSet::new();
+        for p in pages {
+            let (pfn, _) = pt.translate(Vpn::new(p), Protection::code());
+            prop_assert!(frames.insert(pfn), "frame reused");
+        }
+    }
+
+    /// Energy model monotonicity: more CAM entries never cost less.
+    #[test]
+    fn cam_energy_monotone(a in 2u32..512, b in 2u32..512) {
+        let model = EnergyModel::default();
+        let (small, large) = (a.min(b), a.max(b));
+        let e_small = model.tlb_access_pj(&TlbOrganization::fully_associative(small));
+        let e_large = model.tlb_access_pj(&TlbOrganization::fully_associative(large));
+        prop_assert!(e_small <= e_large);
+    }
+
+    /// CFR trust: after `load(v)`, `matches(v)` holds and `matches(w)` for
+    /// any other page does not; `invalidate` clears everything.
+    #[test]
+    fn cfr_trust(v in 0u64..1 << 20, w in 0u64..1 << 20, frame in 0u64..1 << 20) {
+        let mut cfr = Cfr::new();
+        cfr.load(Vpn::new(v), Pfn::new(frame), Protection::code());
+        prop_assert!(cfr.matches(Vpn::new(v)));
+        prop_assert_eq!(cfr.matches(Vpn::new(w)), v == w);
+        cfr.invalidate();
+        prop_assert!(!cfr.matches(Vpn::new(v)));
+    }
+
+    /// Generated programs are structurally valid for arbitrary seeds, and
+    /// their instrumented layouts uphold the boundary invariant the
+    /// software schemes' correctness rests on.
+    #[test]
+    fn generator_layout_invariants(seed in 0u64..1000) {
+        let mut params = GeneratorParams::small_test();
+        params.seed = seed;
+        let program = generate(&params);
+        prop_assert_eq!(program.validate(), Ok(()));
+        let laid = LaidProgram::lay_out(&program, PageGeometry::default_4k(), true);
+        prop_assert!(laid.boundary_invariant_holds());
+    }
+
+    /// Walker totality: execution never escapes the text and never stops,
+    /// for arbitrary seeds.
+    #[test]
+    fn walker_totality(seed in 0u64..200) {
+        let program = generate(&GeneratorParams::small_test());
+        let laid = LaidProgram::lay_out(&program, PageGeometry::default_4k(), false);
+        let mut w = Walker::new(&laid, seed);
+        for _ in 0..2000 {
+            let s = w.step();
+            prop_assert!(s.next_slot < laid.slots.len());
+        }
+        prop_assert_eq!(w.steps(), 2000);
+    }
+
+    /// Strategy kinds all produce the exact requested commit count and a
+    /// physically plausible IPC, for arbitrary small seeds.
+    #[test]
+    fn simulator_totality(seed in 0u64..20) {
+        use cfr_sim::core::{SimConfig, Simulator};
+        use cfr_sim::types::AddressingMode;
+        let program = generate(&GeneratorParams::small_test());
+        let mut cfg = SimConfig::default_config();
+        cfg.max_commits = 5_000;
+        cfg.seed = seed;
+        let r = Simulator::run_program(&program, &cfg, StrategyKind::Ia, AddressingMode::ViVt);
+        prop_assert_eq!(r.committed, 5_000);
+        prop_assert!(r.cpu.ipc() > 0.05 && r.cpu.ipc() <= 4.0);
+    }
+}
