@@ -2,12 +2,15 @@
 //! the source of `EXPERIMENTS.md`.
 
 use cfr_bench::scale_from_args;
-use cfr_core::{fig4, fig6, table2, table3, table4, table5, table6, table7, table8, FIG4_SCHEMES};
+use cfr_core::{
+    fig4, fig6, table2, table3, table4, table5, table6, table7, table8, Engine, FIG4_SCHEMES,
+};
 use cfr_types::AddressingMode;
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     let f = scale.to_paper_factor();
     println!("# EXPERIMENTS — paper vs. measured\n");
     println!(
@@ -23,7 +26,7 @@ fn main() {
     println!("## Table 2 — benchmark characteristics (base runs)\n");
     println!("| benchmark | VI-PT cycles M (paper) | VI-PT E mJ (paper) | VI-VT cycles M (paper) | VI-VT E mJ (paper) | iL1 miss (paper) | BOUNDARY share (paper) |");
     println!("|---|---|---|---|---|---|---|");
-    for (r, p) in table2(&scale).iter().zip(profiles::all()) {
+    for (r, p) in table2(&engine, &scale).iter().zip(profiles::all()) {
         let t = &p.paper;
         println!(
             "| {} | {:.1} ({:.1}) | {:.1} ({:.1}) | {:.1} ({:.1}) | {:.2} ({:.2}) | {:.4} ({:.4}) | {:.1}% ({:.1}%) |",
@@ -45,7 +48,7 @@ fn main() {
     }
 
     // ---- Figure 4 + 5.
-    let rows = fig4(&scale);
+    let rows = fig4(&engine, &scale);
     for mode in [AddressingMode::ViPt, AddressingMode::ViVt] {
         println!("\n## Figure 4 ({mode}) — normalized iTLB energy, base = 100%\n");
         print!("| benchmark |");
@@ -97,20 +100,22 @@ fn main() {
     println!("\n## Table 3 — dynamic iTLB lookups by cause (VI-PT)\n");
     println!("| benchmark | SoCA bnd/branch | SoLA bnd/branch | IA bnd/branch |");
     println!("|---|---|---|---|");
-    for r in table3(&scale) {
+    for r in table3(&engine, &scale) {
         print!("| {} |", r.name);
         for (b, br) in r.lookups {
             print!(" {b}/{br} |");
         }
         println!();
     }
-    println!("\nPaper shape: the BRANCH column shrinks SoCA → SoLA → IA while BOUNDARY is constant.");
+    println!(
+        "\nPaper shape: the BRANCH column shrinks SoCA → SoLA → IA while BOUNDARY is constant."
+    );
 
     // ---- Table 4.
     println!("\n## Table 4 — branch statistics\n");
     println!("| benchmark | static total | static analyzable | static in-page | dyn analyzable % (paper) | dyn in-page % (paper) |");
     println!("|---|---|---|---|---|---|");
-    for (r, p) in table4(&scale).iter().zip(profiles::all()) {
+    for (r, p) in table4(&engine, &scale).iter().zip(profiles::all()) {
         println!(
             "| {} | {} | {} | {} | {:.1}% ({:.1}%) | {:.1}% ({:.1}%) |",
             r.name,
@@ -128,7 +133,7 @@ fn main() {
     println!("\n## Table 5 — branch predictor accuracy\n");
     println!("| benchmark | measured | paper |");
     println!("|---|---|---|");
-    for ((name, acc), p) in table5(&scale).iter().zip(profiles::all()) {
+    for ((name, acc), p) in table5(&engine, &scale).iter().zip(profiles::all()) {
         println!(
             "| {} | {:.2}% | {:.2}% |",
             name,
@@ -141,7 +146,7 @@ fn main() {
     println!("\n## Table 6 — iTLB sweep (per-config averages over the six benchmarks)\n");
     println!("| iTLB | VI-PT OPT/base | VI-PT IA/base | VI-VT IA cycles/base |");
     println!("|---|---|---|---|");
-    let t6 = table6(&scale);
+    let t6 = table6(&engine, &scale);
     for (label, _) in cfr_core::table6_itlbs() {
         let rows: Vec<_> = t6.iter().filter(|r| r.itlb == label).collect();
         let n = rows.len() as f64;
@@ -174,7 +179,7 @@ fn main() {
     println!("\n## Table 7 — IA (VI-PT) cycles across iTLB sizes (millions, 250M scale)\n");
     println!("| benchmark | 1 | 8 FA | 16 2w | 32 FA |");
     println!("|---|---|---|---|---|");
-    for (name, c) in table7(&scale) {
+    for (name, c) in table7(&engine, &scale) {
         println!(
             "| {} | {:.1} | {:.1} | {:.1} | {:.1} |",
             name,
@@ -189,7 +194,7 @@ fn main() {
     println!("\n## Figure 6 — two-level iTLB (base) vs monolithic + IA\n");
     println!("| benchmark | config | energy ratio | cycle ratio |");
     println!("|---|---|---|---|");
-    for r in fig6(&scale) {
+    for r in fig6(&engine, &scale) {
         println!(
             "| {} | {} | {:.1}% | {:.2}% |",
             r.name,
@@ -204,7 +209,7 @@ fn main() {
     println!("\n## Table 8 — PI-PT study (E mJ / cycles M, 250M scale)\n");
     println!("| benchmark | PI-PT base | PI-PT IA | VI-PT base | VI-VT base |");
     println!("|---|---|---|---|---|");
-    for r in table8(&scale) {
+    for r in table8(&engine, &scale) {
         let p = |(e, c): (f64, u64)| format!("{:.2} / {:.1}", e * f, c as f64 * f / 1e6);
         println!(
             "| {} | {} | {} | {} | {} |",
@@ -215,4 +220,13 @@ fn main() {
             p(r.vivt_base)
         );
     }
+
+    // Engine accounting goes to stderr so stdout stays a byte-stable
+    // Markdown document.
+    eprintln!(
+        "engine: {} unique runs simulated across all tables/figures, \
+         {} programs generated",
+        engine.simulated_runs(),
+        engine.program_cache().generated()
+    );
 }

@@ -2,12 +2,13 @@
 //! relative to base, for VI-PT (top panel) and VI-VT (bottom panel).
 
 use cfr_bench::{pct, scale_from_args};
-use cfr_core::{fig4, FIG4_SCHEMES};
+use cfr_core::{fig4, Engine, FIG4_SCHEMES};
 use cfr_types::AddressingMode;
 
 fn main() {
     let scale = scale_from_args();
-    let rows = fig4(&scale);
+    let engine = Engine::new();
+    let rows = fig4(&engine, &scale);
     for mode in [AddressingMode::ViPt, AddressingMode::ViVt] {
         println!("\nFigure 4 ({mode}) — normalized iTLB energy (base = 100%)");
         print!("{:<12}", "benchmark");

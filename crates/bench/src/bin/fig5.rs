@@ -3,17 +3,18 @@
 //! unchanged across schemes, which `fig4 --commits N` confirms.)
 
 use cfr_bench::{pct, scale_from_args};
-use cfr_core::{fig5, FIG4_SCHEMES};
+use cfr_core::{fig5, Engine, FIG4_SCHEMES};
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     println!("Figure 5 (VI-VT) — normalized execution cycles (base = 100%)\n");
     print!("{:<12}", "benchmark");
     for k in FIG4_SCHEMES {
         print!(" {:>9}", k.name());
     }
     println!();
-    let rows = fig5(&scale);
+    let rows = fig5(&engine, &scale);
     let mut avg = [0.0f64; 5];
     for r in &rows {
         print!("{:<12}", r.name);

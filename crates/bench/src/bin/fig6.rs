@@ -2,17 +2,18 @@
 //! against monolithic iTLBs running IA.
 
 use cfr_bench::{pct, scale_from_args};
-use cfr_core::fig6;
+use cfr_core::{fig6, Engine};
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     println!("Figure 6 — two-level iTLB (base) vs monolithic iTLB with IA (VI-PT)");
     println!("values are two-level ÷ monolithic-IA; >100% means the CFR wins\n");
     println!(
         "{:<12} {:<8} {:>14} {:>14}",
         "benchmark", "config", "energy ratio", "cycle ratio"
     );
-    for r in fig6(&scale) {
+    for r in fig6(&engine, &scale) {
         println!(
             "{:<12} {:<8} {:>14} {:>14}",
             r.name,

@@ -5,10 +5,11 @@
 use cfr_bench::{pct, scale_from_args};
 use cfr_core::{Simulator, StrategyKind};
 use cfr_types::AddressingMode;
-use cfr_workload::profiles;
+use cfr_workload::{profiles, ProgramCache};
 
 fn main() {
     let scale = scale_from_args();
+    let programs = ProgramCache::new();
     println!("iL1 sweep — IA normalized cycles and energy (VI-VT, base = 100%)\n");
     let sizes = [2048u64, 4096, 8192, 16384];
     println!(
@@ -22,8 +23,15 @@ fn main() {
             cfg.max_commits = scale.max_commits;
             cfg.seed = scale.seed;
             cfg.cpu.il1.organization.size_bytes = bytes;
-            let base = Simulator::run_profile(&p, &cfg, StrategyKind::Base, AddressingMode::ViVt);
-            let ia = Simulator::run_profile(&p, &cfg, StrategyKind::Ia, AddressingMode::ViVt);
+            let base = Simulator::run_profile(
+                &p,
+                &programs,
+                &cfg,
+                StrategyKind::Base,
+                AddressingMode::ViVt,
+            );
+            let ia =
+                Simulator::run_profile(&p, &programs, &cfg, StrategyKind::Ia, AddressingMode::ViVt);
             print!(
                 " {:>11}/{:<12}",
                 pct(ia.cycles_vs(&base)),

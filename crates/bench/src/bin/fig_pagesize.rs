@@ -6,10 +6,11 @@
 use cfr_bench::{pct, scale_from_args};
 use cfr_core::{Simulator, StrategyKind};
 use cfr_types::{AddressingMode, PageGeometry};
-use cfr_workload::profiles;
+use cfr_workload::{profiles, ProgramCache};
 
 fn main() {
     let scale = scale_from_args();
+    let programs = ProgramCache::new();
     println!("Page-size sweep — IA normalized iTLB energy (VI-PT, base = 100%)\n");
     let sizes = [1024u64, 4096, 16384, 65536];
     print!("{:<12}", "benchmark");
@@ -24,8 +25,15 @@ fn main() {
             cfg.max_commits = scale.max_commits;
             cfg.seed = scale.seed;
             cfg.cpu.geometry = PageGeometry::new(bytes).expect("power of two");
-            let base = Simulator::run_profile(&p, &cfg, StrategyKind::Base, AddressingMode::ViPt);
-            let ia = Simulator::run_profile(&p, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+            let base = Simulator::run_profile(
+                &p,
+                &programs,
+                &cfg,
+                StrategyKind::Base,
+                AddressingMode::ViPt,
+            );
+            let ia =
+                Simulator::run_profile(&p, &programs, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
             print!(" {:>9}", pct(ia.energy_vs(&base)));
         }
         println!();

@@ -2,11 +2,12 @@
 //! configuration (Table 1), base execution.
 
 use cfr_bench::scale_from_args;
-use cfr_core::table2;
+use cfr_core::{table2, Engine};
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     let f = scale.to_paper_factor();
     println!("Table 2 — benchmark characteristics (extrapolated to 250M instructions)");
     println!("paper values in parentheses; cycles in millions, energy in mJ\n");
@@ -21,7 +22,7 @@ fn main() {
         "branch%",
         "crossings BOUNDARY/BRANCH"
     );
-    let rows = table2(&scale);
+    let rows = table2(&engine, &scale);
     for (row, p) in rows.iter().zip(profiles::all()) {
         let t = &p.paper;
         println!(

@@ -2,17 +2,23 @@
 //! into the BOUNDARY and BRANCH cases (VI-PT).
 
 use cfr_bench::scale_from_args;
-use cfr_core::table3;
+use cfr_core::{table3, Engine};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table 3 — dynamic iTLB lookups by cause (VI-PT), at {} commits/run", scale.max_commits);
-    println!("paper shape: SoCA >> SoLA > IA in the BRANCH column; BOUNDARY identical across schemes\n");
+    let engine = Engine::new();
+    println!(
+        "Table 3 — dynamic iTLB lookups by cause (VI-PT), at {} commits/run",
+        scale.max_commits
+    );
+    println!(
+        "paper shape: SoCA >> SoLA > IA in the BRANCH column; BOUNDARY identical across schemes\n"
+    );
     println!(
         "{:<12} {:>24} {:>24} {:>24}",
         "benchmark", "SoCA bnd/branch", "SoLA bnd/branch", "IA bnd/branch"
     );
-    for r in table3(&scale) {
+    for r in table3(&engine, &scale) {
         print!("{:<12}", r.name);
         for (b, br) in r.lookups {
             let pctb = 100.0 * b as f64 / (b + br).max(1) as f64;

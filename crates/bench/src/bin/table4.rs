@@ -2,23 +2,18 @@
 //! branches are statically analyzable, and how many of those stay in-page.
 
 use cfr_bench::scale_from_args;
-use cfr_core::table4;
+use cfr_core::{table4, Engine};
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     println!("Table 4 — static and dynamic branch statistics\n");
     println!(
         "{:<12} {:>8} {:>18} {:>18} | {:>10} {:>20} {:>20}",
-        "benchmark",
-        "static",
-        "analyzable",
-        "in-page",
-        "dynamic",
-        "analyzable",
-        "in-page"
+        "benchmark", "static", "analyzable", "in-page", "dynamic", "analyzable", "in-page"
     );
-    for (r, p) in table4(&scale).iter().zip(profiles::all()) {
+    for (r, p) in table4(&engine, &scale).iter().zip(profiles::all()) {
         let t = &p.paper;
         println!(
             "{:<12} {:>8} {:>8} ({:>5.1}%) {:>8} ({:>5.1}%) | {:>10} {:>8} ({:>5.1}%/{:>5.1}%) {:>8} ({:>5.1}%/{:>5.1}%)",

@@ -1,14 +1,15 @@
 //! Reproduces **Table 5**: branch predictor accuracy.
 
 use cfr_bench::scale_from_args;
-use cfr_core::table5;
+use cfr_core::{table5, Engine};
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     println!("Table 5 — branch predictor accuracy (all branch kinds, pipeline run)\n");
     println!("{:<12} {:>10} {:>10}", "benchmark", "measured", "paper");
-    for ((name, acc), p) in table5(&scale).iter().zip(profiles::all()) {
+    for ((name, acc), p) in table5(&engine, &scale).iter().zip(profiles::all()) {
         println!(
             "{:<12} {:>9.2}% {:>9.2}%",
             name,

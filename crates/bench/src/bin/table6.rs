@@ -2,19 +2,24 @@
 //! (VI-VT) for Base/OPT/IA across four monolithic iTLB configurations.
 
 use cfr_bench::scale_from_args;
-use cfr_core::table6;
+use cfr_core::{table6, Engine};
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     let f = scale.to_paper_factor();
     println!("Table 6 — iTLB configuration sweep (energies in mJ at 250M-instruction scale)");
     println!("paper shape: OPT/IA percentages shrink as the iTLB grows; VI-VT cycles for OPT/IA");
     println!("approach base as the iTLB grows (misses stop mattering)\n");
     println!(
         "{:<7} {:<12} {:>30} {:>30} {:>33}",
-        "iTLB", "benchmark", "VI-PT E base/OPT/IA", "VI-VT E base/OPT/IA", "VI-VT cycles(M) base/OPT/IA"
+        "iTLB",
+        "benchmark",
+        "VI-PT E base/OPT/IA",
+        "VI-VT E base/OPT/IA",
+        "VI-VT cycles(M) base/OPT/IA"
     );
-    for r in table6(&scale) {
+    for r in table6(&engine, &scale) {
         let e = r.vipt_energy_mj;
         let v = r.vivt_energy_mj;
         let c = r.vivt_cycles;

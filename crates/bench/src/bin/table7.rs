@@ -3,17 +3,18 @@
 //! perform best.
 
 use cfr_bench::scale_from_args;
-use cfr_core::table7;
+use cfr_core::{table7, Engine};
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     let f = scale.to_paper_factor();
     println!("Table 7 — execution cycles (millions, 250M-instruction scale) for IA (VI-PT)\n");
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
         "benchmark", "1-entry", "8-entry FA", "16-entry 2w", "32-entry FA"
     );
-    for (name, cycles) in table7(&scale) {
+    for (name, cycles) in table7(&engine, &scale) {
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
             name,

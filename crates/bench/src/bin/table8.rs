@@ -2,17 +2,18 @@
 //! base VI-PT, base VI-VT.
 
 use cfr_bench::scale_from_args;
-use cfr_core::table8;
+use cfr_core::{table8, Engine};
 
 fn main() {
     let scale = scale_from_args();
+    let engine = Engine::new();
     let f = scale.to_paper_factor();
     println!("Table 8 — PI-PT iL1 study (E in mJ, C in millions of cycles; 250M scale)\n");
     println!(
         "{:<12} {:>18} {:>18} {:>18} {:>18}",
         "benchmark", "PI-PT base E/C", "PI-PT IA E/C", "VI-PT base E/C", "VI-VT base E/C"
     );
-    for r in table8(&scale) {
+    for r in table8(&engine, &scale) {
         let p = |(e, c): (f64, u64)| format!("{:.2}/{:.1}", e * f, c as f64 * f / 1e6);
         println!(
             "{:<12} {:>18} {:>18} {:>18} {:>18}",

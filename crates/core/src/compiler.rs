@@ -100,9 +100,7 @@ mod tests {
                 let target = laid.direct_target_addr(i).expect("marked implies direct");
                 assert!(laid.geom.same_page(laid.addr_of(i), target));
                 assert!(!spec.boundary, "boundary branches are never in-page");
-            } else if !spec.boundary
-                && matches!(spec.target, BranchTarget::Block(_))
-            {
+            } else if !spec.boundary && matches!(spec.target, BranchTarget::Block(_)) {
                 let target = laid.direct_target_addr(i).expect("direct");
                 assert!(
                     !laid.geom.same_page(laid.addr_of(i), target),
@@ -137,10 +135,11 @@ mod tests {
         let p = program();
         let laid = compile_for(&p, PageGeometry::default_4k(), StrategyKind::SoCA);
         assert!(laid.instrumented);
-        assert!(!laid
-            .slots
-            .iter()
-            .any(|s| s.instr.branch.as_ref().is_some_and(|b| b.in_page_hint)));
+        assert!(!laid.slots.iter().any(|s| s
+            .instr
+            .branch
+            .as_ref()
+            .is_some_and(|b| b.in_page_hint)));
     }
 
     #[test]

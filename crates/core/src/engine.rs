@@ -1,0 +1,368 @@
+//! The parallel experiment engine.
+//!
+//! Every table and figure in the paper's evaluation is a set of
+//! *(benchmark, strategy, addressing mode, iTLB)* simulation runs at some
+//! [`ExperimentScale`] — and the sets overlap heavily (`table2`,
+//! `table5`, `fig4`, and `table8` all need the base VI-PT run of every
+//! benchmark, for example). Run serially and independently, the full
+//! evaluation pays for the same simulations many times over.
+//!
+//! The [`Engine`] replaces that with a declarative plan:
+//!
+//! 1. experiments describe the runs they need as [`RunKey`]s,
+//! 2. the engine **deduplicates** keys against its result cache, so every
+//!    unique key is simulated exactly once per engine — across calls and
+//!    across experiments,
+//! 3. missing runs execute **in parallel** (rayon), each borrowing its
+//!    benchmark's program from a shared, memoized [`ProgramCache`], and
+//! 4. results come back as cheap [`Arc`] handles in request order.
+//!
+//! Parallel execution is **deterministic**: a run's outcome depends only
+//! on its key (the simulator is seeded, single-threaded per run, and
+//! shares nothing mutable), and the engine reassembles results in input
+//! order, so the reports are bit-identical to serial
+//! [`Simulator::run_program`] calls regardless of worker scheduling.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use cfr_types::AddressingMode;
+use cfr_workload::{BenchmarkProfile, Program, ProgramCache};
+use rayon::prelude::*;
+
+use crate::experiment::ExperimentScale;
+use crate::simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+use crate::strategy::StrategyKind;
+
+/// The identity of one simulation run. Two runs with equal keys produce
+/// bit-identical [`RunReport`]s, which is what makes engine-level
+/// deduplication sound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Benchmark profile name (e.g. `"177.mesa"`), resolved against the
+    /// engine's registered profiles.
+    pub profile: &'static str,
+    /// Run length and walker seed.
+    pub scale: ExperimentScale,
+    /// CFR strategy.
+    pub strategy: StrategyKind,
+    /// iL1 addressing mode.
+    pub mode: AddressingMode,
+    /// iTLB structure.
+    pub itlb: ItlbChoice,
+}
+
+impl RunKey {
+    /// A key for the default iTLB (the paper's 32-entry fully-associative
+    /// monolith).
+    #[must_use]
+    pub fn new(
+        profile: &'static str,
+        scale: &ExperimentScale,
+        strategy: StrategyKind,
+        mode: AddressingMode,
+    ) -> Self {
+        Self {
+            profile,
+            scale: *scale,
+            strategy,
+            mode,
+            itlb: ItlbChoice::default_mono(),
+        }
+    }
+
+    /// The same run with a different iTLB structure.
+    #[must_use]
+    pub fn with_itlb(mut self, itlb: ItlbChoice) -> Self {
+        self.itlb = itlb;
+        self
+    }
+
+    /// The full simulator configuration this key denotes.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        let mut cfg = self.scale.config();
+        cfg.itlb = self.itlb;
+        cfg
+    }
+}
+
+/// A deduplicating, memoizing, parallel executor of simulation runs.
+///
+/// One engine should be shared across every experiment of a session (the
+/// `all_experiments` binary shares a single engine across all ten
+/// tables/figures); its caches are what turn the evaluation's overlapping
+/// run sets into single simulations.
+#[derive(Debug)]
+pub struct Engine {
+    profiles: Vec<BenchmarkProfile>,
+    programs: ProgramCache,
+    state: Mutex<EngineState>,
+    /// Signalled whenever results land or in-flight claims are released,
+    /// so concurrent `run_many` callers waiting on another batch's keys
+    /// can re-check.
+    resolved: Condvar,
+    simulated: AtomicU64,
+}
+
+/// Result cache plus the set of keys some `run_many` call is currently
+/// simulating. Claiming a key into `in_flight` under the same lock that
+/// guards `results` is what makes concurrent batches simulate each
+/// unique key exactly once.
+#[derive(Debug, Default)]
+struct EngineState {
+    results: HashMap<RunKey, Arc<RunReport>>,
+    in_flight: HashSet<RunKey>,
+}
+
+/// Releases a batch's in-flight claims even if a simulation panics, so
+/// concurrent callers waiting on those keys wake up and re-claim them
+/// instead of blocking forever.
+struct ClaimGuard<'a> {
+    engine: &'a Engine,
+    keys: &'a [RunKey],
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.engine.state.lock().expect("engine state poisoned");
+        for key in self.keys {
+            state.in_flight.remove(key);
+        }
+        drop(state);
+        self.engine.resolved.notify_all();
+    }
+}
+
+impl Engine {
+    /// An engine over the six canonical benchmark profiles.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_profiles(cfr_workload::profiles::all())
+    }
+
+    /// An engine over a custom profile set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two profiles share a name (names are the cache identity).
+    #[must_use]
+    pub fn with_profiles(profiles: Vec<BenchmarkProfile>) -> Self {
+        let mut names = HashSet::new();
+        for p in &profiles {
+            assert!(names.insert(p.name), "duplicate profile name {:?}", p.name);
+        }
+        Self {
+            profiles,
+            programs: ProgramCache::new(),
+            state: Mutex::new(EngineState::default()),
+            resolved: Condvar::new(),
+            simulated: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered profiles, in registration (paper table) order.
+    #[must_use]
+    pub fn profiles(&self) -> &[BenchmarkProfile] {
+        &self.profiles
+    }
+
+    /// The shared program memo, for callers that drive
+    /// [`Simulator::run_profile`] with configurations outside the
+    /// [`RunKey`] space (e.g. the iL1 and page-size sweep binaries).
+    #[must_use]
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.programs
+    }
+
+    /// The generated program for a registered profile, memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a registered profile.
+    #[must_use]
+    pub fn program(&self, name: &str) -> Arc<Program> {
+        let profile = self
+            .profiles
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("unknown benchmark profile {name:?}"));
+        self.programs.get(profile)
+    }
+
+    /// How many simulations have actually executed — after deduplication,
+    /// this equals the number of *unique* keys ever requested.
+    #[must_use]
+    pub fn simulated_runs(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Executes one run (cached like any other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key names an unregistered profile.
+    #[must_use]
+    pub fn run(&self, key: RunKey) -> Arc<RunReport> {
+        self.run_many(&[key])
+            .pop()
+            .expect("one key in, one report out")
+    }
+
+    /// Executes a batch of runs, returning reports in request order.
+    ///
+    /// Keys already simulated (by any earlier call) are served from the
+    /// result cache; the remaining *unique* keys run in parallel. Results
+    /// are bit-identical to serial [`Simulator::run_program`] calls with
+    /// the same key, in any batch composition or order.
+    ///
+    /// Safe to call from several threads at once: overlapping keys are
+    /// claimed atomically, so each unique key still simulates exactly
+    /// once — later callers block until the claiming batch publishes the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key names an unregistered profile, or if a previous
+    /// batch panicked mid-update (poisoned cache).
+    #[must_use]
+    pub fn run_many(&self, keys: &[RunKey]) -> Vec<Arc<RunReport>> {
+        loop {
+            // Atomically claim every requested key that is neither done
+            // nor already being simulated by a concurrent batch.
+            let claimed: Vec<RunKey> = {
+                let mut state = self.state.lock().expect("engine state poisoned");
+                let mut claimed = Vec::new();
+                for key in keys {
+                    if !state.results.contains_key(key) && state.in_flight.insert(*key) {
+                        claimed.push(*key);
+                    }
+                }
+                claimed
+            };
+            if !claimed.is_empty() {
+                let guard = ClaimGuard {
+                    engine: self,
+                    keys: &claimed,
+                };
+                // Resolve programs up front (serially, memoized) so
+                // parallel workers share one immutable Arc per benchmark.
+                let jobs: Vec<(RunKey, Arc<Program>)> = claimed
+                    .iter()
+                    .map(|k| (*k, self.program(k.profile)))
+                    .collect();
+                let reports: Vec<RunReport> = jobs
+                    .par_iter()
+                    .map(|(key, program)| {
+                        Simulator::run_program(program, &key.config(), key.strategy, key.mode)
+                    })
+                    .collect();
+                self.simulated
+                    .fetch_add(reports.len() as u64, Ordering::Relaxed);
+                {
+                    let mut state = self.state.lock().expect("engine state poisoned");
+                    for (key, report) in claimed.iter().zip(reports) {
+                        state.results.insert(*key, Arc::new(report));
+                    }
+                }
+                drop(guard); // release claims and wake waiters
+            }
+            // Collect — waiting out keys a concurrent batch is still
+            // simulating. If one of those batches panicked, its claims
+            // were released without results; loop back and claim them.
+            let mut state = self.state.lock().expect("engine state poisoned");
+            loop {
+                if keys.iter().all(|k| state.results.contains_key(k)) {
+                    return keys.iter().map(|k| Arc::clone(&state.results[k])).collect();
+                }
+                let orphaned = keys
+                    .iter()
+                    .any(|k| !state.results.contains_key(k) && !state.in_flight.contains(k));
+                if orphaned {
+                    break; // re-claim in the outer loop
+                }
+                state = self.resolved.wait(state).expect("engine state poisoned");
+            }
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            max_commits: 10_000,
+            seed: 0x5EED,
+        }
+    }
+
+    #[test]
+    fn dedup_simulates_unique_keys_once() {
+        let engine = Engine::new();
+        let scale = tiny();
+        let a = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+        let b = RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt);
+        let reports = engine.run_many(&[a, b, a, a, b]);
+        assert_eq!(reports.len(), 5);
+        assert_eq!(engine.simulated_runs(), 2, "two unique keys");
+        assert!(Arc::ptr_eq(&reports[0], &reports[2]));
+        // A later batch re-requesting a key hits the cache.
+        let again = engine.run(a);
+        assert_eq!(engine.simulated_runs(), 2);
+        assert!(Arc::ptr_eq(&again, &reports[0]));
+        // Each benchmark's program was generated once.
+        assert_eq!(engine.program_cache().generated(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let engine = Engine::new();
+        let scale = tiny();
+        let keys: Vec<RunKey> = [StrategyKind::Base, StrategyKind::Ia, StrategyKind::HoA]
+            .into_iter()
+            .map(|k| RunKey::new("254.gap", &scale, k, AddressingMode::ViPt))
+            .collect();
+        let parallel = engine.run_many(&keys);
+        for (key, report) in keys.iter().zip(&parallel) {
+            let program = engine.program(key.profile);
+            let serial = Simulator::run_program(&program, &key.config(), key.strategy, key.mode);
+            assert_eq!(**report, serial, "{key:?}");
+        }
+    }
+
+    #[test]
+    fn itlb_override_is_part_of_the_key() {
+        let engine = Engine::new();
+        let scale = tiny();
+        let base = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+        let one_entry = base.with_itlb(ItlbChoice::Mono(
+            cfr_types::TlbOrganization::fully_associative(1),
+        ));
+        assert_ne!(base, one_entry);
+        // The default-iTLB override is the *same* key as the plain one.
+        assert_eq!(base, base.with_itlb(ItlbChoice::default_mono()));
+        let _ = engine.run_many(&[base, one_entry, base.with_itlb(ItlbChoice::default_mono())]);
+        assert_eq!(engine.simulated_runs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark profile")]
+    fn unknown_profile_panics() {
+        let engine = Engine::new();
+        let _ = engine.run(RunKey::new(
+            "000.nope",
+            &tiny(),
+            StrategyKind::Base,
+            AddressingMode::ViPt,
+        ));
+    }
+}

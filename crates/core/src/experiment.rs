@@ -1,18 +1,27 @@
 //! Reproduction of every table and figure in the paper's evaluation
 //! (§4), as reusable functions: the `cfr-bench` binaries print these rows,
 //! and the integration tests assert their shapes at reduced scale.
+//!
+//! Every function here is a *thin plan* over the [`Engine`]: it declares
+//! the [`RunKey`]s it needs, lets the engine simulate the missing ones in
+//! parallel (deduplicated against everything already simulated), and then
+//! assembles rows from the cached reports. Sharing one engine across
+//! several tables — as `all_experiments` does — means overlapping runs
+//! (e.g. the base VI-PT runs that Table 2, Table 5, Figure 4, and Table 8
+//! all need) are simulated exactly once.
 
 use cfr_types::{AddressingMode, TlbOrganization};
-use cfr_workload::{measure, profiles, static_branch_stats, BenchmarkProfile, LaidProgram};
+use cfr_workload::{measure, static_branch_stats, LaidProgram};
 use serde::{Deserialize, Serialize};
 
-use crate::simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+use crate::engine::{Engine, RunKey};
+use crate::simulator::{ItlbChoice, RunReport, SimConfig};
 use crate::strategy::StrategyKind;
 
 /// How big to run each experiment. The paper simulated 250 M committed
 /// instructions; rates are stationary so smaller runs reproduce the same
 /// normalized results (DESIGN.md §2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ExperimentScale {
     /// Committed instructions per run.
     pub max_commits: u64,
@@ -46,21 +55,14 @@ impl ExperimentScale {
         250e6 / self.max_commits as f64
     }
 
-    fn config(&self) -> SimConfig {
+    /// The simulator configuration this scale denotes (default iTLB).
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
         let mut cfg = SimConfig::default_config();
         cfg.max_commits = self.max_commits;
         cfg.seed = self.seed;
         cfg
     }
-}
-
-fn run(
-    profile: &BenchmarkProfile,
-    scale: &ExperimentScale,
-    kind: StrategyKind,
-    mode: AddressingMode,
-) -> RunReport {
-    Simulator::run_profile(profile, &scale.config(), kind, mode)
 }
 
 // ---------------------------------------------------------------- Table 2
@@ -94,12 +96,24 @@ pub struct Table2Row {
 
 /// Reproduces Table 2.
 #[must_use]
-pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
-    profiles::all()
+pub fn table2(engine: &Engine, scale: &ExperimentScale) -> Vec<Table2Row> {
+    let keys: Vec<RunKey> = engine
+        .profiles()
         .iter()
-        .map(|p| {
-            let vipt = run(p, scale, StrategyKind::Base, AddressingMode::ViPt);
-            let vivt = run(p, scale, StrategyKind::Base, AddressingMode::ViVt);
+        .flat_map(|p| {
+            [
+                RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::ViPt),
+                RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::ViVt),
+            ]
+        })
+        .collect();
+    let reports = engine.run_many(&keys);
+    engine
+        .profiles()
+        .iter()
+        .zip(reports.chunks_exact(2))
+        .map(|(p, pair)| {
+            let (vipt, vivt) = (&pair[0], &pair[1]);
             Table2Row {
                 name: p.name,
                 vipt_cycles: vipt.cycles,
@@ -145,37 +159,50 @@ pub const FIG4_SCHEMES: [StrategyKind; 5] = [
 
 /// Reproduces Figure 4 (both the VI-PT and VI-VT panels).
 #[must_use]
-pub fn fig4(scale: &ExperimentScale) -> Vec<Fig4Row> {
-    let mut rows = Vec::new();
-    for mode in [AddressingMode::ViPt, AddressingMode::ViVt] {
-        for p in profiles::all() {
-            let base = run(&p, scale, StrategyKind::Base, mode);
-            let mut energy = [0.0; 5];
-            let mut cycles = [0.0; 5];
-            for (i, kind) in FIG4_SCHEMES.iter().enumerate() {
-                let r = run(&p, scale, *kind, mode);
-                energy[i] = r.energy_vs(&base);
-                cycles[i] = r.cycles_vs(&base);
+pub fn fig4(engine: &Engine, scale: &ExperimentScale) -> Vec<Fig4Row> {
+    fig4_panels(engine, scale, &[AddressingMode::ViPt, AddressingMode::ViVt])
+}
+
+/// The shared plan behind [`fig4`] and [`fig5`]: one row per
+/// (mode, benchmark), simulating only the requested panels.
+fn fig4_panels(engine: &Engine, scale: &ExperimentScale, modes: &[AddressingMode]) -> Vec<Fig4Row> {
+    let mut keys = Vec::new();
+    for &mode in modes {
+        for p in engine.profiles() {
+            keys.push(RunKey::new(p.name, scale, StrategyKind::Base, mode));
+            for kind in FIG4_SCHEMES {
+                keys.push(RunKey::new(p.name, scale, kind, mode));
             }
-            rows.push(Fig4Row {
-                name: p.name,
-                mode,
-                energy,
-                cycles,
-            });
         }
     }
-    rows
+    let reports = engine.run_many(&keys);
+    keys.chunks_exact(6)
+        .zip(reports.chunks_exact(6))
+        .map(|(group, runs)| {
+            let base = &runs[0];
+            let mut energy = [0.0; 5];
+            let mut cycles = [0.0; 5];
+            for (i, r) in runs[1..].iter().enumerate() {
+                energy[i] = r.energy_vs(base);
+                cycles[i] = r.cycles_vs(base);
+            }
+            Fig4Row {
+                name: group[0].profile,
+                mode: group[0].mode,
+                energy,
+                cycles,
+            }
+        })
+        .collect()
 }
 
 /// Reproduces Figure 5: normalized execution cycles for VI-VT (the VI-VT
-/// half of [`fig4`], exposed separately to mirror the paper's figure list).
+/// panel of [`fig4`], exposed separately to mirror the paper's figure
+/// list — and planned separately, so a standalone Figure 5 run simulates
+/// only the VI-VT keys).
 #[must_use]
-pub fn fig5(scale: &ExperimentScale) -> Vec<Fig4Row> {
-    fig4(scale)
-        .into_iter()
-        .filter(|r| r.mode == AddressingMode::ViVt)
-        .collect()
+pub fn fig5(engine: &Engine, scale: &ExperimentScale) -> Vec<Fig4Row> {
+    fig4_panels(engine, scale, &[AddressingMode::ViVt])
 }
 
 // ---------------------------------------------------------------- Table 3
@@ -191,17 +218,22 @@ pub struct Table3Row {
 
 /// Reproduces Table 3.
 #[must_use]
-pub fn table3(scale: &ExperimentScale) -> Vec<Table3Row> {
-    profiles::all()
+pub fn table3(engine: &Engine, scale: &ExperimentScale) -> Vec<Table3Row> {
+    const KINDS: [StrategyKind; 3] = [StrategyKind::SoCA, StrategyKind::SoLA, StrategyKind::Ia];
+    let keys: Vec<RunKey> = engine
+        .profiles()
         .iter()
-        .map(|p| {
+        .flat_map(|p| KINDS.map(|k| RunKey::new(p.name, scale, k, AddressingMode::ViPt)))
+        .collect();
+    let reports = engine.run_many(&keys);
+    engine
+        .profiles()
+        .iter()
+        .zip(reports.chunks_exact(3))
+        .map(|(p, runs)| {
             let mut lookups = [(0, 0); 3];
-            for (i, kind) in [StrategyKind::SoCA, StrategyKind::SoLA, StrategyKind::Ia]
-                .iter()
-                .enumerate()
-            {
-                let r = run(p, scale, *kind, AddressingMode::ViPt);
-                lookups[i] = (r.breakdown.boundary, r.breakdown.branch);
+            for (slot, r) in lookups.iter_mut().zip(runs) {
+                *slot = (r.breakdown.boundary, r.breakdown.branch);
             }
             Table3Row {
                 name: p.name,
@@ -236,18 +268,16 @@ pub struct Table4Row {
     pub dyn_in_page: u64,
 }
 
-/// Reproduces Table 4 (functional walk; no pipeline needed).
+/// Reproduces Table 4 (functional walk; no pipeline needed — the programs
+/// still come from the engine's shared cache).
 #[must_use]
-pub fn table4(scale: &ExperimentScale) -> Vec<Table4Row> {
-    profiles::all()
+pub fn table4(engine: &Engine, scale: &ExperimentScale) -> Vec<Table4Row> {
+    engine
+        .profiles()
         .iter()
         .map(|p| {
-            let program = p.generate();
-            let laid = LaidProgram::lay_out(
-                &program,
-                cfr_types::PageGeometry::default_4k(),
-                false,
-            );
+            let program = engine.program(p.name);
+            let laid = LaidProgram::lay_out(&program, cfr_types::PageGeometry::default_4k(), false);
             let st = static_branch_stats(&laid);
             let dynamic = measure::measure(&laid, scale.max_commits, scale.seed);
             Table4Row {
@@ -270,13 +300,18 @@ pub fn table4(scale: &ExperimentScale) -> Vec<Table4Row> {
 /// Reproduces Table 5: branch predictor accuracy per benchmark (from the
 /// base VI-PT pipeline run, over all branch kinds).
 #[must_use]
-pub fn table5(scale: &ExperimentScale) -> Vec<(&'static str, f64)> {
-    profiles::all()
+pub fn table5(engine: &Engine, scale: &ExperimentScale) -> Vec<(&'static str, f64)> {
+    let keys: Vec<RunKey> = engine
+        .profiles()
         .iter()
-        .map(|p| {
-            let r = run(p, scale, StrategyKind::Base, AddressingMode::ViPt);
-            (p.name, r.cpu.predictor_accuracy())
-        })
+        .map(|p| RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::ViPt))
+        .collect();
+    let reports = engine.run_many(&keys);
+    engine
+        .profiles()
+        .iter()
+        .zip(reports)
+        .map(|(p, r)| (p.name, r.cpu.predictor_accuracy()))
         .collect()
 }
 
@@ -312,24 +347,33 @@ pub struct Table6Row {
 
 /// Reproduces Table 6 (and supplies Table 7's column).
 #[must_use]
-pub fn table6(scale: &ExperimentScale) -> Vec<Table6Row> {
+pub fn table6(engine: &Engine, scale: &ExperimentScale) -> Vec<Table6Row> {
+    const KINDS: [StrategyKind; 3] = [StrategyKind::Base, StrategyKind::Opt, StrategyKind::Ia];
+    let mut keys = Vec::new();
+    for (_, org) in table6_itlbs() {
+        for p in engine.profiles() {
+            for kind in KINDS {
+                for mode in [AddressingMode::ViPt, AddressingMode::ViVt] {
+                    keys.push(
+                        RunKey::new(p.name, scale, kind, mode).with_itlb(ItlbChoice::Mono(org)),
+                    );
+                }
+            }
+        }
+    }
+    let reports = engine.run_many(&keys);
     let mut rows = Vec::new();
-    for (label, org) in table6_itlbs() {
-        for p in profiles::all() {
-            let mut cfg = scale.config();
-            cfg.itlb = ItlbChoice::Mono(org);
-            let kinds = [StrategyKind::Base, StrategyKind::Opt, StrategyKind::Ia];
+    let mut runs = reports.chunks_exact(6);
+    for (label, _) in table6_itlbs() {
+        for p in engine.profiles() {
+            // Chunk layout: [Base×(PT,VT), OPT×(PT,VT), IA×(PT,VT)].
+            let chunk = runs.next().expect("one chunk per (itlb, profile)");
             let mut vipt_energy = [0.0; 3];
             let mut vivt_energy = [0.0; 3];
             let mut vivt_cycles = [0; 3];
-            let mut vipt_ia_cycles = 0;
-            for (i, kind) in kinds.iter().enumerate() {
-                let rp = Simulator::run_profile(&p, &cfg, *kind, AddressingMode::ViPt);
+            for i in 0..3 {
+                let (rp, rv) = (&chunk[2 * i], &chunk[2 * i + 1]);
                 vipt_energy[i] = rp.itlb_energy_mj();
-                if *kind == StrategyKind::Ia {
-                    vipt_ia_cycles = rp.cycles;
-                }
-                let rv = Simulator::run_profile(&p, &cfg, *kind, AddressingMode::ViVt);
                 vivt_energy[i] = rv.itlb_energy_mj();
                 vivt_cycles[i] = rv.cycles;
             }
@@ -339,7 +383,7 @@ pub fn table6(scale: &ExperimentScale) -> Vec<Table6Row> {
                 vipt_energy_mj: vipt_energy,
                 vivt_energy_mj: vivt_energy,
                 vivt_cycles,
-                vipt_ia_cycles,
+                vipt_ia_cycles: chunk[4].cycles,
             });
         }
     }
@@ -349,9 +393,10 @@ pub fn table6(scale: &ExperimentScale) -> Vec<Table6Row> {
 /// Reproduces Table 7: IA (VI-PT) execution cycles across iTLB sizes.
 /// Returns `(benchmark, [cycles for 1, 8FA, 16x2, 32FA])`.
 #[must_use]
-pub fn table7(scale: &ExperimentScale) -> Vec<(&'static str, [u64; 4])> {
-    let rows = table6(scale);
-    profiles::all()
+pub fn table7(engine: &Engine, scale: &ExperimentScale) -> Vec<(&'static str, [u64; 4])> {
+    let rows = table6(engine, scale);
+    engine
+        .profiles()
         .iter()
         .map(|p| {
             let mut cycles = [0u64; 4];
@@ -386,7 +431,7 @@ pub struct Fig6Row {
 /// monolithic iTLBs running IA — (1+32) vs mono-32+IA, and (32+96) vs
 /// mono-128+IA. Evaluated on VI-PT, where the iTLB is exercised per fetch.
 #[must_use]
-pub fn fig6(scale: &ExperimentScale) -> Vec<Fig6Row> {
+pub fn fig6(engine: &Engine, scale: &ExperimentScale) -> Vec<Fig6Row> {
     let combos = [
         (
             "1+32",
@@ -407,16 +452,26 @@ pub fn fig6(scale: &ExperimentScale) -> Vec<Fig6Row> {
             TlbOrganization::fully_associative(128),
         ),
     ];
+    let mut keys = Vec::new();
+    for (_, two_level, mono) in combos {
+        for p in engine.profiles() {
+            keys.push(
+                RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::ViPt)
+                    .with_itlb(two_level),
+            );
+            keys.push(
+                RunKey::new(p.name, scale, StrategyKind::Ia, AddressingMode::ViPt)
+                    .with_itlb(ItlbChoice::Mono(mono)),
+            );
+        }
+    }
+    let reports = engine.run_many(&keys);
     let mut rows = Vec::new();
-    for (label, two_level, mono) in combos {
-        for p in profiles::all() {
-            let mut two_cfg = scale.config();
-            two_cfg.itlb = two_level;
-            let two = Simulator::run_profile(&p, &two_cfg, StrategyKind::Base, AddressingMode::ViPt);
-            let mut mono_cfg = scale.config();
-            mono_cfg.itlb = ItlbChoice::Mono(mono);
-            let reference =
-                Simulator::run_profile(&p, &mono_cfg, StrategyKind::Ia, AddressingMode::ViPt);
+    let mut runs = reports.chunks_exact(2);
+    for (label, _, _) in combos {
+        for p in engine.profiles() {
+            let pair = runs.next().expect("one pair per (combo, profile)");
+            let (two, reference) = (&pair[0], &pair[1]);
             rows.push(Fig6Row {
                 name: p.name,
                 config: label,
@@ -448,17 +503,32 @@ pub struct Table8Row {
 
 /// Reproduces Table 8.
 #[must_use]
-pub fn table8(scale: &ExperimentScale) -> Vec<Table8Row> {
-    profiles::all()
+pub fn table8(engine: &Engine, scale: &ExperimentScale) -> Vec<Table8Row> {
+    let keys: Vec<RunKey> = engine
+        .profiles()
         .iter()
-        .map(|p| {
+        .flat_map(|p| {
+            [
+                RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::PiPt),
+                RunKey::new(p.name, scale, StrategyKind::Ia, AddressingMode::PiPt),
+                RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::ViPt),
+                RunKey::new(p.name, scale, StrategyKind::Base, AddressingMode::ViVt),
+            ]
+        })
+        .collect();
+    let reports = engine.run_many(&keys);
+    engine
+        .profiles()
+        .iter()
+        .zip(reports.chunks_exact(4))
+        .map(|(p, runs)| {
             let e = |r: &RunReport| (r.itlb_energy_mj(), r.cycles);
             Table8Row {
                 name: p.name,
-                pipt_base: e(&run(p, scale, StrategyKind::Base, AddressingMode::PiPt)),
-                pipt_ia: e(&run(p, scale, StrategyKind::Ia, AddressingMode::PiPt)),
-                vipt_base: e(&run(p, scale, StrategyKind::Base, AddressingMode::ViPt)),
-                vivt_base: e(&run(p, scale, StrategyKind::Base, AddressingMode::ViVt)),
+                pipt_base: e(&runs[0]),
+                pipt_ia: e(&runs[1]),
+                vipt_base: e(&runs[2]),
+                vivt_base: e(&runs[3]),
             }
         })
         .collect()
@@ -490,11 +560,16 @@ mod tests {
 
     #[test]
     fn table4_runs_without_pipeline() {
-        let rows = table4(&ExperimentScale {
-            max_commits: 20_000,
-            seed: 1,
-        });
+        let engine = Engine::new();
+        let rows = table4(
+            &engine,
+            &ExperimentScale {
+                max_commits: 20_000,
+                seed: 1,
+            },
+        );
         assert_eq!(rows.len(), 6);
+        assert_eq!(engine.simulated_runs(), 0, "table4 needs no pipeline runs");
         for r in rows {
             assert!(r.static_analyzable <= r.static_total);
             assert_eq!(r.static_in_page + r.static_crossing, r.static_analyzable);

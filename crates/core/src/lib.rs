@@ -22,27 +22,51 @@
 //! can drive the out-of-order core under any iL1 addressing mode (PI-PT,
 //! VI-PT, VI-VT) and any iTLB organization (monolithic or two-level).
 //!
-//! ```
-//! use cfr_core::{SimConfig, Simulator, StrategyKind};
-//! use cfr_types::AddressingMode;
-//! use cfr_workload::profiles;
+//! # The experiment engine
 //!
-//! let mut cfg = SimConfig::default_config();
-//! cfg.max_commits = 20_000; // keep the doctest quick
-//! let base = Simulator::run_profile(&profiles::mesa(), &cfg, StrategyKind::Base, AddressingMode::ViPt);
-//! let ia = Simulator::run_profile(&profiles::mesa(), &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+//! Experiments do not call the simulator directly: they describe the runs
+//! they need as [`RunKey`]s — *(benchmark, scale, strategy, mode, iTLB)* —
+//! and hand them to an [`Engine`], which
+//!
+//! - **memoizes program generation**: each benchmark's synthetic program is
+//!   generated once per engine and shared via `Arc`
+//!   (`cfr_workload::ProgramCache`),
+//! - **deduplicates runs**: identical keys — within a batch, across
+//!   batches, and across experiments sharing the engine — simulate exactly
+//!   once, and
+//! - **parallelizes**: missing runs execute on all cores via rayon, with
+//!   results reassembled in request order so parallel output is
+//!   bit-identical to serial execution.
+//!
+//! Every `table*`/`fig*` function in this crate is a thin plan over the
+//! engine; `cfr-bench`'s `all_experiments` shares one engine across all
+//! ten tables/figures, so their heavily-overlapping run sets collapse to
+//! one simulation per unique key.
+//!
+//! ```
+//! use cfr_core::{Engine, ExperimentScale, RunKey, StrategyKind};
+//! use cfr_types::AddressingMode;
+//!
+//! let engine = Engine::new();
+//! let scale = ExperimentScale { max_commits: 20_000, seed: 0x5EED }; // keep the doctest quick
+//! let base = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+//! let ia = RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt);
+//! let reports = engine.run_many(&[base, ia, base]); // duplicate key: served from cache
+//! assert_eq!(engine.simulated_runs(), 2);
 //! // The headline result: IA eliminates the overwhelming majority of
 //! // iTLB energy on a VI-PT iL1.
-//! assert!(ia.itlb_energy_mj() < 0.2 * base.itlb_energy_mj());
+//! assert!(reports[1].itlb_energy_mj() < 0.2 * reports[0].itlb_energy_mj());
 //! ```
 
 mod cfr;
 pub mod compiler;
+mod engine;
 mod experiment;
 mod simulator;
 mod strategy;
 
 pub use cfr::Cfr;
+pub use engine::{Engine, RunKey};
 pub use experiment::{
     fig4, fig5, fig6, table2, table3, table4, table5, table6, table6_itlbs, table7, table8,
     ExperimentScale, Fig4Row, Fig6Row, Table2Row, Table3Row, Table4Row, Table6Row, Table8Row,

@@ -4,14 +4,14 @@ use cfr_cpu::{CpuConfig, CpuStats, Pipeline};
 use cfr_energy::{EnergyMeter, EnergyModel};
 use cfr_mem::{TlbConfig, TlbStats, TwoLevelTlb};
 use cfr_types::{AddressingMode, TlbOrganization};
-use cfr_workload::{BenchmarkProfile, Program};
+use cfr_workload::{BenchmarkProfile, Program, ProgramCache};
 use serde::{Deserialize, Serialize};
 
 use crate::compiler;
 use crate::strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};
 
 /// Which iTLB structure a run models.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ItlbChoice {
     /// A monolithic TLB of the given shape.
     Mono(TlbOrganization),
@@ -168,15 +168,18 @@ impl Simulator {
         }
     }
 
-    /// Generates `profile`'s program and runs it.
+    /// Runs `profile`'s program, borrowing it from `programs` — the
+    /// program is generated at most once per cache, no matter how many
+    /// (strategy, mode, iTLB) combinations run over it.
     #[must_use]
     pub fn run_profile(
         profile: &BenchmarkProfile,
+        programs: &ProgramCache,
         cfg: &SimConfig,
         kind: StrategyKind,
         mode: AddressingMode,
     ) -> RunReport {
-        let program = profile.generate();
+        let program = programs.get(profile);
         Self::run_program(&program, cfg, kind, mode)
     }
 }

@@ -263,7 +263,8 @@ impl Strategy {
     }
 
     fn charge_compare(&mut self) {
-        self.meter.charge("cfr_compare", self.model.cfr_compare_pj());
+        self.meter
+            .charge("cfr_compare", self.model.cfr_compare_pj());
     }
 
     fn count_lookup_cause(&mut self, ev: &FetchEvent) {
@@ -292,7 +293,10 @@ impl Strategy {
     fn apply_software_triggers(&mut self, ev: &FetchEvent) {
         match self.kind {
             StrategyKind::SoCA => {
-                if matches!(ev.kind, FetchKind::BranchTarget { .. } | FetchKind::Recovery) {
+                if matches!(
+                    ev.kind,
+                    FetchKind::BranchTarget { .. } | FetchKind::Recovery
+                ) {
                     self.cfr.invalidate();
                 }
             }
@@ -562,7 +566,7 @@ mod tests {
         let mut pt = PageTable::new();
         s.on_fetch(&seq(0x40_0000), &mut pt); // cold lookup
         s.on_fetch(&seq(0x40_0004), &mut pt); // CFR
-        // In-page branch target: SoCA is conservative and looks up anyway.
+                                              // In-page branch target: SoCA is conservative and looks up anyway.
         s.on_fetch(&branch_target(0x40_0040, false, false), &mut pt);
         assert_eq!(s.itlb_stats().accesses, 2);
         assert_eq!(s.breakdown().branch, 1);

@@ -102,7 +102,10 @@ impl Btb {
     /// count is a power of two.
     #[must_use]
     pub fn new(entries: usize, assoc: usize) -> Self {
-        assert!(entries > 0 && assoc > 0 && entries % assoc == 0, "bad BTB shape");
+        assert!(
+            entries > 0 && assoc > 0 && entries.is_multiple_of(assoc),
+            "bad BTB shape"
+        );
         let sets = entries / assoc;
         assert!(sets.is_power_of_two(), "BTB sets must be 2^k");
         Self {
@@ -125,12 +128,10 @@ impl Btb {
         let (set, tag) = self.set_and_tag(pc);
         let base = set * self.assoc;
         let ways = &mut self.ways[base..base + self.assoc];
-        ways.iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| {
-                w.lru = self.tick;
-                w.target
-            })
+        ways.iter_mut().find(|w| w.valid && w.tag == tag).map(|w| {
+            w.lru = self.tick;
+            w.target
+        })
     }
 
     /// Installs/updates the target for the branch at `pc`.
@@ -223,7 +224,12 @@ impl BranchPredictor {
     /// Predicts the branch at `pc`. `fallthrough` is `pc + 4` (pushed on
     /// calls). Mutates the RAS speculatively; the fetch engine only calls
     /// this on the paths it actually follows.
-    pub fn predict(&mut self, pc: VirtAddr, spec: &BranchSpec, fallthrough: VirtAddr) -> Prediction {
+    pub fn predict(
+        &mut self,
+        pc: VirtAddr,
+        spec: &BranchSpec,
+        fallthrough: VirtAddr,
+    ) -> Prediction {
         match spec.kind {
             BranchKind::Conditional { .. } => {
                 let taken = self.bimodal.predict(pc);
@@ -387,7 +393,11 @@ mod tests {
         p.update(call_pc, &BranchSpec::call(BlockId(0)), true, callee);
         let _ = p.predict(call_pc, &BranchSpec::call(BlockId(0)), fall);
         // The return should now predict the call fall-through via the RAS.
-        let ret_pred = p.predict(VirtAddr::new(0x4010), &BranchSpec::ret(), VirtAddr::new(0x4014));
+        let ret_pred = p.predict(
+            VirtAddr::new(0x4010),
+            &BranchSpec::ret(),
+            VirtAddr::new(0x4014),
+        );
         assert_eq!(ret_pred.target, Some(fall));
     }
 }

@@ -95,7 +95,10 @@ mod tests {
         assert_eq!(c.ruu_size, 64);
         assert_eq!(c.lsq_size, 32);
         assert_eq!(c.fetch_queue, 8);
-        assert_eq!((c.fetch_width, c.decode_width, c.issue_width, c.commit_width), (4, 4, 4, 4));
+        assert_eq!(
+            (c.fetch_width, c.decode_width, c.issue_width, c.commit_width),
+            (4, 4, 4, 4)
+        );
         assert_eq!((c.int_alu, c.int_mul, c.fp_alu, c.fp_mul), (4, 1, 4, 1));
         assert_eq!(c.mispredict_penalty, 7);
         assert_eq!(c.il1.organization.size_bytes, 8 * 1024);

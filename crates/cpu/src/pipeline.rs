@@ -295,7 +295,9 @@ impl<'p> Pipeline<'p> {
             let mem_addr = self.ruu[idx].mem_addr;
             let base_latency = self.prog.slots[self.ruu[idx].slot].instr.latency();
             let latency = match (class, mem_addr) {
-                (OpClass::Load, Some(addr)) => base_latency + self.data_access(addr, AccessKind::Read),
+                (OpClass::Load, Some(addr)) => {
+                    base_latency + self.data_access(addr, AccessKind::Read)
+                }
                 (OpClass::Store, Some(addr)) => {
                     // Stores retire through a write buffer: the dL1/dTLB are
                     // exercised (energy/behaviour) but the store does not
@@ -463,9 +465,7 @@ impl<'p> Pipeline<'p> {
                 self.stats.wrong_path_fetched += 1;
                 // Follow predictions blindly; nothing here resolves.
                 if let Some(spec) = &instr_branch {
-                    let pred =
-                        self.predictor
-                            .predict(pc, spec, pc.add(INSTRUCTION_BYTES));
+                    let pred = self.predictor.predict(pc, spec, pc.add(INSTRUCTION_BYTES));
                     translator.on_branch_predicted(pc, pred.target);
                     if pred.taken {
                         if let Some(t) = pred.target {
@@ -512,9 +512,7 @@ impl<'p> Pipeline<'p> {
                 if let Some(exec) = step.branch {
                     self.stats.branches += 1;
                     let spec = instr_branch.as_ref().expect("branch step has spec");
-                    let pred =
-                        self.predictor
-                            .predict(pc, spec, pc.add(INSTRUCTION_BYTES));
+                    let pred = self.predictor.predict(pc, spec, pc.add(INSTRUCTION_BYTES));
                     translator.on_branch_predicted(pc, pred.target);
 
                     let predicted_next = if pred.taken {
@@ -631,7 +629,7 @@ mod tests {
         assert!(s.il1.accesses >= s.fetched);
         assert!(s.dl1.accesses > 0);
         assert!(s.dtlb.accesses > 0);
-        assert_eq!(s.loads + s.stores >= s.dl1.accesses, true);
+        assert!(s.loads + s.stores >= s.dl1.accesses);
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl EnergyMeter {
         if n == 0 {
             return;
         }
-        let entry = self
-            .components
-            .entry(component.to_owned())
-            .or_default();
+        let entry = self.components.entry(component.to_owned()).or_default();
         entry.events += n;
         entry.total_pj += pj_each * n as f64;
     }
@@ -117,7 +114,13 @@ impl fmt::Display for EnergyMeter {
                 crate::pj_to_mj(c.total_pj)
             )?;
         }
-        write!(f, "{:<20} {:>14}  {:>12.6} mJ", "TOTAL", "", self.total_mj())
+        write!(
+            f,
+            "{:<20} {:>14}  {:>12.6} mJ",
+            "TOTAL",
+            "",
+            self.total_mj()
+        )
     }
 }
 

@@ -47,7 +47,10 @@ impl TlbOrganization {
     pub fn set_associative(entries: u32, ways: u32) -> Self {
         assert!(entries > 0 && ways > 0, "zero-sized TLB");
         assert!(ways <= entries, "more ways than entries");
-        assert!(entries % ways == 0, "entries must be a multiple of ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         Self {
             entries,
             associativity: ways,
@@ -121,8 +124,11 @@ pub enum AddressingMode {
 
 impl AddressingMode {
     /// All three modes, in the paper's presentation order.
-    pub const ALL: [AddressingMode; 3] =
-        [AddressingMode::PiPt, AddressingMode::ViPt, AddressingMode::ViVt];
+    pub const ALL: [AddressingMode; 3] = [
+        AddressingMode::PiPt,
+        AddressingMode::ViPt,
+        AddressingMode::ViVt,
+    ];
 
     /// Whether a fetch demands a translation even on an iL1 hit.
     #[must_use]

@@ -203,9 +203,12 @@ pub fn generate(params: &GeneratorParams) -> Program {
     // the nearest function of the right kind to an evenly-spaced anchor.
     let nearest_of_kind = |anchor: u32, leaf: bool| -> Option<u32> {
         (0..params.functions).find_map(|d| {
-            [anchor.saturating_sub(d), (anchor + d).min(params.functions - 1)]
-                .into_iter()
-                .find(|&cand| cand > 0 && is_leaf[cand as usize] == leaf)
+            [
+                anchor.saturating_sub(d),
+                (anchor + d).min(params.functions - 1),
+            ]
+            .into_iter()
+            .find(|&cand| cand > 0 && is_leaf[cand as usize] == leaf)
         })
     };
     let mut hot_leaves = Vec::new();
@@ -238,7 +241,11 @@ pub fn generate(params: &GeneratorParams) -> Program {
         let want_leaf = force_leaf || rng.chance(params.call_leaf);
         for _ in 0..16 {
             let f = if rng.chance(params.call_hot_locality) {
-                let list = if want_leaf { &hot_leaves } else { &hot_nonleaves };
+                let list = if want_leaf {
+                    &hot_leaves
+                } else {
+                    &hot_nonleaves
+                };
                 list[rng.below(list.len() as u64) as usize]
             } else {
                 rng.below(u64::from(params.functions)) as u32
@@ -291,10 +298,9 @@ pub fn generate(params: &GeneratorParams) -> Program {
             }
             let max_len = (body_end - l).min(params.loop_len.1);
             if max_len >= params.loop_len.0.max(2) && rng.chance(params.loop_prob) {
-                let len = rng.range_inclusive(
-                    u64::from(params.loop_len.0.max(2)),
-                    u64::from(max_len),
-                ) as u32;
+                let len = rng
+                    .range_inclusive(u64::from(params.loop_len.0.max(2)), u64::from(max_len))
+                    as u32;
                 let end = l + len - 1;
                 loop_back_to[end as usize] = Some(l);
                 loops_placed += 1;
@@ -317,10 +323,9 @@ pub fn generate(params: &GeneratorParams) -> Program {
         }
 
         for local in 0..nb {
-            let body_len = rng.range_inclusive(
-                u64::from(params.block_len.0),
-                u64::from(params.block_len.1),
-            ) as usize;
+            let body_len = rng
+                .range_inclusive(u64::from(params.block_len.0), u64::from(params.block_len.1))
+                as usize;
             let mut instrs = Vec::with_capacity(body_len + 1);
             for _ in 0..body_len {
                 instrs.push(gen_body_instr(&mut rng, params));
@@ -402,8 +407,7 @@ pub fn generate(params: &GeneratorParams) -> Program {
                         // call over candidate function entries.
                         let n_targets = rng.range_inclusive(2, 5) as usize;
                         if leaf || rng.chance(params.indirect_local) {
-                            let ts =
-                                (0..n_targets).map(|_| global_id(fwd(&mut rng))).collect();
+                            let ts = (0..n_targets).map(|_| global_id(fwd(&mut rng))).collect();
                             BranchSpec::indirect(ts)
                         } else {
                             let ts = (0..n_targets)
@@ -419,10 +423,7 @@ pub fn generate(params: &GeneratorParams) -> Program {
             };
 
             if let Some(spec) = terminator {
-                let cond_src = spec
-                    .kind
-                    .conditional()
-                    .then(|| RegId(rng.below(32) as u8));
+                let cond_src = spec.kind.conditional().then(|| RegId(rng.below(32) as u8));
                 instrs.push(Instruction::branch(spec, cond_src));
             }
             blocks.push(Block { instrs });

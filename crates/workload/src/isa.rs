@@ -310,7 +310,7 @@ impl Instruction {
             OpClass::IntMul => 3,
             OpClass::FpAlu => 2,
             OpClass::FpMul => 4,
-            OpClass::Load => 1,  // plus memory latency, charged by the LSQ
+            OpClass::Load => 1, // plus memory latency, charged by the LSQ
             OpClass::Store => 1,
         }
     }

@@ -117,7 +117,7 @@ impl LaidProgram {
     pub fn slot_of(&self, addr: VirtAddr) -> Option<usize> {
         let a = addr.raw();
         let b = self.base.raw();
-        if a < b || (a - b) % INSTRUCTION_BYTES != 0 {
+        if a < b || !(a - b).is_multiple_of(INSTRUCTION_BYTES) {
             return None;
         }
         let idx = ((a - b) / INSTRUCTION_BYTES) as usize;
@@ -281,7 +281,9 @@ mod tests {
     #[should_panic(expected = "invalid program")]
     fn layout_rejects_invalid() {
         let p = Program {
-            blocks: vec![Block { instrs: vec![nop()] }],
+            blocks: vec![Block {
+                instrs: vec![nop()],
+            }],
             functions: vec![Function {
                 first_block: 0,
                 n_blocks: 1,

@@ -29,6 +29,7 @@
 //! assert_eq!(step.slot, 0, "execution starts at the entry slot");
 //! ```
 
+mod cache;
 mod generate;
 mod isa;
 mod layout;
@@ -38,6 +39,7 @@ mod program;
 mod rng;
 mod walk;
 
+pub use cache::ProgramCache;
 pub use generate::{generate, GeneratorParams};
 pub use isa::{BranchKind, BranchSpec, BranchTarget, DataRegion, Instruction, OpClass, RegId};
 pub use layout::{LaidProgram, Slot};

@@ -331,8 +331,7 @@ mod tests {
             let step = w.step();
             if step.branch.is_none() {
                 assert!(
-                    p.geom
-                        .same_page(step.addr, p.addr_of(step.next_slot)),
+                    p.geom.same_page(step.addr, p.addr_of(step.next_slot)),
                     "sequential crossing survived instrumentation at slot {}",
                     step.slot
                 );

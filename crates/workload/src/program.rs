@@ -182,7 +182,10 @@ mod tests {
                     instrs: vec![nop(), nop()],
                 },
                 Block {
-                    instrs: vec![nop(), Instruction::branch(BranchSpec::jump(BlockId(0)), None)],
+                    instrs: vec![
+                        nop(),
+                        Instruction::branch(BranchSpec::jump(BlockId(0)), None),
+                    ],
                 },
             ],
             functions: vec![Function {
@@ -223,7 +226,10 @@ mod tests {
     fn validate_rejects_mid_block_branch() {
         let mut p = tiny_program();
         p.blocks[0] = Block {
-            instrs: vec![Instruction::branch(BranchSpec::jump(BlockId(0)), None), nop()],
+            instrs: vec![
+                Instruction::branch(BranchSpec::jump(BlockId(0)), None),
+                nop(),
+            ],
         };
         assert!(p.validate().is_err());
     }

@@ -120,9 +120,7 @@ impl<'p> Walker<'p> {
                             (false, slot + 1)
                         }
                     }
-                    (BranchKind::Jump, BranchTarget::Block(b)) => {
-                        (true, self.prog.block_slot(*b))
-                    }
+                    (BranchKind::Jump, BranchTarget::Block(b)) => (true, self.prog.block_slot(*b)),
                     (BranchKind::Jump, BranchTarget::NextSlot) => (true, slot + 1),
                     (BranchKind::Call, BranchTarget::Block(b)) => {
                         let ret = slot + 1;
@@ -166,9 +164,7 @@ impl<'p> Walker<'p> {
                 next
             }
             OpClass::Load | OpClass::Store => {
-                mem_addr = Some(self.data_address(
-                    s.instr.region.expect("memory op has a region"),
-                ));
+                mem_addr = Some(self.data_address(s.instr.region.expect("memory op has a region")));
                 slot + 1
             }
             _ => slot + 1,
@@ -238,7 +234,10 @@ mod tests {
         Program {
             blocks: vec![
                 Block {
-                    instrs: vec![nop(), Instruction::branch(BranchSpec::call(BlockId(2)), None)],
+                    instrs: vec![
+                        nop(),
+                        Instruction::branch(BranchSpec::call(BlockId(2)), None),
+                    ],
                 },
                 Block {
                     instrs: vec![Instruction::branch(BranchSpec::jump(BlockId(0)), None)],

@@ -9,45 +9,46 @@
 //! cargo run --release --example cache_design_space
 //! ```
 
-use cfr_sim::core::{SimConfig, Simulator, StrategyKind};
+use cfr_sim::core::{Engine, ExperimentScale, RunKey, StrategyKind};
 use cfr_sim::types::AddressingMode;
 use cfr_sim::workload::profiles;
 
 fn main() {
     let profile = profiles::vortex();
-    let mut cfg = SimConfig::default_config();
-    cfg.max_commits = 400_000;
+    let scale = ExperimentScale {
+        max_commits: 400_000,
+        seed: 0x5EED,
+    };
+    let engine = Engine::new();
 
     println!(
         "iL1 addressing design space — {} ({} instructions)\n",
-        profile.name, cfg.max_commits
+        profile.name, scale.max_commits
     );
     println!(
         "{:<8} {:<6} {:>14} {:>12} {:>10}",
         "iL1", "scheme", "iTLB energy mJ", "cycles", "IPC"
     );
 
-    let mut reference_cycles = None;
-    for mode in AddressingMode::ALL {
-        for kind in [StrategyKind::Base, StrategyKind::Ia] {
-            let r = Simulator::run_profile(&profile, &cfg, kind, mode);
-            if reference_cycles.is_none() {
-                reference_cycles = Some(r.cycles);
-            }
-            println!(
-                "{:<8} {:<6} {:>14.6} {:>12} {:>10.2}",
-                mode.to_string(),
-                kind.name(),
-                r.itlb_energy_mj(),
-                r.cycles,
-                r.cpu.ipc(),
-            );
-        }
+    let keys: Vec<RunKey> = AddressingMode::ALL
+        .into_iter()
+        .flat_map(|mode| {
+            [StrategyKind::Base, StrategyKind::Ia]
+                .map(|kind| RunKey::new(profile.name, &scale, kind, mode))
+        })
+        .collect();
+    for (key, r) in keys.iter().zip(engine.run_many(&keys)) {
+        println!(
+            "{:<8} {:<6} {:>14.6} {:>12} {:>10.2}",
+            key.mode.to_string(),
+            key.strategy.name(),
+            r.itlb_energy_mj(),
+            r.cycles,
+            r.cpu.ipc(),
+        );
     }
 
-    println!(
-        "\nThe paper's take-away (Table 8): base PI-PT pays a serial iTLB lookup on"
-    );
+    println!("\nThe paper's take-away (Table 8): base PI-PT pays a serial iTLB lookup on");
     println!("every fetch group and is much slower; with IA the CFR supplies the frame");
     println!("directly and PI-PT returns to within a few percent of VI-PT — at a");
     println!("fraction of the energy, and without VI-VT's write-back complications.");

@@ -5,19 +5,34 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use cfr_sim::core::{SimConfig, Simulator, StrategyKind};
+use cfr_sim::core::{Engine, ExperimentScale, RunKey, StrategyKind};
 use cfr_sim::types::AddressingMode;
 use cfr_sim::workload::profiles;
 
 fn main() {
     let profile = profiles::mesa();
-    let mut cfg = SimConfig::default_config();
-    cfg.max_commits = 500_000;
+    let scale = ExperimentScale {
+        max_commits: 500_000,
+        seed: 0x5EED,
+    };
 
-    println!("workload: {} ({} committed instructions)\n", profile.name, cfg.max_commits);
+    println!(
+        "workload: {} ({} committed instructions)\n",
+        profile.name, scale.max_commits
+    );
 
-    let base = Simulator::run_profile(&profile, &cfg, StrategyKind::Base, AddressingMode::ViPt);
-    let ia = Simulator::run_profile(&profile, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+    // Both runs execute in parallel on the shared engine.
+    let engine = Engine::new();
+    let reports = engine.run_many(&[
+        RunKey::new(
+            profile.name,
+            &scale,
+            StrategyKind::Base,
+            AddressingMode::ViPt,
+        ),
+        RunKey::new(profile.name, &scale, StrategyKind::Ia, AddressingMode::ViPt),
+    ]);
+    let (base, ia) = (&reports[0], &reports[1]);
 
     println!("VI-PT iL1, 32-entry fully-associative iTLB:");
     println!(
@@ -38,7 +53,7 @@ fn main() {
     );
     println!(
         "iTLB accesses, cutting iTLB energy to {:.2}% of base — the paper reports",
-        100.0 * ia.energy_vs(&base)
+        100.0 * ia.energy_vs(base)
     );
     println!("3.8% on average across its six benchmarks (Figure 4, top).");
 

@@ -6,18 +6,21 @@
 //! cargo run --release --example tlb_sizing
 //! ```
 
-use cfr_sim::core::{ItlbChoice, SimConfig, Simulator, StrategyKind};
+use cfr_sim::core::{Engine, ExperimentScale, ItlbChoice, RunKey, StrategyKind};
 use cfr_sim::types::{AddressingMode, TlbOrganization};
 use cfr_sim::workload::profiles;
 
 fn main() {
     let profile = profiles::crafty();
-    let mut cfg = SimConfig::default_config();
-    cfg.max_commits = 400_000;
+    let scale = ExperimentScale {
+        max_commits: 400_000,
+        seed: 0x5EED,
+    };
+    let engine = Engine::new();
 
     println!(
         "iTLB sizing under base vs IA — {} (VI-PT, {} instructions)\n",
-        profile.name, cfg.max_commits
+        profile.name, scale.max_commits
     );
     println!(
         "{:<14} {:>16} {:>16} {:>12} {:>12}",
@@ -30,9 +33,19 @@ fn main() {
         ("32 FA", TlbOrganization::fully_associative(32)),
         ("128 FA", TlbOrganization::fully_associative(128)),
     ] {
-        cfg.itlb = ItlbChoice::Mono(org);
-        let base = Simulator::run_profile(&profile, &cfg, StrategyKind::Base, AddressingMode::ViPt);
-        let ia = Simulator::run_profile(&profile, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+        let itlb = ItlbChoice::Mono(org);
+        let reports = engine.run_many(&[
+            RunKey::new(
+                profile.name,
+                &scale,
+                StrategyKind::Base,
+                AddressingMode::ViPt,
+            )
+            .with_itlb(itlb),
+            RunKey::new(profile.name, &scale, StrategyKind::Ia, AddressingMode::ViPt)
+                .with_itlb(itlb),
+        ]);
+        let (base, ia) = (&reports[0], &reports[1]);
         println!(
             "{:<14} {:>16.6} {:>16.6} {:>12} {:>12}",
             label,

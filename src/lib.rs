@@ -20,15 +20,18 @@
 //!
 //! # Quickstart
 //!
-//! ```
-//! use cfr_sim::core::{Simulator, SimConfig, StrategyKind};
-//! use cfr_sim::mem::AddressingMode;
-//! use cfr_sim::workload::profiles;
+//! Experiments run through the parallel, deduplicating engine: declare
+//! the runs you need as `RunKey`s and the engine simulates each unique
+//! key exactly once, on all cores.
 //!
-//! let profile = profiles::mesa();
-//! let mut cfg = SimConfig::default_config();
-//! cfg.max_commits = 50_000; // keep the doctest fast
-//! let report = Simulator::run_profile(&profile, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+//! ```
+//! use cfr_sim::core::{Engine, ExperimentScale, RunKey, StrategyKind};
+//! use cfr_sim::mem::AddressingMode;
+//!
+//! let engine = Engine::new();
+//! let scale = ExperimentScale { max_commits: 50_000, seed: 0x5EED }; // keep the doctest fast
+//! let key = RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt);
+//! let report = engine.run(key);
 //! assert!(report.itlb.accesses < report.committed);
 //! ```
 //!

@@ -1,6 +1,11 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants: cache vs reference model, TLB translation consistency, page
 //! geometry round-trips, layout/walker invariants, CFR trust.
+//!
+//! Parked under `tests/disabled/` (not auto-discovered by cargo): the
+//! offline build cannot fetch the real `proptest` crate
+//! (vendor/README.md). To revive on a networked host, add the
+//! dependency to the root manifest and move this file up into `tests/`.
 
 use proptest::prelude::*;
 

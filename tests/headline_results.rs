@@ -2,10 +2,10 @@
 //! at reduced scale, across crates (workload → compiler → CPU → strategies).
 
 use cfr_sim::core::{
-    fig6, table6, table6_itlbs, ExperimentScale, SimConfig, Simulator, StrategyKind,
+    fig6, table6, table6_itlbs, Engine, ExperimentScale, SimConfig, Simulator, StrategyKind,
 };
 use cfr_sim::types::AddressingMode;
-use cfr_sim::workload::profiles;
+use cfr_sim::workload::{profiles, ProgramCache};
 
 fn quick() -> SimConfig {
     let mut cfg = SimConfig::default_config();
@@ -34,8 +34,16 @@ fn figure4_vipt_shape() {
         assert!(norm(&sola) < 0.15, "{}: SoLA {}", profile.name, norm(&sola));
         assert!(norm(&ia) < 0.12, "{}: IA {}", profile.name, norm(&ia));
         // Orderings.
-        assert!(norm(&opt) <= norm(&ia), "{}: OPT is the floor", profile.name);
-        assert!(norm(&sola) < norm(&soca), "{}: SoLA beats SoCA", profile.name);
+        assert!(
+            norm(&opt) <= norm(&ia),
+            "{}: OPT is the floor",
+            profile.name
+        );
+        assert!(
+            norm(&sola) < norm(&soca),
+            "{}: SoLA beats SoCA",
+            profile.name
+        );
         assert!(norm(&ia) < norm(&hoa), "{}: IA beats HoA", profile.name);
     }
 }
@@ -64,7 +72,8 @@ fn figure5_cycles() {
     let cfg = quick();
     let profile = profiles::vortex();
     let program = profile.generate();
-    let vivt_base = Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViVt);
+    let vivt_base =
+        Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViVt);
     let vivt_ia = Simulator::run_program(&program, &cfg, StrategyKind::Ia, AddressingMode::ViVt);
     assert!(
         vivt_ia.cycles as f64 <= vivt_base.cycles as f64 * 1.005,
@@ -72,7 +81,8 @@ fn figure5_cycles() {
         vivt_ia.cycles,
         vivt_base.cycles
     );
-    let vipt_base = Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViPt);
+    let vipt_base =
+        Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViPt);
     let vipt_ia = Simulator::run_program(&program, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
     let ratio = vipt_ia.cycles as f64 / vipt_base.cycles as f64;
     assert!(
@@ -116,7 +126,7 @@ fn table6_small_itlb_pressure() {
         max_commits: 120_000,
         seed: 0x5EED,
     };
-    let rows = table6(&scale);
+    let rows = table6(&Engine::new(), &scale);
     let labels = table6_itlbs();
     let mesa_1 = rows
         .iter()
@@ -143,11 +153,14 @@ fn figure6_two_level_comparison() {
         max_commits: 120_000,
         seed: 0x5EED,
     };
-    let rows = fig6(&scale);
+    let rows = fig6(&Engine::new(), &scale);
     let small: Vec<_> = rows.iter().filter(|r| r.config == "1+32").collect();
     assert_eq!(small.len(), 6);
     let avg: f64 = small.iter().map(|r| r.energy_ratio).sum::<f64>() / 6.0;
-    assert!(avg > 1.2, "two-level base should cost >120% of mono+IA: {avg}");
+    assert!(
+        avg > 1.2,
+        "two-level base should cost >120% of mono+IA: {avg}"
+    );
     // And it should not be meaningfully faster.
     let cyc: f64 = small.iter().map(|r| r.cycle_ratio).sum::<f64>() / 6.0;
     assert!(cyc > 0.99, "two-level pays serial L2 lookups: {cyc}");
@@ -160,9 +173,11 @@ fn table8_pipt_study() {
     let cfg = quick();
     let profile = profiles::fma3d();
     let program = profile.generate();
-    let pipt_base = Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::PiPt);
+    let pipt_base =
+        Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::PiPt);
     let pipt_ia = Simulator::run_program(&program, &cfg, StrategyKind::Ia, AddressingMode::PiPt);
-    let vipt_base = Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViPt);
+    let vipt_base =
+        Simulator::run_program(&program, &cfg, StrategyKind::Base, AddressingMode::ViPt);
     assert!(pipt_base.cycles > vipt_base.cycles);
     assert!(pipt_ia.cycles < pipt_base.cycles);
     assert!(pipt_ia.itlb_energy_mj() < 0.15 * pipt_base.itlb_energy_mj());
@@ -202,8 +217,9 @@ fn accounting_consistency() {
 fn all_profiles_run() {
     let mut cfg = quick();
     cfg.max_commits = 40_000;
+    let programs = ProgramCache::new();
     for p in profiles::all() {
-        let r = Simulator::run_profile(&p, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
+        let r = Simulator::run_profile(&p, &programs, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
         assert_eq!(r.committed, 40_000, "{}", p.name);
         assert!(r.cpu.ipc() > 0.1 && r.cpu.ipc() <= 4.0, "{}", p.name);
     }

@@ -1,0 +1,326 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! Implements the API subset the experiment engine uses — `prelude`,
+//! `par_iter()` / `into_par_iter()`, `ParallelIterator::{map, for_each,
+//! collect}`, and [`join`] — on top of `std::thread::scope`. Work is
+//! distributed dynamically through an atomic index (cheap work stealing),
+//! and results are reassembled in input order, so a parallel map is
+//! **bit-identical** to its serial equivalent whenever the mapped
+//! function is deterministic.
+//!
+//! Semantics differences from real rayon (acceptable for our usage and
+//! documented so nobody is surprised):
+//! - only the *outermost* adapter of a chain runs in parallel; inner
+//!   stages of `map(..).map(..)` execute serially during the drive, and
+//! - there is no global thread pool: each drive spawns scoped threads
+//!   (one per available core, capped by item count). The engine's runs
+//!   are seconds-long simulations, so spawn cost is noise.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Worker count installed by [`ThreadPoolBuilder::build_global`];
+/// 0 means "not configured".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads a parallel drive will use (before capping
+/// by item count). Like real rayon, a [`ThreadPoolBuilder::build_global`]
+/// setting wins, then the `RAYON_NUM_THREADS` environment variable (read
+/// only — processes inherit it at spawn; nothing mutates it at runtime),
+/// then the host's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Rayon-compatible global worker-count configuration. Only
+/// `num_threads` + `build_global` are supported; unlike real rayon,
+/// calling `build_global` again simply replaces the setting.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with no explicit worker count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 restores the default resolution).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the setting process-wide.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stub; the `Result` mirrors real rayon's
+    /// signature so call sites stay source-compatible.
+    pub fn build_global(self) -> Result<(), BuildGlobalError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Stand-in for rayon's `ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct BuildGlobalError;
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map: the engine room of the stub.
+fn par_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot is taken exactly once (the atomic index hands every i to
+    // one worker), so the per-item mutexes are uncontended.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut pairs: Vec<(usize, R)> = thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = work[i]
+                            .lock()
+                            .expect("work slot poisoned")
+                            .take()
+                            .expect("each work index is claimed once");
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut pairs = Vec::with_capacity(n);
+        for w in workers {
+            match w.join() {
+                Ok(local) => pairs.extend(local),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+        pairs
+    });
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The rayon-compatible prelude: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A parallel iterator: drives its items to a `Vec` in input order.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator, producing all items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f`; the map is executed in parallel when
+    /// this adapter is the outermost one driven.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Calls `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    /// Collects all items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Base parallel iterator over an owned sequence.
+pub struct IterBase<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBase<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The `map` adapter; parallel when driven directly.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        par_map(self.base.drive(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's `into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator over owned items.
+    fn into_par_iter(self) -> IterBase<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IterBase<T> {
+        IterBase { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> IterBase<&'a T> {
+        IterBase {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// By-reference conversion (rayon's `par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Send;
+
+    /// A parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> IterBase<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> IterBase<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> IterBase<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<u64> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let v = vec![String::from("a"), String::from("b")];
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 1]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        let v: Vec<u64> = (1..=100).collect();
+        v.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+}

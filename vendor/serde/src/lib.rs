@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`): marker traits
+//! plus the no-op derive macros, under the real crate's import paths.
+//! The workspace only derives these traits as forward-looking markers;
+//! nothing serializes at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` stub
+//! (see `vendor/README.md`). The derives accept `#[serde(...)]` helper
+//! attributes so sources stay compatible with the real serde_derive.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
