@@ -6,7 +6,7 @@ use std::hint::black_box;
 
 use cfr_energy::EnergyModel;
 use cfr_mem::{AccessKind, Cache, CacheConfig, PageTable, Tlb, TlbConfig};
-use cfr_types::{PageGeometry, TlbOrganization, Vpn};
+use cfr_types::{PageGeometry, Protection, TlbOrganization, Vpn};
 use cfr_workload::{generate, GeneratorParams, LaidProgram, Walker};
 
 fn bench_cache(c: &mut Criterion) {
@@ -29,8 +29,14 @@ fn bench_tlb(c: &mut Criterion) {
     c.bench_function("tlb_lookup_hit", |b| {
         let mut tlb = Tlb::new(TlbConfig::default_itlb());
         let mut pt = PageTable::new();
-        tlb.lookup(Vpn::new(1), &mut pt);
-        b.iter(|| black_box(tlb.lookup(black_box(Vpn::new(1)), &mut pt)));
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
+        b.iter(|| {
+            black_box(tlb.lookup(
+                black_box(Vpn::new(1)),
+                &mut pt,
+                Protection::code(),
+            ))
+        });
     });
 }
 

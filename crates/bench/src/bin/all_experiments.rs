@@ -1,16 +1,14 @@
 //! Runs every experiment and emits a Markdown paper-vs-measured summary —
 //! the source of `EXPERIMENTS.md`.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{
-    fig4, fig6, table2, table3, table4, table5, table6, table7, table8, Engine, FIG4_SCHEMES,
-};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::{fig4, fig6, table2, table3, table4, table5, table6, table7, table8, FIG4_SCHEMES};
 use cfr_types::AddressingMode;
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     let f = scale.to_paper_factor();
     println!("# EXPERIMENTS — paper vs. measured\n");
     println!(
@@ -229,4 +227,5 @@ fn main() {
         engine.simulated_runs(),
         engine.program_cache().generated()
     );
+    print_store_summary(&engine);
 }

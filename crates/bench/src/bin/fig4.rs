@@ -1,13 +1,13 @@
 //! Reproduces **Figure 4**: normalized iTLB energy of HoA/SoCA/SoLA/IA/OPT
 //! relative to base, for VI-PT (top panel) and VI-VT (bottom panel).
 
-use cfr_bench::{pct, scale_from_args};
-use cfr_core::{fig4, Engine, FIG4_SCHEMES};
+use cfr_bench::{engine_with_store, pct, print_store_summary, scale_from_args};
+use cfr_core::{fig4, FIG4_SCHEMES};
 use cfr_types::AddressingMode;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     let rows = fig4(&engine, &scale);
     for mode in [AddressingMode::ViPt, AddressingMode::ViVt] {
         println!("\nFigure 4 ({mode}) — normalized iTLB energy (base = 100%)");
@@ -41,4 +41,5 @@ fn main() {
         }
         println!();
     }
+    print_store_summary(&engine);
 }

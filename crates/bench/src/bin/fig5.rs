@@ -2,12 +2,12 @@
 //! (Paper: IA saves 2–5% of cycles, 3.55% on average; VI-PT cycles are
 //! unchanged across schemes, which `fig4 --commits N` confirms.)
 
-use cfr_bench::{pct, scale_from_args};
-use cfr_core::{fig5, Engine, FIG4_SCHEMES};
+use cfr_bench::{engine_with_store, pct, print_store_summary, scale_from_args};
+use cfr_core::{fig5, FIG4_SCHEMES};
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     println!("Figure 5 (VI-VT) — normalized execution cycles (base = 100%)\n");
     print!("{:<12}", "benchmark");
     for k in FIG4_SCHEMES {
@@ -29,4 +29,5 @@ fn main() {
         print!(" {:>9}", pct(a / rows.len() as f64));
     }
     println!("\npaper: IA averages 96.45% (3.55% cycle savings), range 95-98%");
+    print_store_summary(&engine);
 }

@@ -1,12 +1,12 @@
 //! Reproduces **Figure 6**: two-level iTLB configurations (base execution)
 //! against monolithic iTLBs running IA.
 
-use cfr_bench::{pct, scale_from_args};
-use cfr_core::{fig6, Engine};
+use cfr_bench::{engine_with_store, pct, print_store_summary, scale_from_args};
+use cfr_core::fig6;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     println!("Figure 6 — two-level iTLB (base) vs monolithic iTLB with IA (VI-PT)");
     println!("values are two-level ÷ monolithic-IA; >100% means the CFR wins\n");
     println!(
@@ -24,4 +24,5 @@ fn main() {
     }
     println!("\npaper shape: (1+32) base consumes ~155% of mono-32+IA energy and runs");
     println!("2-10% slower; (32+96) optimizes performance but deteriorates energy");
+    print_store_summary(&engine);
 }

@@ -3,14 +3,13 @@
 //! savings." The detailed results lived in the authors' tech report [19];
 //! this bench regenerates the sweep.
 
-use cfr_bench::{pct, scale_from_args};
-use cfr_core::{Simulator, StrategyKind};
-use cfr_types::{AddressingMode, PageGeometry};
-use cfr_workload::{profiles, ProgramCache};
+use cfr_bench::{engine_with_store, pct, print_store_summary, scale_from_args};
+use cfr_core::{RunKey, StrategyKind};
+use cfr_types::AddressingMode;
 
 fn main() {
     let scale = scale_from_args();
-    let programs = ProgramCache::new();
+    let engine = engine_with_store();
     println!("Page-size sweep — IA normalized iTLB energy (VI-PT, base = 100%)\n");
     let sizes = [1024u64, 4096, 16384, 65536];
     print!("{:<12}", "benchmark");
@@ -18,26 +17,30 @@ fn main() {
         print!(" {:>9}", format!("{}K", s / 1024));
     }
     println!();
-    for p in profiles::all() {
-        print!("{:<12}", p.name);
+    // One (base, IA) pair per benchmark per page size, planned as run
+    // keys so the engine deduplicates, parallelizes, and persists them.
+    let mut keys = Vec::new();
+    for p in engine.profiles() {
         for bytes in sizes {
-            let mut cfg = cfr_core::SimConfig::default_config();
-            cfg.max_commits = scale.max_commits;
-            cfg.seed = scale.seed;
-            cfg.cpu.geometry = PageGeometry::new(bytes).expect("power of two");
-            let base = Simulator::run_profile(
-                &p,
-                &programs,
-                &cfg,
-                StrategyKind::Base,
-                AddressingMode::ViPt,
-            );
-            let ia =
-                Simulator::run_profile(&p, &programs, &cfg, StrategyKind::Ia, AddressingMode::ViPt);
-            print!(" {:>9}", pct(ia.energy_vs(&base)));
+            for kind in [StrategyKind::Base, StrategyKind::Ia] {
+                keys.push(
+                    RunKey::new(p.name, &scale, kind, AddressingMode::ViPt).with_page_bytes(bytes),
+                );
+            }
+        }
+    }
+    let reports = engine.run_many(&keys);
+    let mut pairs = reports.chunks_exact(2);
+    for p in engine.profiles() {
+        print!("{:<12}", p.name);
+        for _ in sizes {
+            let pair = pairs.next().expect("one (base, IA) pair per size");
+            let (base, ia) = (&pair[0], &pair[1]);
+            print!(" {:>9}", pct(ia.energy_vs(base)));
         }
         println!();
     }
     println!("\npaper shape: the normalized energy falls monotonically as pages grow");
     println!("(fewer page crossings => fewer CFR refills)");
+    print_store_summary(&engine);
 }

@@ -1,13 +1,13 @@
 //! Reproduces **Table 2**: benchmark characteristics under the default
 //! configuration (Table 1), base execution.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table2, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table2;
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     let f = scale.to_paper_factor();
     println!("Table 2 — benchmark characteristics (extrapolated to 250M instructions)");
     println!("paper values in parentheses; cycles in millions, energy in mJ\n");
@@ -46,4 +46,5 @@ fn main() {
                 / (row.crossings_boundary + row.crossings_branch).max(1) as f64,
         );
     }
+    print_store_summary(&engine);
 }

@@ -1,12 +1,12 @@
 //! Reproduces **Table 3**: dynamic iTLB lookups for SoCA/SoLA/IA, split
 //! into the BOUNDARY and BRANCH cases (VI-PT).
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table3, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table3;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     println!(
         "Table 3 — dynamic iTLB lookups by cause (VI-PT), at {} commits/run",
         scale.max_commits
@@ -26,4 +26,5 @@ fn main() {
         }
         println!();
     }
+    print_store_summary(&engine);
 }

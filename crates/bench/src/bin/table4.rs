@@ -1,13 +1,13 @@
 //! Reproduces **Table 4**: static and dynamic branch statistics — how many
 //! branches are statically analyzable, and how many of those stay in-page.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table4, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table4;
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     println!("Table 4 — static and dynamic branch statistics\n");
     println!(
         "{:<12} {:>8} {:>18} {:>18} | {:>10} {:>20} {:>20}",
@@ -33,4 +33,5 @@ fn main() {
         );
     }
     println!("\n(x%/y%) = measured / paper");
+    print_store_summary(&engine);
 }

@@ -1,12 +1,12 @@
 //! Reproduces **Table 5**: branch predictor accuracy.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table5, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table5;
 use cfr_workload::profiles;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     println!("Table 5 — branch predictor accuracy (all branch kinds, pipeline run)\n");
     println!("{:<12} {:>10} {:>10}", "benchmark", "measured", "paper");
     for ((name, acc), p) in table5(&engine, &scale).iter().zip(profiles::all()) {
@@ -17,4 +17,5 @@ fn main() {
             p.paper.predictor_accuracy * 100.0
         );
     }
+    print_store_summary(&engine);
 }

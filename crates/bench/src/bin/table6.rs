@@ -1,12 +1,12 @@
 //! Reproduces **Table 6**: energy (VI-PT and VI-VT) and execution cycles
 //! (VI-VT) for Base/OPT/IA across four monolithic iTLB configurations.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table6, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table6;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     let f = scale.to_paper_factor();
     println!("Table 6 — iTLB configuration sweep (energies in mJ at 250M-instruction scale)");
     println!("paper shape: OPT/IA percentages shrink as the iTLB grows; VI-VT cycles for OPT/IA");
@@ -40,4 +40,5 @@ fn main() {
             c[2] as f64 * f / 1e6,
         );
     }
+    print_store_summary(&engine);
 }

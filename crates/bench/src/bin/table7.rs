@@ -2,12 +2,12 @@
 //! showing IA lets even a tiny iTLB perform acceptably, and a large one
 //! perform best.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table7, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table7;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     let f = scale.to_paper_factor();
     println!("Table 7 — execution cycles (millions, 250M-instruction scale) for IA (VI-PT)\n");
     println!(
@@ -26,4 +26,5 @@ fn main() {
     }
     println!("\npaper shape: cycles shrink monotonically with iTLB size; the 1-entry");
     println!("column is dramatically slower (every page change walks the page table)");
+    print_store_summary(&engine);
 }

@@ -1,12 +1,12 @@
 //! Reproduces **Table 8**: the PI-PT study — base PI-PT, PI-PT with IA,
 //! base VI-PT, base VI-VT.
 
-use cfr_bench::scale_from_args;
-use cfr_core::{table8, Engine};
+use cfr_bench::{engine_with_store, print_store_summary, scale_from_args};
+use cfr_core::table8;
 
 fn main() {
     let scale = scale_from_args();
-    let engine = Engine::new();
+    let engine = engine_with_store();
     let f = scale.to_paper_factor();
     println!("Table 8 — PI-PT iL1 study (E in mJ, C in millions of cycles; 250M scale)\n");
     println!(
@@ -26,4 +26,5 @@ fn main() {
     }
     println!("\npaper shape: base PI-PT is much slower than VI-PT at equal energy;");
     println!("PI-PT+IA comes within ~6% of base VI-PT cycles at a fraction of the energy");
+    print_store_summary(&engine);
 }

@@ -13,9 +13,14 @@
 //! 2. the engine **deduplicates** keys against its result cache, so every
 //!    unique key is simulated exactly once per engine — across calls and
 //!    across experiments,
-//! 3. missing runs execute **in parallel** (rayon), each borrowing its
-//!    benchmark's program from a shared, memoized [`ProgramCache`], and
-//! 4. results come back as cheap [`Arc`] handles in request order.
+//! 3. keys still missing are looked up in the optional **persistent
+//!    [`Store`]** ([`Engine::with_store`]), which extends the dedup
+//!    guarantee across *processes*: a key any binary on this machine has
+//!    already simulated is read back from disk,
+//! 4. the remaining cold runs execute **in parallel** (rayon), each
+//!    borrowing its benchmark's program from a shared, memoized
+//!    [`ProgramCache`], and are written back to the store, and
+//! 5. results come back as cheap [`Arc`] handles in request order.
 //!
 //! Parallel execution is **deterministic**: a run's outcome depends only
 //! on its key (the simulator is seeded, single-threaded per run, and
@@ -27,17 +32,18 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use cfr_types::AddressingMode;
+use cfr_types::{AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter};
 use cfr_workload::{BenchmarkProfile, Program, ProgramCache};
 use rayon::prelude::*;
 
 use crate::experiment::ExperimentScale;
 use crate::simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+use crate::store::Store;
 use crate::strategy::StrategyKind;
 
 /// The identity of one simulation run. Two runs with equal keys produce
 /// bit-identical [`RunReport`]s, which is what makes engine-level
-/// deduplication sound.
+/// deduplication — and the cross-process persistent [`Store`] — sound.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunKey {
     /// Benchmark profile name (e.g. `"177.mesa"`), resolved against the
@@ -51,11 +57,17 @@ pub struct RunKey {
     pub mode: AddressingMode,
     /// iTLB structure.
     pub itlb: ItlbChoice,
+    /// iL1 capacity override in bytes (`None` = the paper's 8 KB) — the
+    /// iL1-sensitivity sweep runs through the engine like everything else.
+    pub il1_bytes: Option<u64>,
+    /// Page size override in bytes (`None` = the paper's 4 KB), for the
+    /// page-size sweep.
+    pub page_bytes: Option<u64>,
 }
 
 impl RunKey {
     /// A key for the default iTLB (the paper's 32-entry fully-associative
-    /// monolith).
+    /// monolith) at the paper's default iL1 capacity and page size.
     #[must_use]
     pub fn new(
         profile: &'static str,
@@ -69,6 +81,8 @@ impl RunKey {
             strategy,
             mode,
             itlb: ItlbChoice::default_mono(),
+            il1_bytes: None,
+            page_bytes: None,
         }
     }
 
@@ -79,12 +93,103 @@ impl RunKey {
         self
     }
 
+    /// The same run with an iL1 capacity override (power of two, bytes).
+    /// The default capacity canonicalizes to "no override", so a sweep's
+    /// default column shares its key — its in-memory cache entry *and*
+    /// its store record — with the non-sweep runs of the same
+    /// configuration.
+    #[must_use]
+    pub fn with_il1_bytes(mut self, bytes: u64) -> Self {
+        let default = cfr_mem::CacheConfig::default_il1().organization.size_bytes;
+        self.il1_bytes = (bytes != default).then_some(bytes);
+        self
+    }
+
+    /// The same run with a page-size override (power of two, bytes); the
+    /// default page size canonicalizes to "no override" (see
+    /// [`RunKey::with_il1_bytes`]).
+    #[must_use]
+    pub fn with_page_bytes(mut self, bytes: u64) -> Self {
+        let default = PageGeometry::default_4k().page_bytes();
+        self.page_bytes = (bytes != default).then_some(bytes);
+        self
+    }
+
     /// The full simulator configuration this key denotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page-size override is not a power of two.
     #[must_use]
     pub fn config(&self) -> SimConfig {
         let mut cfg = self.scale.config();
         cfg.itlb = self.itlb;
+        if let Some(bytes) = self.il1_bytes {
+            cfg.cpu.il1.organization.size_bytes = bytes;
+        }
+        if let Some(bytes) = self.page_bytes {
+            cfg.cpu.geometry = PageGeometry::new(bytes).expect("page size must be a power of two");
+        }
         cfg
+    }
+
+    /// Serializes every identity field (persistent run store codec). The
+    /// record doubles as the store's content address: equal keys produce
+    /// byte-equal records, and the store verifies a loaded record against
+    /// the requested key token-for-token, so a hash collision or stale
+    /// file degrades to a miss.
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("runkey");
+        w.token(self.profile);
+        self.scale.to_record(w);
+        self.strategy.to_record(w);
+        self.mode.to_record(w);
+        self.itlb.to_record(w);
+        for over in [self.il1_bytes, self.page_bytes] {
+            match over {
+                None => w.token("default"),
+                Some(bytes) => w.u64(bytes),
+            }
+        }
+    }
+
+    /// Parses a [`Self::to_record`] stream. `resolve` maps a profile name
+    /// back to its registered `&'static str` (e.g. via
+    /// [`Engine::profiles`]); an unknown profile is an error.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream or an unresolvable profile name.
+    pub fn from_record(
+        r: &mut RecordReader<'_>,
+        resolve: impl Fn(&str) -> Option<&'static str>,
+    ) -> Result<Self, RecordError> {
+        r.expect("runkey")?;
+        let name = r.token()?;
+        let profile = resolve(name)
+            .ok_or_else(|| RecordError::new(format!("unknown benchmark profile {name:?}")))?;
+        let scale = ExperimentScale::from_record(r)?;
+        let strategy = StrategyKind::from_record(r)?;
+        let mode = AddressingMode::from_record(r)?;
+        let itlb = ItlbChoice::from_record(r)?;
+        let mut overrides = [None, None];
+        for slot in &mut overrides {
+            *slot = match r.token()? {
+                "default" => None,
+                bytes => Some(bytes.parse::<u64>().map_err(|_| {
+                    RecordError::new(format!("malformed override token {bytes:?}"))
+                })?),
+            };
+        }
+        Ok(Self {
+            profile,
+            scale,
+            strategy,
+            mode,
+            itlb,
+            il1_bytes: overrides[0],
+            page_bytes: overrides[1],
+        })
     }
 }
 
@@ -104,6 +209,9 @@ pub struct Engine {
     /// can re-check.
     resolved: Condvar,
     simulated: AtomicU64,
+    /// Persistent cross-process result store, consulted before simulating
+    /// and written after (see [`Store`]). `None` = in-memory only.
+    store: Option<Store>,
 }
 
 /// Result cache plus the set of keys some `run_many` call is currently
@@ -159,7 +267,40 @@ impl Engine {
             state: Mutex::new(EngineState::default()),
             resolved: Condvar::new(),
             simulated: AtomicU64::new(0),
+            store: None,
         }
+    }
+
+    /// Attaches a persistent [`Store`]: every run key is looked up on
+    /// disk before simulating, and every fresh simulation is written
+    /// back, so a key simulates once *per machine* rather than once per
+    /// process.
+    #[must_use]
+    pub fn with_store(mut self, store: Store) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Runs served from the persistent store instead of being simulated
+    /// (0 without a store). Together with [`Engine::store_cold_runs`]
+    /// this accounts for every unique key this engine resolved.
+    #[must_use]
+    pub fn store_warm_runs(&self) -> u64 {
+        self.store.as_ref().map_or(0, Store::hits)
+    }
+
+    /// Runs that had to be simulated — store misses, or every unique key
+    /// when no store is attached. Always equals
+    /// [`Engine::simulated_runs`].
+    #[must_use]
+    pub fn store_cold_runs(&self) -> u64 {
+        self.simulated_runs()
     }
 
     /// The registered profiles, in registration (paper table) order.
@@ -191,8 +332,10 @@ impl Engine {
         self.programs.get(profile)
     }
 
-    /// How many simulations have actually executed — after deduplication,
-    /// this equals the number of *unique* keys ever requested.
+    /// How many simulations have actually executed. Without a store,
+    /// deduplication makes this equal to the number of *unique* keys ever
+    /// requested; with a store attached, warm keys are served from disk
+    /// and do not count here (see [`Engine::store_warm_runs`]).
     #[must_use]
     pub fn simulated_runs(&self) -> u64 {
         self.simulated.load(Ordering::Relaxed)
@@ -246,24 +389,48 @@ impl Engine {
                     engine: self,
                     keys: &claimed,
                 };
-                // Resolve programs up front (serially, memoized) so
-                // parallel workers share one immutable Arc per benchmark.
-                let jobs: Vec<(RunKey, Arc<Program>)> = claimed
+                // Consult the persistent store first (serially — parsing a
+                // record is orders of magnitude cheaper than a simulation),
+                // so fully-warm batches touch neither the generator nor a
+                // worker pool.
+                let mut resolved: Vec<(RunKey, Option<RunReport>)> = claimed
                     .iter()
-                    .map(|k| (*k, self.program(k.profile)))
+                    .map(|key| {
+                        let warm = self.store.as_ref().and_then(|s| s.load(key));
+                        (*key, warm)
+                    })
                     .collect();
-                let reports: Vec<RunReport> = jobs
+                // Resolve programs for the cold keys up front (serially,
+                // memoized) so parallel workers share one immutable Arc
+                // per benchmark.
+                let jobs: Vec<(RunKey, Arc<Program>)> = resolved
+                    .iter()
+                    .filter(|(_, warm)| warm.is_none())
+                    .map(|(k, _)| (*k, self.program(k.profile)))
+                    .collect();
+                // Simulate the cold keys in parallel and write each result
+                // back with an atomic rename-into-place, so concurrent
+                // binaries sharing the store never read torn records.
+                let fresh: Vec<RunReport> = jobs
                     .par_iter()
                     .map(|(key, program)| {
-                        Simulator::run_program(program, &key.config(), key.strategy, key.mode)
+                        let report =
+                            Simulator::run_program(program, &key.config(), key.strategy, key.mode);
+                        if let Some(store) = &self.store {
+                            store.save(key, &report);
+                        }
+                        report
                     })
                     .collect();
                 self.simulated
-                    .fetch_add(reports.len() as u64, Ordering::Relaxed);
+                    .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+                let mut fresh = fresh.into_iter();
                 {
                     let mut state = self.state.lock().expect("engine state poisoned");
-                    for (key, report) in claimed.iter().zip(reports) {
-                        state.results.insert(*key, Arc::new(report));
+                    for (key, warm) in resolved.drain(..) {
+                        let report =
+                            warm.unwrap_or_else(|| fresh.next().expect("one report per cold key"));
+                        state.results.insert(key, Arc::new(report));
                     }
                 }
                 drop(guard); // release claims and wake waiters
@@ -352,6 +519,50 @@ mod tests {
         assert_eq!(base, base.with_itlb(ItlbChoice::default_mono()));
         let _ = engine.run_many(&[base, one_entry, base.with_itlb(ItlbChoice::default_mono())]);
         assert_eq!(engine.simulated_runs(), 2);
+    }
+
+    #[test]
+    fn store_makes_runs_warm_across_engines() {
+        let dir =
+            std::env::temp_dir().join(format!("cfr-store-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scale = tiny();
+        let keys = [
+            RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt),
+            RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt),
+        ];
+
+        let cold = Engine::new().with_store(Store::open(&dir).unwrap());
+        let cold_reports = cold.run_many(&keys);
+        assert_eq!(cold.simulated_runs(), 2);
+        assert_eq!(cold.store_warm_runs(), 0);
+        assert_eq!(cold.store_cold_runs(), 2);
+
+        // A fresh engine (= a fresh process, as far as caching goes) over
+        // the same directory serves everything from disk, bit-identically.
+        let warm = Engine::new().with_store(Store::open(&dir).unwrap());
+        let warm_reports = warm.run_many(&keys);
+        assert_eq!(warm.simulated_runs(), 0, "all served from the store");
+        assert_eq!(warm.store_warm_runs(), 2);
+        for (a, b) in cold_reports.iter().zip(&warm_reports) {
+            assert_eq!(**a, **b);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let scale = tiny();
+        let base = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+        assert_eq!(base.config().cpu.il1.organization.size_bytes, 8 * 1024);
+        assert_eq!(base.config().cpu.geometry.page_bytes(), 4096);
+        let swept = base.with_il1_bytes(2048).with_page_bytes(16384);
+        assert_ne!(base, swept, "overrides are part of the identity");
+        assert_eq!(swept.config().cpu.il1.organization.size_bytes, 2048);
+        assert_eq!(swept.config().cpu.geometry.page_bytes(), 16384);
+        // Default-valued overrides canonicalize to the plain key, so a
+        // sweep's default column deduplicates against non-sweep runs.
+        assert_eq!(base.with_il1_bytes(8 * 1024).with_page_bytes(4096), base);
     }
 
     #[test]

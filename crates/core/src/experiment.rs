@@ -63,6 +63,29 @@ impl ExperimentScale {
         cfg.seed = self.seed;
         cfg
     }
+
+    /// Serializes as `scale <max_commits> <seed>` (persistent run store
+    /// codec).
+    pub fn to_record(&self, w: &mut cfr_types::RecordWriter) {
+        w.token("scale");
+        w.u64(self.max_commits);
+        w.u64(self.seed);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(
+        r: &mut cfr_types::RecordReader<'_>,
+    ) -> Result<Self, cfr_types::RecordError> {
+        r.expect("scale")?;
+        Ok(Self {
+            max_commits: r.u64()?,
+            seed: r.u64()?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------- Table 2

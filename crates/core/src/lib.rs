@@ -63,6 +63,7 @@ pub mod compiler;
 mod engine;
 mod experiment;
 mod simulator;
+mod store;
 mod strategy;
 
 pub use cfr::Cfr;
@@ -73,4 +74,5 @@ pub use experiment::{
     FIG4_SCHEMES,
 };
 pub use simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+pub use store::{Store, DEFAULT_STORE_DIR, STORE_DIR_ENV, STORE_SCHEMA_VERSION};
 pub use strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};

@@ -3,7 +3,7 @@
 use cfr_cpu::{CpuConfig, CpuStats, Pipeline};
 use cfr_energy::{EnergyMeter, EnergyModel};
 use cfr_mem::{TlbConfig, TlbStats, TwoLevelTlb};
-use cfr_types::{AddressingMode, TlbOrganization};
+use cfr_types::{AddressingMode, RecordError, RecordReader, RecordWriter, TlbOrganization};
 use cfr_workload::{BenchmarkProfile, Program, ProgramCache};
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +25,40 @@ impl ItlbChoice {
     #[must_use]
     pub fn default_mono() -> Self {
         ItlbChoice::Mono(TlbOrganization::fully_associative(32))
+    }
+
+    /// Serializes as `mono <org>` or `two <l1-org> <l2-org> <latency>`
+    /// (persistent run store codec).
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        match self {
+            ItlbChoice::Mono(org) => {
+                w.token("mono");
+                org.to_record(w);
+            }
+            ItlbChoice::TwoLevel(l1, l2, latency) => {
+                w.token("two");
+                l1.to_record(w);
+                l2.to_record(w);
+                w.u64(u64::from(*latency));
+            }
+        }
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        match r.token()? {
+            "mono" => Ok(ItlbChoice::Mono(TlbOrganization::from_record(r)?)),
+            "two" => Ok(ItlbChoice::TwoLevel(
+                TlbOrganization::from_record(r)?,
+                TlbOrganization::from_record(r)?,
+                r.u32()?,
+            )),
+            other => Err(RecordError::new(format!("unknown iTLB choice {other:?}"))),
+        }
     }
 
     fn build(self, miss_penalty: u32) -> ItlbModel {
@@ -123,6 +157,42 @@ impl RunReport {
     #[must_use]
     pub fn cycles_vs(&self, base: &RunReport) -> f64 {
         self.cycles as f64 / base.cycles as f64
+    }
+
+    /// Serializes the full report — every counter and every energy
+    /// component, floats as exact bits — so a warm store read reproduces
+    /// byte-identical experiment output (persistent run store codec; the
+    /// vendored `serde` is a no-op).
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("report");
+        self.strategy.to_record(w);
+        self.mode.to_record(w);
+        w.u64(self.committed);
+        w.u64(self.cycles);
+        self.itlb.to_record(w);
+        self.energy.to_record(w);
+        self.breakdown.to_record(w);
+        self.cpu.to_record(w);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream — the store treats any error as a
+    /// cache miss and re-simulates.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        r.expect("report")?;
+        Ok(Self {
+            strategy: StrategyKind::from_record(r)?,
+            mode: AddressingMode::from_record(r)?,
+            committed: r.u64()?,
+            cycles: r.u64()?,
+            itlb: TlbStats::from_record(r)?,
+            energy: EnergyMeter::from_record(r)?,
+            breakdown: crate::strategy::LookupBreakdown::from_record(r)?,
+            cpu: CpuStats::from_record(r)?,
+        })
     }
 }
 
@@ -299,6 +369,45 @@ mod tests {
             two_level_base.cycles >= mono_ia.cycles,
             "two-level pays the serial L2 lookup on filter misses"
         );
+    }
+
+    #[test]
+    fn run_report_record_round_trips() {
+        // A real (tiny) run exercises every field, energy floats included.
+        let report = quick_report(StrategyKind::Ia, AddressingMode::ViPt);
+        let mut w = RecordWriter::new();
+        report.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        let back = RunReport::from_record(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, report, "bit-exact round trip");
+        // Truncation and tag damage are errors, never mis-parses.
+        assert!(
+            RunReport::from_record(&mut RecordReader::new(&record[..record.len() - 8])).is_err()
+        );
+        let damaged = record.replacen("report", "repork", 1);
+        assert!(RunReport::from_record(&mut RecordReader::new(&damaged)).is_err());
+    }
+
+    #[test]
+    fn itlb_choice_record_round_trips() {
+        for choice in [
+            ItlbChoice::default_mono(),
+            ItlbChoice::Mono(TlbOrganization::set_associative(16, 2)),
+            ItlbChoice::TwoLevel(
+                TlbOrganization::fully_associative(1),
+                TlbOrganization::fully_associative(32),
+                1,
+            ),
+        ] {
+            let mut w = RecordWriter::new();
+            choice.to_record(&mut w);
+            let record = w.finish();
+            let mut r = RecordReader::new(&record);
+            assert_eq!(ItlbChoice::from_record(&mut r).unwrap(), choice);
+            r.finish().unwrap();
+        }
     }
 
     #[test]

@@ -73,6 +73,40 @@ impl StrategyKind {
             StrategyKind::Ia => "IA",
         }
     }
+
+    /// Serializes as a single lowercase kind token (persistent run store
+    /// codec — the vendored `serde` is a no-op).
+    pub fn to_record(&self, w: &mut cfr_types::RecordWriter) {
+        w.token(match self {
+            StrategyKind::Base => "base",
+            StrategyKind::Opt => "opt",
+            StrategyKind::HoA => "hoa",
+            StrategyKind::SoCA => "soca",
+            StrategyKind::SoLA => "sola",
+            StrategyKind::Ia => "ia",
+        });
+    }
+
+    /// Parses a [`Self::to_record`] token.
+    ///
+    /// # Errors
+    ///
+    /// Errors on an unknown kind token.
+    pub fn from_record(
+        r: &mut cfr_types::RecordReader<'_>,
+    ) -> Result<Self, cfr_types::RecordError> {
+        match r.token()? {
+            "base" => Ok(StrategyKind::Base),
+            "opt" => Ok(StrategyKind::Opt),
+            "hoa" => Ok(StrategyKind::HoA),
+            "soca" => Ok(StrategyKind::SoCA),
+            "sola" => Ok(StrategyKind::SoLA),
+            "ia" => Ok(StrategyKind::Ia),
+            other => Err(cfr_types::RecordError::new(format!(
+                "unknown strategy kind {other:?}"
+            ))),
+        }
+    }
 }
 
 impl core::fmt::Display for StrategyKind {
@@ -103,7 +137,7 @@ impl ItlbModel {
             ItlbModel::Mono(tlb) => {
                 let org = tlb.organization();
                 meter.charge("itlb_access", model.tlb_access_pj(&org));
-                let r = tlb.lookup(vpn, pt);
+                let r = tlb.lookup(vpn, pt, Protection::code());
                 if !r.hit {
                     meter.charge("itlb_refill", model.tlb_refill_pj(&org));
                 }
@@ -113,7 +147,7 @@ impl ItlbModel {
                 let l1_org = two.l1().organization();
                 let l2_org = two.l2().organization();
                 meter.charge("itlb_l1_access", model.tlb_access_pj(&l1_org));
-                let r = two.lookup(vpn, pt);
+                let r = two.lookup(vpn, pt, Protection::code());
                 if !r.l1_hit {
                     meter.charge("itlb_l2_access", model.tlb_access_pj(&l2_org));
                     meter.charge("itlb_l1_refill", model.tlb_refill_pj(&l1_org));
@@ -162,6 +196,31 @@ pub struct LookupBreakdown {
     /// Lookups triggered at ordinary branch targets and mispredict
     /// recoveries (the BRANCH case).
     pub branch: u64,
+}
+
+impl LookupBreakdown {
+    /// Serializes as `breakdown <boundary> <branch>` (persistent run
+    /// store codec).
+    pub fn to_record(&self, w: &mut cfr_types::RecordWriter) {
+        w.token("breakdown");
+        w.u64(self.boundary);
+        w.u64(self.branch);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(
+        r: &mut cfr_types::RecordReader<'_>,
+    ) -> Result<Self, cfr_types::RecordError> {
+        r.expect("breakdown")?;
+        Ok(Self {
+            boundary: r.u64()?,
+            branch: r.u64()?,
+        })
+    }
 }
 
 /// A [`StrategyKind`] bound to an addressing mode, an iTLB, a CFR, and an

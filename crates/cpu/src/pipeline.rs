@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 
 use cfr_mem::{AccessKind, Cache, Dram, PageTable, Tlb};
-use cfr_types::{PageGeometry, VirtAddr, INSTRUCTION_BYTES};
+use cfr_types::{PageGeometry, Protection, VirtAddr, INSTRUCTION_BYTES};
 use cfr_workload::{LaidProgram, OpClass, RegId, Walker};
 
 use crate::bpred::BranchPredictor;
@@ -327,7 +327,9 @@ impl<'p> Pipeline<'p> {
     /// added latency in cycles.
     fn data_access(&mut self, addr: VirtAddr, kind: AccessKind) -> u32 {
         let vpn = self.geom.vpn(addr);
-        let t = self.dtlb.lookup(vpn, &mut self.page_table);
+        let t = self
+            .dtlb
+            .lookup(vpn, &mut self.page_table, Protection::data());
         let mut latency = t.penalty; // 0 on hit, 50 on miss
         let pa = self.geom.join(t.pfn, self.geom.offset(addr));
         let r = self.dl1.access(addr.raw(), kind);

@@ -1,6 +1,7 @@
 //! Pipeline statistics.
 
 use cfr_mem::{CacheStats, TlbStats};
+use cfr_types::{RecordError, RecordReader, RecordWriter};
 use serde::{Deserialize, Serialize};
 
 /// Everything a run reports (Table 2's columns come from here).
@@ -66,11 +67,95 @@ impl CpuStats {
     pub fn crossings(&self) -> u64 {
         self.crossings_branch + self.crossings_boundary
     }
+
+    /// Serializes every counter, scalars first, then the nested cache/TLB
+    /// stats in declaration order (persistent run store codec — the
+    /// vendored `serde` is a no-op).
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("cpustats");
+        w.u64(self.cycles);
+        w.u64(self.committed);
+        w.u64(self.fetched);
+        w.u64(self.wrong_path_fetched);
+        w.u64(self.branches);
+        w.u64(self.mispredicts);
+        w.u64(self.boundary_branches);
+        w.u64(self.crossings_branch);
+        w.u64(self.crossings_boundary);
+        self.il1.to_record(w);
+        self.dl1.to_record(w);
+        self.l2.to_record(w);
+        self.dtlb.to_record(w);
+        w.u64(self.loads);
+        w.u64(self.stores);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        r.expect("cpustats")?;
+        Ok(Self {
+            cycles: r.u64()?,
+            committed: r.u64()?,
+            fetched: r.u64()?,
+            wrong_path_fetched: r.u64()?,
+            branches: r.u64()?,
+            mispredicts: r.u64()?,
+            boundary_branches: r.u64()?,
+            crossings_branch: r.u64()?,
+            crossings_boundary: r.u64()?,
+            il1: CacheStats::from_record(r)?,
+            dl1: CacheStats::from_record(r)?,
+            l2: CacheStats::from_record(r)?,
+            dtlb: TlbStats::from_record(r)?,
+            loads: r.u64()?,
+            stores: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_round_trips() {
+        let mut s = CpuStats::default();
+        // Fill every field with a distinct value so transposed fields fail.
+        for (counter, field) in (1u64..).zip([
+            &mut s.cycles,
+            &mut s.committed,
+            &mut s.fetched,
+            &mut s.wrong_path_fetched,
+            &mut s.branches,
+            &mut s.mispredicts,
+            &mut s.boundary_branches,
+            &mut s.crossings_branch,
+            &mut s.crossings_boundary,
+            &mut s.il1.accesses,
+            &mut s.il1.misses,
+            &mut s.dl1.hits,
+            &mut s.l2.writebacks,
+            &mut s.dtlb.accesses,
+            &mut s.dtlb.invalidations,
+            &mut s.loads,
+            &mut s.stores,
+        ]) {
+            *field = counter;
+        }
+        let mut w = RecordWriter::new();
+        s.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        assert_eq!(CpuStats::from_record(&mut r).unwrap(), s);
+        r.finish().unwrap();
+        // Truncation anywhere is an error, not a zero-filled struct.
+        let truncated = &record[..record.len() / 2];
+        assert!(CpuStats::from_record(&mut RecordReader::new(truncated)).is_err());
+    }
 
     #[test]
     fn derived_ratios() {

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use cfr_types::{RecordError, RecordReader, RecordWriter};
 use serde::{Deserialize, Serialize};
 
 /// Accumulated energy for one named component.
@@ -99,6 +100,61 @@ impl EnergyMeter {
     pub fn clear(&mut self) {
         self.components.clear();
     }
+
+    /// Serializes as `meter <n>` followed by `n` named [`ComponentEnergy`]
+    /// records in name (= BTreeMap) order — deterministic, so equal meters
+    /// always produce byte-equal records. Component names are single
+    /// tokens (`itlb_access`-style identifiers), which
+    /// [`EnergyMeter::charge`] callers already uphold.
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("meter");
+        w.u64(self.components.len() as u64);
+        for (name, component) in &self.components {
+            w.token(name);
+            component.to_record(w);
+        }
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        r.expect("meter")?;
+        let n = r.usize()?;
+        let mut components = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.token()?.to_owned();
+            let component = ComponentEnergy::from_record(r)?;
+            if components.insert(name.clone(), component).is_some() {
+                return Err(RecordError::new(format!("duplicate component {name:?}")));
+            }
+        }
+        Ok(Self { components })
+    }
+}
+
+impl ComponentEnergy {
+    /// Serializes as `comp <events> <pj-bits>`.
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("comp");
+        w.u64(self.events);
+        w.f64(self.total_pj);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        r.expect("comp")?;
+        Ok(Self {
+            events: r.u64()?,
+            total_pj: r.f64()?,
+        })
+    }
 }
 
 impl fmt::Display for EnergyMeter {
@@ -185,6 +241,37 @@ mod tests {
         let s = format!("{m}");
         assert!(s.contains("itlb"));
         assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn meter_record_round_trips() {
+        let mut m = EnergyMeter::new();
+        m.charge_n("itlb_access", 12_345, 440.25);
+        m.charge_n("cfr_read", 99_999, 4.6); // 4.6 has no exact decimal form
+        m.charge("cfr_compare", 0.9);
+        let mut w = RecordWriter::new();
+        m.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        let back = EnergyMeter::from_record(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, m, "bit-exact round trip, floats included");
+
+        let empty = EnergyMeter::new();
+        let mut w = RecordWriter::new();
+        empty.to_record(&mut w);
+        let record = w.finish();
+        assert_eq!(
+            EnergyMeter::from_record(&mut RecordReader::new(&record)).unwrap(),
+            empty
+        );
+        // Corruption: truncated component list.
+        assert!(EnergyMeter::from_record(&mut RecordReader::new("meter 2 x comp 1 0x0")).is_err());
+        // Corruption: duplicate component name.
+        assert!(EnergyMeter::from_record(&mut RecordReader::new(
+            "meter 2 x comp 1 0x0 x comp 1 0x0"
+        ))
+        .is_err());
     }
 
     #[test]

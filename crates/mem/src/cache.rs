@@ -7,7 +7,7 @@
 //! not here. A VI-VT iL1 is this cache fed virtual addresses; a PI-PT iL1 is
 //! this cache fed physical ones.
 
-use cfr_types::CacheOrganization;
+use cfr_types::{CacheOrganization, RecordError, RecordReader, RecordWriter};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one cache level.
@@ -102,6 +102,31 @@ impl CacheStats {
         } else {
             self.misses as f64 / self.accesses as f64
         }
+    }
+
+    /// Serializes as `cachestats <accesses> <hits> <misses> <writebacks>`
+    /// (persistent run store codec — the vendored `serde` is a no-op).
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("cachestats");
+        w.u64(self.accesses);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.writebacks);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        r.expect("cachestats")?;
+        Ok(Self {
+            accesses: r.u64()?,
+            hits: r.u64()?,
+            misses: r.u64()?,
+            writebacks: r.u64()?,
+        })
     }
 }
 
@@ -247,6 +272,23 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_stats_record_round_trips() {
+        let stats = CacheStats {
+            accesses: u64::MAX,
+            hits: 3,
+            misses: 2,
+            writebacks: 1,
+        };
+        let mut w = RecordWriter::new();
+        stats.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        assert_eq!(CacheStats::from_record(&mut r).unwrap(), stats);
+        r.finish().unwrap();
+        assert!(CacheStats::from_record(&mut RecordReader::new("tlbstats 1 2 3 4")).is_err());
+    }
 
     fn tiny(assoc: u32) -> Cache {
         // 4 sets x assoc ways x 16-byte blocks.

@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use cfr_mem::{Cache, CacheConfig, PageTable, Tlb, TlbConfig};
-//! use cfr_types::{TlbOrganization, Vpn};
+//! use cfr_types::{Protection, TlbOrganization, Vpn};
 //!
 //! // The paper's default 32-entry fully-associative iTLB.
 //! let mut itlb = Tlb::new(TlbConfig {
@@ -20,9 +20,9 @@
 //!     miss_penalty: 50,
 //! });
 //! let mut pt = PageTable::new();
-//! let first = itlb.lookup(Vpn::new(7), &mut pt);
+//! let first = itlb.lookup(Vpn::new(7), &mut pt, Protection::code());
 //! assert!(!first.hit);
-//! let again = itlb.lookup(Vpn::new(7), &mut pt);
+//! let again = itlb.lookup(Vpn::new(7), &mut pt, Protection::code());
 //! assert!(again.hit);
 //! assert_eq!(first.pfn, again.pfn);
 //! ```

@@ -1,6 +1,6 @@
 //! Translation lookaside buffers: monolithic and two-level.
 
-use cfr_types::{Pfn, Protection, TlbOrganization, Vpn};
+use cfr_types::{Pfn, Protection, RecordError, RecordReader, RecordWriter, TlbOrganization, Vpn};
 use serde::{Deserialize, Serialize};
 
 use crate::PageTable;
@@ -73,6 +73,31 @@ impl TlbStats {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Serializes as `tlbstats <accesses> <hits> <misses> <invalidations>`
+    /// (persistent run store codec — the vendored `serde` is a no-op).
+    pub fn to_record(&self, w: &mut RecordWriter) {
+        w.token("tlbstats");
+        w.u64(self.accesses);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.invalidations);
+    }
+
+    /// Parses a [`Self::to_record`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a malformed stream.
+    pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
+        r.expect("tlbstats")?;
+        Ok(Self {
+            accesses: r.u64()?,
+            hits: r.u64()?,
+            misses: r.u64()?,
+            invalidations: r.u64()?,
+        })
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -134,38 +159,21 @@ impl Tlb {
         (vpn.raw() % self.sets) as usize
     }
 
-    /// Looks `vpn` up; on a miss, walks `page_table` and refills.
-    pub fn lookup(&mut self, vpn: Vpn, page_table: &mut PageTable) -> TlbLookup {
-        self.tick += 1;
-        self.stats.accesses += 1;
-        let set = self.set_of(vpn);
-        let base = set * self.ways;
-        let ways = &mut self.entries[base..base + self.ways];
-
-        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.vpn == vpn) {
-            e.lru = self.tick;
-            self.stats.hits += 1;
+    /// Looks `vpn` up; on a miss, walks `page_table` and refills. `prot`
+    /// is the protection requested for a first-touch allocation — an iTLB
+    /// passes [`Protection::code`], a dTLB [`Protection::data`] (the page
+    /// table's "first touch wins" makes whatever is passed here permanent).
+    pub fn lookup(&mut self, vpn: Vpn, page_table: &mut PageTable, prot: Protection) -> TlbLookup {
+        if let Some((pfn, resident_prot)) = self.access(vpn) {
             return TlbLookup {
                 hit: true,
-                pfn: e.pfn,
-                prot: e.prot,
+                pfn,
+                prot: resident_prot,
                 penalty: 0,
             };
         }
-
-        self.stats.misses += 1;
-        let (pfn, prot) = page_table.translate(vpn, Protection::code());
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
-            .expect("TLB has at least one way");
-        *victim = TlbEntry {
-            vpn,
-            pfn,
-            prot,
-            valid: true,
-            lru: self.tick,
-        };
+        let (pfn, prot) = page_table.translate(vpn, prot);
+        self.refill(vpn, pfn, prot);
         TlbLookup {
             hit: false,
             pfn,
@@ -174,17 +182,45 @@ impl Tlb {
         }
     }
 
-    /// Refills an entry without counting an access (used by a two-level TLB
-    /// to install an L2-provided translation into L1).
-    pub fn install(&mut self, vpn: Vpn, pfn: Pfn, prot: Protection) {
+    /// Probe-style counted lookup: charges an access, updates LRU and
+    /// hit/miss counters, but **never** walks the page table — a miss
+    /// returns `None` and leaves the TLB (and the page table) untouched.
+    ///
+    /// This is the miss path a serial multi-level hierarchy needs: a
+    /// level-1 miss must fall through to level 2 *without* a premature
+    /// page walk; the caller refills via [`Tlb::install`] from whatever
+    /// level (or walk) actually produced the translation.
+    pub fn access(&mut self, vpn: Vpn) -> Option<(Pfn, Protection)> {
         self.tick += 1;
+        self.stats.accesses += 1;
         let set = self.set_of(vpn);
         let base = set * self.ways;
+        let tick = self.tick;
+        if let Some(e) = self.entries[base..base + self.ways]
+            .iter_mut()
+            .find(|e| e.valid && e.vpn == vpn)
+        {
+            e.lru = tick;
+            self.stats.hits += 1;
+            Some((e.pfn, e.prot))
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Replaces the LRU victim of `vpn`'s set (or updates a resident
+    /// entry) without touching any counter — shared by the miss-path
+    /// refill and [`Tlb::install`].
+    fn refill(&mut self, vpn: Vpn, pfn: Pfn, prot: Protection) {
+        let set = self.set_of(vpn);
+        let base = set * self.ways;
+        let tick = self.tick;
         let ways = &mut self.entries[base..base + self.ways];
         if let Some(e) = ways.iter_mut().find(|e| e.valid && e.vpn == vpn) {
             e.pfn = pfn;
             e.prot = prot;
-            e.lru = self.tick;
+            e.lru = tick;
             return;
         }
         let victim = ways
@@ -196,8 +232,15 @@ impl Tlb {
             pfn,
             prot,
             valid: true,
-            lru: self.tick,
+            lru: tick,
         };
+    }
+
+    /// Refills an entry without counting an access (used by a two-level TLB
+    /// to install an L2-provided translation into L1).
+    pub fn install(&mut self, vpn: Vpn, pfn: Pfn, prot: Protection) {
+        self.tick += 1;
+        self.refill(vpn, pfn, prot);
     }
 
     /// Whether `vpn` is resident, without touching LRU or stats.
@@ -333,34 +376,46 @@ impl TwoLevelTlb {
         &self.l2
     }
 
-    /// Serial lookup: L1, then L2 on an L1 miss, then the page walk.
-    pub fn lookup(&mut self, vpn: Vpn, page_table: &mut PageTable) -> TwoLevelLookup {
-        let l1 = self.l1.lookup(vpn, page_table);
-        if l1.hit {
+    /// Serial lookup: L1, then L2 on an L1 miss, then the page walk —
+    /// each stage consulted only when the previous one missed, exactly as
+    /// a real serial hierarchy. An L2 hit refills L1 via
+    /// [`Tlb::install`] and never touches the page table; only a full
+    /// miss walks, refilling both levels. `prot` is the first-touch
+    /// allocation protection (see [`Tlb::lookup`]).
+    pub fn lookup(
+        &mut self,
+        vpn: Vpn,
+        page_table: &mut PageTable,
+        prot: Protection,
+    ) -> TwoLevelLookup {
+        if let Some((pfn, resident_prot)) = self.l1.access(vpn) {
             return TwoLevelLookup {
                 l1_hit: true,
                 l2_hit: None,
-                pfn: l1.pfn,
-                prot: l1.prot,
+                pfn,
+                prot: resident_prot,
                 penalty: 0,
             };
         }
-        // The L1 "lookup" above already refilled from the page table; undo
-        // its stats-free fiction by consulting L2 properly: L2 hit means the
-        // walk penalty is replaced by the L2 latency.
-        let l2 = self.l2.lookup(vpn, page_table);
-        self.l1.install(vpn, l2.pfn, l2.prot);
-        let penalty = if l2.hit {
-            self.l2_latency
-        } else {
-            self.l2_latency + l2.penalty
-        };
+        if let Some((pfn, resident_prot)) = self.l2.access(vpn) {
+            self.l1.install(vpn, pfn, resident_prot);
+            return TwoLevelLookup {
+                l1_hit: false,
+                l2_hit: Some(true),
+                pfn,
+                prot: resident_prot,
+                penalty: self.l2_latency,
+            };
+        }
+        let (pfn, prot) = page_table.translate(vpn, prot);
+        self.l2.install(vpn, pfn, prot);
+        self.l1.install(vpn, pfn, prot);
         TwoLevelLookup {
             l1_hit: false,
-            l2_hit: Some(l2.hit),
-            pfn: l2.pfn,
-            prot: l2.prot,
-            penalty,
+            l2_hit: Some(false),
+            pfn,
+            prot,
+            penalty: self.l2_latency + self.l2.cfg.miss_penalty,
         }
     }
 
@@ -382,10 +437,10 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let (mut tlb, mut pt) = itlb();
-        let a = tlb.lookup(Vpn::new(1), &mut pt);
+        let a = tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(!a.hit);
         assert_eq!(a.penalty, 50);
-        let b = tlb.lookup(Vpn::new(1), &mut pt);
+        let b = tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(b.hit);
         assert_eq!(b.penalty, 0);
         assert_eq!(a.pfn, b.pfn);
@@ -401,10 +456,10 @@ mod tests {
             miss_penalty: 50,
         });
         let mut pt = PageTable::new();
-        tlb.lookup(Vpn::new(1), &mut pt);
-        tlb.lookup(Vpn::new(2), &mut pt);
-        tlb.lookup(Vpn::new(1), &mut pt); // touch 1; 2 is LRU
-        tlb.lookup(Vpn::new(3), &mut pt); // evicts 2
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
+        tlb.lookup(Vpn::new(2), &mut pt, Protection::code());
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code()); // touch 1; 2 is LRU
+        tlb.lookup(Vpn::new(3), &mut pt, Protection::code()); // evicts 2
         assert!(tlb.probe(Vpn::new(1)).is_some());
         assert!(tlb.probe(Vpn::new(2)).is_none());
         assert!(tlb.probe(Vpn::new(3)).is_some());
@@ -418,8 +473,8 @@ mod tests {
         });
         let mut pt = PageTable::new();
         for _ in 0..4 {
-            assert!(!tlb.lookup(Vpn::new(1), &mut pt).hit);
-            assert!(!tlb.lookup(Vpn::new(2), &mut pt).hit);
+            assert!(!tlb.lookup(Vpn::new(1), &mut pt, Protection::code()).hit);
+            assert!(!tlb.lookup(Vpn::new(2), &mut pt, Protection::code()).hit);
         }
         assert_eq!(tlb.stats().hits, 0);
     }
@@ -432,30 +487,30 @@ mod tests {
             miss_penalty: 50,
         });
         let mut pt = PageTable::new();
-        tlb.lookup(Vpn::new(0), &mut pt);
-        tlb.lookup(Vpn::new(2), &mut pt);
-        tlb.lookup(Vpn::new(4), &mut pt); // evicts 0 (LRU in set 0)
+        tlb.lookup(Vpn::new(0), &mut pt, Protection::code());
+        tlb.lookup(Vpn::new(2), &mut pt, Protection::code());
+        tlb.lookup(Vpn::new(4), &mut pt, Protection::code()); // evicts 0 (LRU in set 0)
         assert!(tlb.probe(Vpn::new(0)).is_none());
         assert!(tlb.probe(Vpn::new(2)).is_some());
         // Set 1 untouched.
-        tlb.lookup(Vpn::new(1), &mut pt);
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(tlb.probe(Vpn::new(1)).is_some());
     }
 
     #[test]
     fn translation_consistent_with_page_table() {
         let (mut tlb, mut pt) = itlb();
-        let l = tlb.lookup(Vpn::new(42), &mut pt);
+        let l = tlb.lookup(Vpn::new(42), &mut pt, Protection::code());
         assert_eq!(pt.probe(Vpn::new(42)).unwrap().0, l.pfn);
     }
 
     #[test]
     fn invalidate_forces_miss() {
         let (mut tlb, mut pt) = itlb();
-        tlb.lookup(Vpn::new(7), &mut pt);
+        tlb.lookup(Vpn::new(7), &mut pt, Protection::code());
         assert!(tlb.invalidate(Vpn::new(7)));
         assert!(!tlb.invalidate(Vpn::new(7)), "already gone");
-        assert!(!tlb.lookup(Vpn::new(7), &mut pt).hit);
+        assert!(!tlb.lookup(Vpn::new(7), &mut pt, Protection::code()).hit);
         assert_eq!(tlb.stats().invalidations, 1);
     }
 
@@ -463,7 +518,7 @@ mod tests {
     fn invalidate_all() {
         let (mut tlb, mut pt) = itlb();
         for i in 0..10 {
-            tlb.lookup(Vpn::new(i), &mut pt);
+            tlb.lookup(Vpn::new(i), &mut pt, Protection::code());
         }
         assert_eq!(tlb.resident_entries(), 10);
         tlb.invalidate_all();
@@ -477,14 +532,14 @@ mod tests {
         let (pfn, prot) = pt.translate(Vpn::new(5), Protection::code());
         tlb.install(Vpn::new(5), pfn, prot);
         assert_eq!(tlb.stats().accesses, 0);
-        assert!(tlb.lookup(Vpn::new(5), &mut pt).hit);
+        assert!(tlb.lookup(Vpn::new(5), &mut pt, Protection::code()).hit);
     }
 
     #[test]
     fn miss_rate() {
         let (mut tlb, mut pt) = itlb();
-        tlb.lookup(Vpn::new(1), &mut pt);
-        tlb.lookup(Vpn::new(1), &mut pt);
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!((tlb.stats().miss_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -493,17 +548,17 @@ mod tests {
         let mut t = TwoLevelTlb::fig6_small();
         let mut pt = PageTable::new();
         // Cold: L1 miss, L2 miss, full walk.
-        let a = t.lookup(Vpn::new(1), &mut pt);
+        let a = t.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(!a.l1_hit);
         assert_eq!(a.l2_hit, Some(false));
         assert_eq!(a.penalty, 1 + 50);
         // Immediately again: L1 (1-entry) hit.
-        let b = t.lookup(Vpn::new(1), &mut pt);
+        let b = t.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(b.l1_hit);
         assert_eq!(b.penalty, 0);
         // Another page, then back: L1 misses (displaced), L2 hits.
-        t.lookup(Vpn::new(2), &mut pt);
-        let c = t.lookup(Vpn::new(1), &mut pt);
+        t.lookup(Vpn::new(2), &mut pt, Protection::code());
+        let c = t.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(!c.l1_hit);
         assert_eq!(c.l2_hit, Some(true));
         assert_eq!(c.penalty, 1);
@@ -514,11 +569,102 @@ mod tests {
     fn two_level_invalidate_hits_both() {
         let mut t = TwoLevelTlb::fig6_small();
         let mut pt = PageTable::new();
-        t.lookup(Vpn::new(1), &mut pt);
+        t.lookup(Vpn::new(1), &mut pt, Protection::code());
         t.invalidate(Vpn::new(1));
-        let r = t.lookup(Vpn::new(1), &mut pt);
+        let r = t.lookup(Vpn::new(1), &mut pt, Protection::code());
         assert!(!r.l1_hit);
         assert_eq!(r.l2_hit, Some(false));
+    }
+
+    #[test]
+    fn dtlb_refill_allocates_data_protection() {
+        // Regression: `lookup` used to hardcode `Protection::code()` when
+        // refilling, so a dTLB's first touch allocated data pages as code —
+        // permanently, since the page table's first touch wins.
+        let mut dtlb = Tlb::new(TlbConfig::default_dtlb());
+        let mut pt = PageTable::new();
+        let miss = dtlb.lookup(Vpn::new(9), &mut pt, Protection::data());
+        assert!(!miss.hit);
+        assert_eq!(miss.prot, Protection::data());
+        assert_eq!(pt.probe(Vpn::new(9)).unwrap().1, Protection::data());
+        // The resident entry carries the allocated protection too.
+        let hit = dtlb.lookup(Vpn::new(9), &mut pt, Protection::code());
+        assert!(hit.hit);
+        assert_eq!(hit.prot, Protection::data(), "first touch wins");
+    }
+
+    #[test]
+    fn access_is_probe_style() {
+        let (mut tlb, mut pt) = itlb();
+        assert_eq!(tlb.access(Vpn::new(3)), None, "miss: no page-table fill");
+        assert_eq!(pt.mapped_pages(), 0);
+        assert_eq!(tlb.stats().accesses, 1);
+        assert_eq!(tlb.stats().misses, 1);
+        let filled = tlb.lookup(Vpn::new(3), &mut pt, Protection::code());
+        assert_eq!(tlb.access(Vpn::new(3)), Some((filled.pfn, filled.prot)));
+        assert_eq!(tlb.stats().hits, 1);
+    }
+
+    #[test]
+    fn two_level_l2_hit_skips_the_page_table() {
+        // Regression: the L1 miss path used to walk the page table (and
+        // refill L1) *before* consulting L2 — a serial hierarchy must fall
+        // through to L2 first and walk only on a full miss.
+        let mut t = TwoLevelTlb::fig6_small();
+        let mut warm_pt = PageTable::new();
+        t.lookup(Vpn::new(1), &mut warm_pt, Protection::code());
+        t.lookup(Vpn::new(2), &mut warm_pt, Protection::code()); // displaces 1 from the 1-entry L1
+        assert!(t.l1().probe(Vpn::new(1)).is_none());
+
+        // Hand the lookup an EMPTY page table: a pure L2 hit must not
+        // touch it at all (the old code would have allocated into it).
+        let mut empty_pt = PageTable::new();
+        let (l1_before, l2_before) = (*t.l1().stats(), *t.l2().stats());
+        let r = t.lookup(Vpn::new(1), &mut empty_pt, Protection::code());
+        assert!(!r.l1_hit);
+        assert_eq!(r.l2_hit, Some(true));
+        assert_eq!(r.penalty, 1, "L2 latency only, no walk");
+        assert_eq!(empty_pt.mapped_pages(), 0, "page table untouched");
+        // Exactly one access and one miss at L1, one access and one hit at
+        // L2 — nothing else moved.
+        let (l1_after, l2_after) = (*t.l1().stats(), *t.l2().stats());
+        assert_eq!(l1_after.accesses, l1_before.accesses + 1);
+        assert_eq!(l1_after.misses, l1_before.misses + 1);
+        assert_eq!(l1_after.hits, l1_before.hits);
+        assert_eq!(l2_after.accesses, l2_before.accesses + 1);
+        assert_eq!(l2_after.hits, l2_before.hits + 1);
+        assert_eq!(l2_after.misses, l2_before.misses);
+        // The L2 hit refilled L1 via install.
+        assert!(t.l1().probe(Vpn::new(1)).is_some());
+    }
+
+    #[test]
+    fn two_level_full_miss_walks_once_and_fills_both() {
+        let mut t = TwoLevelTlb::fig6_small();
+        let mut pt = PageTable::new();
+        let r = t.lookup(Vpn::new(7), &mut pt, Protection::code());
+        assert_eq!(r.l2_hit, Some(false));
+        assert_eq!(pt.mapped_pages(), 1);
+        assert!(t.l1().probe(Vpn::new(7)).is_some());
+        assert!(t.l2().probe(Vpn::new(7)).is_some());
+    }
+
+    #[test]
+    fn tlb_stats_record_round_trips() {
+        let stats = TlbStats {
+            accesses: 123_456_789,
+            hits: 123_000_000,
+            misses: 456_789,
+            invalidations: 7,
+        };
+        let mut w = RecordWriter::new();
+        stats.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        assert_eq!(TlbStats::from_record(&mut r).unwrap(), stats);
+        r.finish().unwrap();
+        assert!(TlbStats::from_record(&mut RecordReader::new("cachestats 1 2 3 4")).is_err());
+        assert!(TlbStats::from_record(&mut RecordReader::new("tlbstats 1 2")).is_err());
     }
 
     #[test]
@@ -526,12 +672,12 @@ mod tests {
         let mut t = TwoLevelTlb::fig6_large();
         let mut pt = PageTable::new();
         for i in 0..40 {
-            t.lookup(Vpn::new(i), &mut pt);
+            t.lookup(Vpn::new(i), &mut pt, Protection::code());
         }
         assert_eq!(t.l1().stats().accesses, 40);
         assert_eq!(t.l2().stats().accesses, 40); // all cold misses
         for i in 0..40 {
-            t.lookup(Vpn::new(i), &mut pt);
+            t.lookup(Vpn::new(i), &mut pt, Protection::code());
         }
         // 32-entry L1 can hold at most 32 of the 40; some L2 hits now.
         assert!(t.l2().stats().hits > 0);

@@ -26,11 +26,13 @@ mod addr;
 mod org;
 mod page;
 mod protection;
+pub mod record;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
 pub use org::{AddressingMode, CacheOrganization, TlbOrganization};
 pub use page::{PageGeometry, PageGeometryError};
 pub use protection::Protection;
+pub use record::{fnv1a64, RecordError, RecordReader, RecordWriter};
 
 /// Number of bytes every instruction occupies in the synthetic ISA.
 ///

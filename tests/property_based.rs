@@ -1,0 +1,331 @@
+//! Property-based tests on the core data structures and invariants:
+//! cache vs reference model, TLB translation consistency and first-touch
+//! protection, the two-level TLB's serial miss path, store-codec
+//! round-trips, page geometry round-trips, layout/walker invariants, and
+//! CFR trust.
+//!
+//! Runs on the vendored `proptest` shim — seeded deterministic generator
+//! plus the `proptest!`/`prop_assert*` macro subset, see
+//! `vendor/README.md`. The sources are compatible with the real crate,
+//! which is the usual one-line swap in the root `Cargo.toml`.
+
+use proptest::prelude::*;
+
+use cfr_sim::core::{Cfr, ExperimentScale, ItlbChoice, RunKey, Store, StrategyKind};
+use cfr_sim::energy::{EnergyMeter, EnergyModel};
+use cfr_sim::mem::{
+    AccessKind, Cache, CacheConfig, CacheStats, PageTable, Tlb, TlbConfig, TlbStats, TwoLevelTlb,
+};
+use cfr_sim::types::{
+    AddressingMode, CacheOrganization, PageGeometry, Pfn, Protection, RecordReader, RecordWriter,
+    TlbOrganization, VirtAddr, Vpn,
+};
+use cfr_sim::workload::{generate, profiles, GeneratorParams, LaidProgram, Walker};
+
+proptest! {
+    /// Page geometry: split-and-join is the identity for every address and
+    /// every power-of-two page size.
+    #[test]
+    fn geometry_round_trip(addr in 0u64..u64::MAX / 2, shift in 4u32..20) {
+        let geom = PageGeometry::new(1 << shift).unwrap();
+        let va = VirtAddr::new(addr);
+        let rebuilt = geom.join_virt(geom.vpn(va), geom.offset(va));
+        prop_assert_eq!(rebuilt, va);
+        prop_assert!(geom.offset(va) < geom.page_bytes());
+    }
+
+    /// `same_page` is exactly "equal VPN".
+    #[test]
+    fn same_page_iff_same_vpn(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let geom = PageGeometry::default_4k();
+        let (va, vb) = (VirtAddr::new(a), VirtAddr::new(b));
+        prop_assert_eq!(geom.same_page(va, vb), geom.vpn(va) == geom.vpn(vb));
+    }
+
+    /// A fully-associative cache of N blocks must hit on any address that
+    /// is among the N most recently touched distinct blocks (true LRU).
+    #[test]
+    fn cache_lru_recency(addrs in proptest::collection::vec(0u64..0x4000, 1..200)) {
+        let blocks = 8usize;
+        let mut cache = Cache::new(CacheConfig {
+            organization: CacheOrganization {
+                size_bytes: (blocks * 32) as u64,
+                associativity: blocks as u32,
+                block_bytes: 32,
+            },
+            hit_latency: 1,
+        });
+        let mut recency: Vec<u64> = Vec::new(); // most recent block last
+        for &a in &addrs {
+            let block = a >> 5;
+            let expected_hit = recency.iter().rev().take(blocks).any(|&b| b == block);
+            let r = cache.access(a, AccessKind::Read);
+            prop_assert_eq!(r.hit, expected_hit, "addr {:#x}", a);
+            recency.retain(|&b| b != block);
+            recency.push(block);
+        }
+    }
+
+    /// The TLB never returns a translation that disagrees with the page
+    /// table, across arbitrary lookup/invalidate sequences.
+    #[test]
+    fn tlb_translation_consistency(
+        ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..300)
+    ) {
+        let mut tlb = Tlb::new(TlbConfig {
+            organization: TlbOrganization::fully_associative(8),
+            miss_penalty: 50,
+        });
+        let mut pt = PageTable::new();
+        for (page, invalidate) in ops {
+            let vpn = Vpn::new(page);
+            if invalidate {
+                tlb.invalidate(vpn);
+            } else {
+                let r = tlb.lookup(vpn, &mut pt, Protection::code());
+                let (expected, _) = pt.translate(vpn, Protection::code());
+                prop_assert_eq!(r.pfn, expected);
+            }
+        }
+        prop_assert!(tlb.resident_entries() <= 8);
+    }
+
+    /// A dTLB refill allocates pages with the *requested* protection
+    /// (regression: `lookup` used to hardcode code protection, and the
+    /// page table's first-touch-wins made it permanent), and the lookup
+    /// result always reports the protection the page was allocated with.
+    #[test]
+    fn tlb_refill_respects_requested_protection(
+        pages in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..200)
+    ) {
+        let mut dtlb = Tlb::new(TlbConfig::default_dtlb());
+        let mut pt = PageTable::new();
+        let mut first_touch: std::collections::HashMap<u64, Protection> =
+            std::collections::HashMap::new();
+        for (page, as_data) in pages {
+            let requested = if as_data { Protection::data() } else { Protection::code() };
+            let expected = *first_touch.entry(page).or_insert(requested);
+            let r = dtlb.lookup(Vpn::new(page), &mut pt, requested);
+            prop_assert_eq!(r.prot, expected, "page {} first touch wins", page);
+            prop_assert_eq!(pt.probe(Vpn::new(page)).unwrap().1, expected);
+        }
+    }
+
+    /// The two-level TLB's serial miss path: whatever the lookup
+    /// sequence, an L2 hit never touches the page table (no premature
+    /// walk, no allocation), full misses map exactly one page, and the
+    /// translation always agrees with the page table.
+    #[test]
+    fn two_level_serial_path_consistency(
+        pages in proptest::collection::vec(0u64..24, 1..300)
+    ) {
+        let mut two = TwoLevelTlb::fig6_small();
+        let mut pt = PageTable::new();
+        for page in pages {
+            let vpn = Vpn::new(page);
+            let mapped_before = pt.mapped_pages();
+            let was_mapped = pt.probe(vpn).is_some();
+            let r = two.lookup(vpn, &mut pt, Protection::code());
+            match r.l2_hit {
+                None | Some(true) => prop_assert_eq!(
+                    pt.mapped_pages(), mapped_before,
+                    "page {}: TLB hits must not touch the page table", page
+                ),
+                Some(false) => prop_assert_eq!(
+                    pt.mapped_pages(),
+                    mapped_before + usize::from(!was_mapped)
+                ),
+            }
+            prop_assert_eq!(r.pfn, pt.probe(vpn).unwrap().0);
+            // Serial penalties: 0 on an L1 hit, the L2 latency on an L2
+            // hit, latency + walk on a full miss.
+            let expected_penalty = match r.l2_hit {
+                None => 0,
+                Some(true) => 1,
+                Some(false) => 1 + 50,
+            };
+            prop_assert_eq!(r.penalty, expected_penalty);
+        }
+        // The L2 saw exactly the L1's misses.
+        prop_assert_eq!(two.l2().stats().accesses, two.l1().stats().misses);
+    }
+
+    /// The page table is injective: distinct pages never share a frame.
+    #[test]
+    fn page_table_injective(pages in proptest::collection::hash_set(0u64..1 << 30, 1..200)) {
+        let mut pt = PageTable::new();
+        let mut frames = std::collections::HashSet::new();
+        for p in pages {
+            let (pfn, _) = pt.translate(Vpn::new(p), Protection::code());
+            prop_assert!(frames.insert(pfn), "frame reused");
+        }
+    }
+
+    /// Energy model monotonicity: more CAM entries never cost less.
+    #[test]
+    fn cam_energy_monotone(a in 2u32..512, b in 2u32..512) {
+        let model = EnergyModel::default();
+        let (small, large) = (a.min(b), a.max(b));
+        let e_small = model.tlb_access_pj(&TlbOrganization::fully_associative(small));
+        let e_large = model.tlb_access_pj(&TlbOrganization::fully_associative(large));
+        prop_assert!(e_small <= e_large);
+    }
+
+    /// CFR trust: after `load(v)`, `matches(v)` holds and `matches(w)` for
+    /// any other page does not; `invalidate` clears everything.
+    #[test]
+    fn cfr_trust(v in 0u64..1 << 20, w in 0u64..1 << 20, frame in 0u64..1 << 20) {
+        let mut cfr = Cfr::new();
+        cfr.load(Vpn::new(v), Pfn::new(frame), Protection::code());
+        prop_assert!(cfr.matches(Vpn::new(v)));
+        prop_assert_eq!(cfr.matches(Vpn::new(w)), v == w);
+        cfr.invalidate();
+        prop_assert!(!cfr.matches(Vpn::new(v)));
+    }
+
+    /// Generated programs are structurally valid for arbitrary seeds, and
+    /// their instrumented layouts uphold the boundary invariant the
+    /// software schemes' correctness rests on.
+    #[test]
+    fn generator_layout_invariants(seed in 0u64..1000) {
+        let mut params = GeneratorParams::small_test();
+        params.seed = seed;
+        let program = generate(&params);
+        prop_assert_eq!(program.validate(), Ok(()));
+        let laid = LaidProgram::lay_out(&program, PageGeometry::default_4k(), true);
+        prop_assert!(laid.boundary_invariant_holds());
+    }
+
+    /// Walker totality: execution never escapes the text and never stops,
+    /// for arbitrary seeds.
+    #[test]
+    fn walker_totality(seed in 0u64..200) {
+        let program = generate(&GeneratorParams::small_test());
+        let laid = LaidProgram::lay_out(&program, PageGeometry::default_4k(), false);
+        let mut w = Walker::new(&laid, seed);
+        for _ in 0..2000 {
+            let s = w.step();
+            prop_assert!(s.next_slot < laid.slots.len());
+        }
+        prop_assert_eq!(w.steps(), 2000);
+    }
+
+    /// Strategy kinds all produce the exact requested commit count and a
+    /// physically plausible IPC, for arbitrary small seeds.
+    #[test]
+    fn simulator_totality(seed in 0u64..20) {
+        use cfr_sim::core::{SimConfig, Simulator};
+        let program = generate(&GeneratorParams::small_test());
+        let mut cfg = SimConfig::default_config();
+        cfg.max_commits = 5_000;
+        cfg.seed = seed;
+        let r = Simulator::run_program(&program, &cfg, StrategyKind::Ia, AddressingMode::ViVt);
+        prop_assert_eq!(r.committed, 5_000);
+        prop_assert!(r.cpu.ipc() > 0.05 && r.cpu.ipc() <= 4.0);
+    }
+
+    /// Store codec: TLB and cache stat counters round-trip exactly for
+    /// arbitrary values.
+    #[test]
+    fn stat_records_round_trip(counts in proptest::collection::vec(0u64..u64::MAX / 2, 8..9)) {
+        let tlb = TlbStats {
+            accesses: counts[0],
+            hits: counts[1],
+            misses: counts[2],
+            invalidations: counts[3],
+        };
+        let mut w = RecordWriter::new();
+        tlb.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        prop_assert_eq!(TlbStats::from_record(&mut r).unwrap(), tlb);
+        prop_assert!(r.finish().is_ok());
+
+        let cache = CacheStats {
+            accesses: counts[4],
+            hits: counts[5],
+            misses: counts[6],
+            writebacks: counts[7],
+        };
+        let mut w = RecordWriter::new();
+        cache.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        prop_assert_eq!(CacheStats::from_record(&mut r).unwrap(), cache);
+        prop_assert!(r.finish().is_ok());
+    }
+
+    /// Store codec: energy meters round-trip bit-exactly — event counts
+    /// and accumulated picojoule floats — for arbitrary charge patterns.
+    #[test]
+    fn energy_meter_record_round_trips(
+        charges in proptest::collection::vec((0u64..4, (1u64..1_000_000, 1u64..1_000_000)), 0..40)
+    ) {
+        const COMPONENTS: [&str; 4] = ["itlb_access", "itlb_refill", "cfr_read", "cfr_compare"];
+        let mut meter = EnergyMeter::new();
+        for (component, (events, millipj)) in charges {
+            meter.charge_n(
+                COMPONENTS[usize::try_from(component).unwrap()],
+                events,
+                millipj as f64 / 1000.0,
+            );
+        }
+        let mut w = RecordWriter::new();
+        meter.to_record(&mut w);
+        let record = w.finish();
+        let mut r = RecordReader::new(&record);
+        let back = EnergyMeter::from_record(&mut r).unwrap();
+        prop_assert!(r.finish().is_ok());
+        prop_assert_eq!(back, meter);
+    }
+
+    /// Store codec: every representable `RunKey` round-trips through its
+    /// record, and its record is a stable content address (equal keys ⇒
+    /// equal records, distinct keys ⇒ distinct records).
+    #[test]
+    fn run_key_record_round_trips(
+        profile in 0u64..6,
+        commits in 1u64..10_000_000,
+        seed in 0u64..u64::MAX / 2,
+        strategy in 0u64..6,
+        mode in 0u64..3,
+        two_level in proptest::bool::ANY,
+        entries_pow in 0u32..8,
+        il1_override in proptest::bool::ANY,
+        page_override in proptest::bool::ANY,
+    ) {
+        let names: Vec<&'static str> = profiles::all().into_iter().map(|p| p.name).collect();
+        let scale = ExperimentScale { max_commits: commits, seed };
+        let entries = 1u32 << entries_pow;
+        let itlb = if two_level {
+            ItlbChoice::TwoLevel(
+                TlbOrganization::fully_associative(entries),
+                TlbOrganization::fully_associative(entries * 4),
+                1,
+            )
+        } else {
+            ItlbChoice::Mono(TlbOrganization::fully_associative(entries))
+        };
+        let mut key = RunKey::new(
+            names[usize::try_from(profile).unwrap()],
+            &scale,
+            StrategyKind::ALL[usize::try_from(strategy).unwrap()],
+            AddressingMode::ALL[usize::try_from(mode).unwrap()],
+        )
+        .with_itlb(itlb);
+        if il1_override {
+            key = key.with_il1_bytes(2048);
+        }
+        if page_override {
+            key = key.with_page_bytes(16384);
+        }
+
+        let record = Store::key_record(&key);
+        let resolve = |name: &str| names.iter().copied().find(|n| *n == name);
+        let mut r = RecordReader::new(&record);
+        let back = RunKey::from_record(&mut r, resolve).unwrap();
+        prop_assert!(r.finish().is_ok());
+        prop_assert_eq!(back, key);
+        prop_assert_eq!(Store::key_record(&back), record);
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end tests of the persistent cross-process run store: a second
+//! engine over the same directory (standing in for a second process)
+//! simulates nothing and reproduces bit-identical reports; corruption,
+//! torn writes, and schema bumps degrade to re-simulation, never a crash.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cfr_sim::core::{
+    table2, Engine, ExperimentScale, RunKey, RunReport, Store, StrategyKind, STORE_SCHEMA_VERSION,
+};
+use cfr_sim::types::AddressingMode;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfr-store-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        max_commits: 15_000,
+        seed: 0x5EED,
+    }
+}
+
+fn sample_keys(scale: &ExperimentScale) -> Vec<RunKey> {
+    vec![
+        RunKey::new("177.mesa", scale, StrategyKind::Base, AddressingMode::ViPt),
+        RunKey::new("177.mesa", scale, StrategyKind::Ia, AddressingMode::ViPt),
+        RunKey::new("254.gap", scale, StrategyKind::SoCA, AddressingMode::ViVt),
+    ]
+}
+
+/// The headline behaviour: everything a first engine simulates, a second
+/// engine over the same store serves warm, bit-identically.
+#[test]
+fn second_engine_simulates_nothing() {
+    let dir = temp_store("warm");
+    let scale = tiny();
+    let keys = sample_keys(&scale);
+
+    let cold = Engine::new().with_store(Store::open(&dir).unwrap());
+    let cold_reports = cold.run_many(&keys);
+    assert_eq!(cold.simulated_runs(), keys.len() as u64);
+    assert_eq!(cold.store_warm_runs(), 0);
+    assert_eq!(cold.store_cold_runs(), keys.len() as u64);
+    assert_eq!(
+        cold.store().unwrap().record_count().unwrap(),
+        keys.len(),
+        "one record per unique key"
+    );
+
+    let warm = Engine::new().with_store(Store::open(&dir).unwrap());
+    let warm_reports = warm.run_many(&keys);
+    assert_eq!(warm.simulated_runs(), 0, "everything came from disk");
+    assert_eq!(warm.store_warm_runs(), keys.len() as u64);
+    assert_eq!(warm.store_cold_runs(), 0);
+    for (a, b) in cold_reports.iter().zip(&warm_reports) {
+        assert_eq!(**a, **b, "warm reports are bit-identical");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A whole experiment plan (Table 2) is warm on the second engine, and
+/// produces identical rows.
+#[test]
+fn table2_is_warm_on_second_run() {
+    let dir = temp_store("table2");
+    let scale = tiny();
+
+    let cold = Engine::new().with_store(Store::open(&dir).unwrap());
+    let cold_rows = table2(&cold, &scale);
+    assert!(cold.simulated_runs() > 0);
+
+    let warm = Engine::new().with_store(Store::open(&dir).unwrap());
+    let warm_rows = table2(&warm, &scale);
+    assert_eq!(warm.simulated_runs(), 0, "0 cold runs on the second pass");
+    for (a, b) in cold_rows.iter().zip(&warm_rows) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.vipt_cycles, b.vipt_cycles);
+        assert_eq!(a.vipt_energy_mj.to_bits(), b.vipt_energy_mj.to_bits());
+        assert_eq!(a.vivt_cycles, b.vivt_cycles);
+        assert_eq!(a.vivt_energy_mj.to_bits(), b.vivt_energy_mj.to_bits());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Corrupt and torn records degrade to re-simulation and are repaired in
+/// place; the run's result is unaffected.
+#[test]
+fn corruption_resimulates_and_repairs() {
+    let dir = temp_store("corrupt");
+    let scale = tiny();
+    let key = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+
+    let first = Engine::new().with_store(Store::open(&dir).unwrap());
+    let original: Arc<RunReport> = first.run(key);
+    let path = first.store().unwrap().path_for(&key);
+
+    for vandalism in [
+        "complete garbage".to_string(),
+        String::new(), // zero-length (crash between create and write)
+        fs::read_to_string(&path).unwrap()[..40].to_string(), // torn prefix
+    ] {
+        fs::write(&path, &vandalism).unwrap();
+        let engine = Engine::new().with_store(Store::open(&dir).unwrap());
+        let report = engine.run(key);
+        assert_eq!(engine.simulated_runs(), 1, "corrupt record re-simulates");
+        assert_eq!(*report, *original, "result is rebuilt, not garbage");
+        // The overwrite repaired the store: next engine is warm again.
+        let repaired = Engine::new().with_store(Store::open(&dir).unwrap());
+        let again = repaired.run(key);
+        assert_eq!(repaired.simulated_runs(), 0, "repaired record serves warm");
+        assert_eq!(*again, *original);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Bumping the schema version invalidates every record: a reader built
+/// against a different version re-simulates everything (here simulated by
+/// rewriting the version token of stored files, which is equivalent).
+#[test]
+fn schema_bump_forces_full_resimulation() {
+    let dir = temp_store("schema");
+    let scale = tiny();
+    let keys = sample_keys(&scale);
+
+    let cold = Engine::new().with_store(Store::open(&dir).unwrap());
+    let _ = cold.run_many(&keys);
+
+    // Rewrite every record as if it had been written by an older schema.
+    for entry in fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+        let text = fs::read_to_string(entry.path()).unwrap();
+        let stale = text.replacen(
+            &format!("cfr-store {STORE_SCHEMA_VERSION}"),
+            &format!("cfr-store {}", STORE_SCHEMA_VERSION + 1),
+            1,
+        );
+        assert_ne!(stale, text, "every record starts with the magic+version");
+        fs::write(entry.path(), stale).unwrap();
+    }
+
+    let reader = Engine::new().with_store(Store::open(&dir).unwrap());
+    let _ = reader.run_many(&keys);
+    assert_eq!(
+        reader.simulated_runs(),
+        keys.len() as u64,
+        "version-mismatched records are all misses"
+    );
+    // ... and the overwrite re-stamped them with the current version.
+    let warm = Engine::new().with_store(Store::open(&dir).unwrap());
+    let _ = warm.run_many(&keys);
+    assert_eq!(warm.simulated_runs(), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A record stored under one key's address but describing a different
+/// key (hash collision, or a file renamed by hand) is a miss, not a
+/// wrong answer.
+#[test]
+fn mismatched_key_record_is_a_miss() {
+    let dir = temp_store("mismatch");
+    let scale = tiny();
+    let a = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+    let b = RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt);
+
+    let engine = Engine::new().with_store(Store::open(&dir).unwrap());
+    let (report_a, report_b) = (engine.run(a), engine.run(b));
+    assert_ne!(*report_a, *report_b);
+    let store = Store::open(&dir).unwrap();
+    fs::copy(store.path_for(&b), store.path_for(&a)).unwrap();
+
+    let victim = Engine::new().with_store(Store::open(&dir).unwrap());
+    let resolved = victim.run(a);
+    assert_eq!(victim.simulated_runs(), 1, "foreign record rejected");
+    assert_eq!(*resolved, *report_a, "never serves the wrong report");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Engines *without* a store keep PR 1's exact behaviour: every unique
+/// key simulates, and the store counters read zero warm.
+#[test]
+fn storeless_engine_unchanged() {
+    let scale = tiny();
+    let keys = sample_keys(&scale);
+    let engine = Engine::new();
+    assert!(engine.store().is_none());
+    let _ = engine.run_many(&keys);
+    assert_eq!(engine.simulated_runs(), keys.len() as u64);
+    assert_eq!(engine.store_warm_runs(), 0);
+    assert_eq!(engine.store_cold_runs(), keys.len() as u64);
+}

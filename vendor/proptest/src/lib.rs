@@ -1,0 +1,321 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`): a seeded
+//! generator plus the macro subset the workspace's property-based suite
+//! uses — `proptest!`, `prop_assert!`, `prop_assert_eq!`, integer-range /
+//! tuple / bool strategies, and `collection::{vec, hash_set}`.
+//!
+//! Semantics match upstream where it matters for these tests:
+//!
+//! - each `proptest!` test runs `PROPTEST_CASES` cases (default 64) with
+//!   inputs drawn from its strategies,
+//! - generation is **deterministic**: the RNG is seeded from the test's
+//!   path and the case index, so failures reproduce exactly on re-run,
+//! - `prop_assert*` failures report the failing expression and abort the
+//!   case (upstream's shrinking is not implemented — the seed and case
+//!   index in the panic message serve as the reproducer instead).
+//!
+//! Swapping in the real crate is the usual one-line edit in the root
+//! `Cargo.toml`; no test-source change is required for this subset.
+
+use core::ops::Range;
+
+/// Number of cases per property (`PROPTEST_CASES` overrides).
+#[must_use]
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A small, fast, seedable RNG (splitmix64) — deterministic per
+/// (test path, case index).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG for one test case, seeded from the test's identity.
+    #[must_use]
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_path.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The upstream trait is much richer (shrinking,
+/// `prop_map`, …); the subset here is exactly what the suite consumes.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        self.start + u32::try_from(rng.below(u64::from(self.end - self.start))).expect("in range")
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        self.start + usize::try_from(rng.below((self.end - self.start) as u64)).expect("in range")
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    /// Uniform `bool`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut super::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use core::hash::Hash;
+    use core::ops::Range;
+
+    use super::{Strategy, TestRng};
+
+    /// A `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// A `HashSet` of `element` values with a size drawn from `size`
+    /// (best-effort: bounded retries when the element domain is small).
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.generate(rng);
+            let mut set = std::collections::HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(10) + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property-based test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     // In a test module this would carry `#[test]`, as upstream.
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() { addition_commutes(); }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property {} failed at case {case}/{cases}: {message}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not the
+/// whole process) with the stringified expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert failed: {}: {}",
+                stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!` with `Debug` output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {left:?} != {right:?}"
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(::std::format!(
+                "prop_assert_eq failed: {left:?} != {right:?}: {}",
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x::y", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let w = (2u32..3).generate(&mut rng);
+            assert_eq!(w, 2);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_case("sizes", 1);
+        for _ in 0..100 {
+            let v = collection::vec(0u64..10, 1..8).generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let s = collection::hash_set(0u64..1_000_000, 1..8).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 8);
+        }
+    }
+
+    proptest! {
+        /// The macro itself: patterns, multiple strategies, trailing comma.
+        #[test]
+        fn macro_smoke(a in 0u64..100, flag in crate::bool::ANY,) {
+            prop_assert!(a < 100, "a = {a}");
+            prop_assert_eq!(u64::from(flag) + u64::from(!flag), 1);
+        }
+    }
+}
