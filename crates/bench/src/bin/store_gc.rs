@@ -1,0 +1,78 @@
+//! Maintenance tool for the persistent artifact store: reports total
+//! size, per-shard occupancy, and per-namespace record counts, then runs
+//! a garbage-collection/compaction pass under the environment's policy
+//! (`CFR_STORE_MAX_BYTES` / `CFR_STORE_MAX_AGE`) and reports what it
+//! dropped.
+//!
+//! ```sh
+//! CFR_STORE_MAX_BYTES=4194304 cargo run -p cfr-bench --release --bin store_gc
+//! ```
+//!
+//! With neither knob set the pass still compacts dead (superseded) bytes
+//! out of the shard files; it just evicts nothing.
+
+use cfr_core::{ArtifactStore, NS_PROGRAMS, NS_RUNS, NS_WALKS, SHARD_COUNT};
+
+fn main() {
+    let store = match ArtifactStore::open_default() {
+        Ok(store) => store,
+        Err(err) => {
+            eprintln!("error: cannot open the artifact store: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("cfr-store maintenance — {}", store.dir().display());
+    let policy = store.policy();
+    let fmt_bound = |bound: Option<u64>, unit: &str| {
+        bound.map_or_else(|| "unbounded".to_string(), |v| format!("{v} {unit}"))
+    };
+    println!(
+        "policy: max_bytes={} max_age={}",
+        fmt_bound(policy.max_bytes, "bytes"),
+        fmt_bound(policy.max_age_secs, "s"),
+    );
+    if store.migrated_records() > 0 {
+        println!("migrated: {} v1 records", store.migrated_records());
+    }
+
+    println!(
+        "\n{:<8} {:>12} {:>14} {:>12}",
+        "shard", "file bytes", "live records", "live bytes"
+    );
+    for occ in store.shard_occupancy() {
+        println!(
+            "{:<8} {:>12} {:>14} {:>12}",
+            format!("{:02}", occ.shard),
+            occ.file_bytes,
+            occ.live_records,
+            occ.live_bytes
+        );
+    }
+    println!(
+        "\npre-gc: {} live records ({} runs / {} walks / {} programs), \
+         {} live bytes in {} file bytes across {} shards",
+        store.live_records(),
+        store.namespace_records(NS_RUNS),
+        store.namespace_records(NS_WALKS),
+        store.namespace_records(NS_PROGRAMS),
+        store.live_bytes(),
+        store.file_bytes(),
+        SHARD_COUNT,
+    );
+
+    let report = store.gc();
+    println!(
+        "gc: dropped {} dead bytes, evicted {} by age + {} by size, rewrote {} shards",
+        report.dead_bytes_dropped, report.evicted_age, report.evicted_size, report.shards_rewritten,
+    );
+    let budget = match policy.max_bytes {
+        Some(cap) if store.file_bytes() <= cap => ", within budget",
+        Some(_) => ", OVER budget",
+        None => "",
+    };
+    println!(
+        "post-gc: {} records, {} bytes{budget}",
+        report.live_records, report.live_bytes,
+    );
+}

@@ -18,7 +18,7 @@
 //! [`cfr_core::Engine`], so overlapping configurations within a binary are
 //! simulated once, in parallel.
 
-use cfr_core::{Engine, ExperimentScale, Store};
+use cfr_core::{Engine, ExperimentScale};
 
 /// Parses `--commits N` / `--seed N` (also the `--flag=N` form) from an
 /// argument stream (exclusive of the program name) into an experiment
@@ -87,38 +87,22 @@ pub fn pct(x: f64) -> String {
 }
 
 /// Builds the engine every experiment binary shares, backed by the
-/// machine-wide persistent run store (`$CFR_STORE_DIR`, default
-/// `target/cfr-store`): a run key simulated by *any* binary — or an
-/// earlier invocation of this one — is served from disk instead of being
-/// re-simulated. If the store directory cannot be created the binary
-/// still runs, just without cross-process caching.
+/// machine-wide persistent artifact store (`$CFR_STORE_DIR`, default
+/// `target/cfr-store`): a run simulated, a program generated, or a walk
+/// measured by *any* binary — or an earlier invocation of this one — is
+/// served from disk instead of being recomputed. If the store directory
+/// cannot be created the binary still runs, just without cross-process
+/// caching.
 #[must_use]
 pub fn engine_with_store() -> Engine {
-    match Store::open_default() {
-        Ok(store) => Engine::new().with_store(store),
-        Err(err) => {
-            eprintln!("warning: persistent run store disabled: {err}");
-            Engine::new()
-        }
-    }
+    Engine::with_default_store()
 }
 
-/// Prints the shared `store: X warm / Y cold` accounting line on stderr
-/// (stderr, so stdout stays a byte-stable document that can be diffed
-/// across cold and warm invocations).
+/// Prints the shared per-namespace `store: runs X warm / Y cold; …`
+/// accounting line on stderr (stderr, so stdout stays a byte-stable
+/// document that can be diffed across cold and warm invocations).
 pub fn print_store_summary(engine: &Engine) {
-    match engine.store() {
-        Some(store) => eprintln!(
-            "store: {} warm / {} cold ({})",
-            engine.store_warm_runs(),
-            engine.store_cold_runs(),
-            store.dir().display(),
-        ),
-        None => eprintln!(
-            "store: disabled ({} runs simulated in-process)",
-            engine.simulated_runs()
-        ),
-    }
+    eprintln!("{}", engine.summary_line());
 }
 
 #[cfg(test)]

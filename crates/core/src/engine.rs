@@ -32,8 +32,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use cfr_types::{AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter};
-use cfr_workload::{BenchmarkProfile, Program, ProgramCache};
+use cfr_types::{AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter, NS_WALKS};
+use cfr_workload::{
+    measure_walk, walk_store_key, BenchmarkProfile, LaidProgram, Program, ProgramCache,
+    WalkMeasurement,
+};
 use rayon::prelude::*;
 
 use crate::experiment::ExperimentScale;
@@ -209,9 +212,35 @@ pub struct Engine {
     /// can re-check.
     resolved: Condvar,
     simulated: AtomicU64,
+    /// Walk measurements served from the persistent store.
+    walks_warm: AtomicU64,
+    /// Walk measurements actually computed (store miss, or no store).
+    walks_cold: AtomicU64,
     /// Persistent cross-process result store, consulted before simulating
     /// and written after (see [`Store`]). `None` = in-memory only.
     store: Option<Store>,
+}
+
+/// Warm (store-served) and cold (computed) request counts for one store
+/// namespace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NamespaceTraffic {
+    /// Requests served from the persistent store.
+    pub warm: u64,
+    /// Requests that had to be computed in-process.
+    pub cold: u64,
+}
+
+/// Per-namespace warm/cold accounting for every persisted layer (see
+/// [`Engine::store_summary`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Pipeline run reports (`runs` namespace).
+    pub runs: NamespaceTraffic,
+    /// Functional walk measurements (`walks`).
+    pub walks: NamespaceTraffic,
+    /// Generated programs (`programs`).
+    pub programs: NamespaceTraffic,
 }
 
 /// Result cache plus the set of keys some `run_many` call is currently
@@ -267,6 +296,8 @@ impl Engine {
             state: Mutex::new(EngineState::default()),
             resolved: Condvar::new(),
             simulated: AtomicU64::new(0),
+            walks_warm: AtomicU64::new(0),
+            walks_cold: AtomicU64::new(0),
             store: None,
         }
     }
@@ -274,11 +305,31 @@ impl Engine {
     /// Attaches a persistent [`Store`]: every run key is looked up on
     /// disk before simulating, and every fresh simulation is written
     /// back, so a key simulates once *per machine* rather than once per
-    /// process.
+    /// process. The same store backs the other persisted layers — the
+    /// program cache (`programs` namespace) and the functional walk path
+    /// (`walks`) — so a fully-warm invocation generates and walks
+    /// nothing either.
     #[must_use]
     pub fn with_store(mut self, store: Store) -> Self {
+        self.programs.attach_store(store.artifacts());
         self.store = Some(store);
         self
+    }
+
+    /// An engine backed by the machine-shared default store
+    /// (`$CFR_STORE_DIR`, default `target/cfr-store`, GC policy from
+    /// `CFR_STORE_MAX_BYTES`/`CFR_STORE_MAX_AGE`). If the store cannot be
+    /// opened the engine still works, just without cross-process caching
+    /// (a warning goes to stderr).
+    #[must_use]
+    pub fn with_default_store() -> Self {
+        match Store::open_default() {
+            Ok(store) => Self::new().with_store(store),
+            Err(err) => {
+                eprintln!("warning: persistent artifact store disabled: {err}");
+                Self::new()
+            }
+        }
     }
 
     /// The attached persistent store, if any.
@@ -301,6 +352,96 @@ impl Engine {
     #[must_use]
     pub fn store_cold_runs(&self) -> u64 {
         self.simulated_runs()
+    }
+
+    /// The functional walk measurement of `profile`'s laid-out program:
+    /// the non-pipeline path behind Table 4 and the calibration tooling.
+    /// With a store attached the `walks` namespace is consulted first —
+    /// a warm read returns without touching the generator *or* the
+    /// walker — and a fresh measurement is written back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` is not registered.
+    #[must_use]
+    pub fn walk_measurement(&self, profile: &str, scale: &ExperimentScale) -> WalkMeasurement {
+        let geom = PageGeometry::default_4k();
+        let p = self
+            .profiles
+            .iter()
+            .find(|p| p.name == profile)
+            .unwrap_or_else(|| panic!("unknown benchmark profile {profile:?}"));
+        let key = walk_store_key(p, geom, false, scale.max_commits, scale.seed);
+        let artifacts = self.store.as_ref().map(Store::artifacts);
+        if let Some(store) = &artifacts {
+            let warm = store.load(NS_WALKS, &key).and_then(|text| {
+                let mut r = RecordReader::new(&text);
+                let m = WalkMeasurement::from_record(&mut r).ok()?;
+                r.finish().ok()?;
+                Some(m)
+            });
+            if let Some(m) = warm {
+                self.walks_warm.fetch_add(1, Ordering::Relaxed);
+                return m;
+            }
+        }
+        let program = self.program(profile);
+        let laid = LaidProgram::lay_out(&program, geom, false);
+        let m = measure_walk(&laid, scale.max_commits, scale.seed);
+        self.walks_cold.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &artifacts {
+            let mut w = RecordWriter::new();
+            m.to_record(&mut w);
+            store.save(NS_WALKS, &key, &w.finish());
+        }
+        m
+    }
+
+    /// Warm/cold traffic per persisted namespace (runs, walks,
+    /// programs). "Warm" = served from the store; "cold" = computed this
+    /// process (every request, when no store is attached).
+    #[must_use]
+    pub fn store_summary(&self) -> StoreSummary {
+        StoreSummary {
+            runs: NamespaceTraffic {
+                warm: self.store_warm_runs(),
+                cold: self.store_cold_runs(),
+            },
+            walks: NamespaceTraffic {
+                warm: self.walks_warm.load(Ordering::Relaxed),
+                cold: self.walks_cold.load(Ordering::Relaxed),
+            },
+            programs: NamespaceTraffic {
+                warm: self.programs.loaded(),
+                cold: self.programs.generated(),
+            },
+        }
+    }
+
+    /// The one-line store accounting every binary prints on stderr:
+    /// per-namespace warm/cold traffic and the store directory, or the
+    /// in-process counts when no store is attached.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let s = self.store_summary();
+        match &self.store {
+            Some(store) => format!(
+                "store: runs {} warm / {} cold; walks {} warm / {} cold; \
+                 programs {} warm / {} cold ({})",
+                s.runs.warm,
+                s.runs.cold,
+                s.walks.warm,
+                s.walks.cold,
+                s.programs.warm,
+                s.programs.cold,
+                store.dir().display(),
+            ),
+            None => format!(
+                "store: disabled ({} runs simulated, {} walks measured, \
+                 {} programs generated in-process)",
+                s.runs.cold, s.walks.cold, s.programs.cold,
+            ),
+        }
     }
 
     /// The registered profiles, in registration (paper table) order.
@@ -409,8 +550,9 @@ impl Engine {
                     .map(|(k, _)| (*k, self.program(k.profile)))
                     .collect();
                 // Simulate the cold keys in parallel and write each result
-                // back with an atomic rename-into-place, so concurrent
-                // binaries sharing the store never read torn records.
+                // back (a single append per record; concurrent binaries
+                // sharing the store resync past any torn bytes and treat
+                // them as misses, never as torn reports).
                 let fresh: Vec<RunReport> = jobs
                     .par_iter()
                     .map(|(key, program)| {

@@ -11,7 +11,6 @@
 //! all need) are simulated exactly once.
 
 use cfr_types::{AddressingMode, TlbOrganization};
-use cfr_workload::{measure, static_branch_stats, LaidProgram};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{Engine, RunKey};
@@ -291,18 +290,18 @@ pub struct Table4Row {
     pub dyn_in_page: u64,
 }
 
-/// Reproduces Table 4 (functional walk; no pipeline needed — the programs
-/// still come from the engine's shared cache).
+/// Reproduces Table 4 (functional walk; no pipeline needed). The walk
+/// goes through [`Engine::walk_measurement`], so with a store attached a
+/// warm invocation reads the measurements straight from the `walks`
+/// namespace — touching neither the program generator nor the walker.
 #[must_use]
 pub fn table4(engine: &Engine, scale: &ExperimentScale) -> Vec<Table4Row> {
     engine
         .profiles()
         .iter()
         .map(|p| {
-            let program = engine.program(p.name);
-            let laid = LaidProgram::lay_out(&program, cfr_types::PageGeometry::default_4k(), false);
-            let st = static_branch_stats(&laid);
-            let dynamic = measure::measure(&laid, scale.max_commits, scale.seed);
+            let m = engine.walk_measurement(p.name, scale);
+            let (st, dynamic) = (&m.static_branches, &m.functional);
             Table4Row {
                 name: p.name,
                 static_total: st.total,

@@ -67,12 +67,17 @@ mod store;
 mod strategy;
 
 pub use cfr::Cfr;
-pub use engine::{Engine, RunKey};
+pub use cfr_types::store::{
+    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, DEFAULT_STORE_DIR, NS_PROGRAMS, NS_RUNS,
+    NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV,
+    STORE_MAX_BYTES_ENV,
+};
+pub use engine::{Engine, NamespaceTraffic, RunKey, StoreSummary};
 pub use experiment::{
     fig4, fig5, fig6, table2, table3, table4, table5, table6, table6_itlbs, table7, table8,
     ExperimentScale, Fig4Row, Fig6Row, Table2Row, Table3Row, Table4Row, Table6Row, Table8Row,
     FIG4_SCHEMES,
 };
 pub use simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
-pub use store::{Store, DEFAULT_STORE_DIR, STORE_DIR_ENV, STORE_SCHEMA_VERSION};
+pub use store::Store;
 pub use strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};

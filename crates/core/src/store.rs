@@ -1,113 +1,106 @@
-//! The persistent, cross-process run store.
+//! The typed run-report view of the persistent artifact store.
 //!
-//! PR 1's [`Engine`](crate::Engine) deduplicates runs *within* a process;
-//! this store deduplicates them *across* processes: every one of the
-//! `table*`/`fig*` binaries (and `all_experiments`, and repeated
-//! invocations of any of them) shares one content-addressed cache
-//! directory, so a [`RunKey`] is simulated once per machine — the same
-//! "compute a translation once, then reuse it" thesis the paper applies
-//! to instruction-TLB lookups, applied to the evaluation harness itself.
+//! PR 2 introduced a content-addressed, one-file-per-key run store here;
+//! the storage engine has since moved down to
+//! [`cfr_types::store::ArtifactStore`] — a **sharded, packed,
+//! garbage-collected** `(namespace, key) → value` store shared by every
+//! persisted layer (pipeline reports, walk measurements, generated
+//! programs). This module keeps the typed `RunKey → RunReport` surface
+//! the engine uses, over the `runs` namespace:
 //!
-//! # Layout and format
+//! - the store **key** is the [`RunKey`]'s canonical record string
+//!   ([`Store::key_record`]) — equal keys produce byte-equal records, and
+//!   the artifact store verifies a loaded record's key byte-for-byte, so
+//!   collisions and stale entries degrade to misses;
+//! - the store **value** is the [`RunReport`]'s record (floats as exact
+//!   IEEE-754 bits), so a warm read reproduces byte-identical experiment
+//!   output;
+//! - a value that fails to parse as a current-codec report (e.g. one
+//!   written before a codec change) is a **miss** — re-simulated and
+//!   overwritten, never a crash.
 //!
-//! One file per key, named by the FNV-1a 64-bit hash of the key's
-//! canonical record (`<hash>.run`). Each file is plain text:
-//!
-//! ```text
-//! cfr-store <schema-version>
-//! key <RunKey record>
-//! report <RunReport record>
-//! ```
-//!
-//! The records come from the hand-rolled `to_record`/`from_record` codecs
-//! (the vendored `serde` is a no-op facade, see `vendor/README.md`);
-//! floats are stored as exact IEEE-754 bits, so a warm read reproduces
-//! byte-identical experiment output.
-//!
-//! # Robustness rules
-//!
-//! - **Atomic writes**: records are written to a unique temp file in the
-//!   store directory and `rename`d into place, so concurrent binaries
-//!   never observe a torn record. Two processes racing on the same key
-//!   both write complete files; the last rename wins and both are valid.
-//! - **Every read failure is a miss**: missing file, unreadable file,
-//!   wrong magic, wrong schema version, hash collision (the stored key
-//!   record is verified token-for-token against the requested key),
-//!   truncation, trailing garbage, malformed numbers — all of it means
-//!   "re-simulate and overwrite", never a crash.
-//! - **Schema versioning**: bump [`STORE_SCHEMA_VERSION`] whenever a
-//!   codec or [`RunKey`] identity field changes; every existing record
-//!   then reads as stale and the full evaluation re-simulates.
+//! Old-layout (`<hash>.run`, one file per key) store directories are
+//! detected and migrated by [`ArtifactStore::open`]; records whose codecs
+//! still parse keep serving warm, anything else restarts cold.
 
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use cfr_types::{fnv1a64, RecordReader, RecordWriter};
+use cfr_types::{ArtifactStore, GcPolicy, RecordReader, RecordWriter, NS_RUNS};
 
 use crate::engine::RunKey;
 use crate::simulator::RunReport;
 
-/// Version of the on-disk record format. Bumping it invalidates every
-/// existing record (they are re-simulated and overwritten in place).
-pub const STORE_SCHEMA_VERSION: u32 = 1;
-
-/// Environment variable overriding the store directory.
-pub const STORE_DIR_ENV: &str = "CFR_STORE_DIR";
-
-/// Default store directory, relative to the working directory.
-pub const DEFAULT_STORE_DIR: &str = "target/cfr-store";
-
-/// Magic tag opening every record file.
-const STORE_MAGIC: &str = "cfr-store";
-
-/// A content-addressed, crash-tolerant cache of [`RunReport`]s keyed by
-/// [`RunKey`], shared by every process on the machine.
+/// A typed, crash-tolerant cache of [`RunReport`]s keyed by [`RunKey`],
+/// backed by the machine-shared sharded [`ArtifactStore`].
 #[derive(Debug)]
 pub struct Store {
-    dir: PathBuf,
+    artifacts: Arc<ArtifactStore>,
     hits: AtomicU64,
     misses: AtomicU64,
-    write_errors: AtomicU64,
-    tmp_counter: AtomicU64,
 }
 
 impl Store {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, with the
+    /// environment's GC policy (`CFR_STORE_MAX_BYTES` /
+    /// `CFR_STORE_MAX_AGE`).
     ///
     /// # Errors
     ///
     /// Errors if the directory cannot be created.
-    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(Self {
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> io::Result<Self> {
+        Ok(Self::over(Arc::new(ArtifactStore::open(
             dir,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
-            tmp_counter: AtomicU64::new(0),
-        })
+            GcPolicy::from_env(),
+        )?)))
+    }
+
+    /// Opens a store with an explicit GC policy (tests and tooling; the
+    /// environment is shared state a parallel test run must not mutate).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the directory cannot be created.
+    pub fn open_with_policy(
+        dir: impl Into<std::path::PathBuf>,
+        policy: GcPolicy,
+    ) -> io::Result<Self> {
+        Ok(Self::over(Arc::new(ArtifactStore::open(dir, policy)?)))
     }
 
     /// Opens the machine-shared default store: `$CFR_STORE_DIR` if set,
-    /// else [`DEFAULT_STORE_DIR`].
+    /// else [`cfr_types::DEFAULT_STORE_DIR`].
     ///
     /// # Errors
     ///
     /// Errors if the directory cannot be created.
     pub fn open_default() -> io::Result<Self> {
-        match std::env::var_os(STORE_DIR_ENV) {
-            Some(dir) => Self::open(PathBuf::from(dir)),
-            None => Self::open(DEFAULT_STORE_DIR),
+        Ok(Self::over(Arc::new(ArtifactStore::open_default()?)))
+    }
+
+    /// Wraps an already-open artifact store.
+    #[must_use]
+    pub fn over(artifacts: Arc<ArtifactStore>) -> Self {
+        Self {
+            artifacts,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
+    }
+
+    /// The underlying namespaced artifact store (shared with the program
+    /// cache and the walk-measurement path).
+    #[must_use]
+    pub fn artifacts(&self) -> Arc<ArtifactStore> {
+        Arc::clone(&self.artifacts)
     }
 
     /// The store's root directory.
     #[must_use]
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.artifacts.dir()
     }
 
     /// Loads served from disk ("warm" runs).
@@ -117,21 +110,22 @@ impl Store {
     }
 
     /// Loads that fell through to simulation ("cold" runs) — absent,
-    /// stale-schema, corrupt, or mismatched records all count here.
+    /// stale-codec, corrupt, or mismatched records all count here.
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Best-effort writes that failed (diagnostics only; a failed write
-    /// costs a future process one re-simulation, nothing else).
+    /// Best-effort writes that failed anywhere in the artifact store
+    /// (diagnostics only; a failed write costs a future process one
+    /// re-simulation, nothing else).
     #[must_use]
     pub fn write_errors(&self) -> u64 {
-        self.write_errors.load(Ordering::Relaxed)
+        self.artifacts.write_errors()
     }
 
     /// The canonical record identifying `key` — the store's content
-    /// address.
+    /// address within the `runs` namespace.
     #[must_use]
     pub fn key_record(key: &RunKey) -> String {
         let mut w = RecordWriter::new();
@@ -139,19 +133,20 @@ impl Store {
         w.finish()
     }
 
-    /// Where `key`'s record lives (whether or not it exists yet).
-    #[must_use]
-    pub fn path_for(&self, key: &RunKey) -> PathBuf {
-        let hash = fnv1a64(&Self::key_record(key));
-        self.dir.join(format!("{hash:016x}.run"))
-    }
-
     /// Looks `key` up on disk. Any failure — absent, torn, corrupt,
-    /// stale schema, colliding key — is a miss (`None`); the caller
+    /// stale codec, colliding key — is a miss (`None`); the caller
     /// re-simulates and overwrites.
     #[must_use]
     pub fn load(&self, key: &RunKey) -> Option<RunReport> {
-        let report = self.try_load(key);
+        let report = self
+            .artifacts
+            .load(NS_RUNS, &Self::key_record(key))
+            .and_then(|text| {
+                let mut r = RecordReader::new(&text);
+                let report = RunReport::from_record(&mut r).ok()?;
+                r.finish().ok()?;
+                Some(report)
+            });
         match &report {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -159,79 +154,21 @@ impl Store {
         report
     }
 
-    fn try_load(&self, key: &RunKey) -> Option<RunReport> {
-        let text = fs::read_to_string(self.path_for(key)).ok()?;
-        let mut r = RecordReader::new(&text);
-        r.expect(STORE_MAGIC).ok()?;
-        if r.u32().ok()? != STORE_SCHEMA_VERSION {
-            return None; // stale schema: treat as a miss, overwrite later
-        }
-        r.expect("key").ok()?;
-        // Verify the stored key token-for-token against the requested one,
-        // so FNV collisions and stale files degrade to misses instead of
-        // serving a wrong report.
-        let expected = Self::key_record(key);
-        for expected_token in expected.split_ascii_whitespace() {
-            if r.token().ok()? != expected_token {
-                return None;
-            }
-        }
-        r.expect("report").ok()?;
-        let report = RunReport::from_record(&mut r).ok()?;
-        r.finish().ok()?;
-        Some(report)
-    }
-
-    /// Persists `key → report`, atomically replacing any existing record.
-    /// Best-effort: an I/O failure is counted (see
-    /// [`Store::write_errors`]) but never propagated — the report is
+    /// Persists `key → report`. Best-effort: an I/O failure is counted
+    /// (see [`Store::write_errors`]) but never propagated — the report is
     /// already in memory and the run merely stays cold for the next
     /// process.
     pub fn save(&self, key: &RunKey, report: &RunReport) {
-        if self.try_save(key, report).is_err() {
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
-        }
+        let mut w = RecordWriter::new();
+        report.to_record(&mut w);
+        self.artifacts
+            .save(NS_RUNS, &Self::key_record(key), &w.finish());
     }
 
-    fn try_save(&self, key: &RunKey, report: &RunReport) -> io::Result<()> {
-        let mut report_record = RecordWriter::new();
-        report.to_record(&mut report_record);
-        let text = format!(
-            "{STORE_MAGIC} {STORE_SCHEMA_VERSION}\nkey {}\nreport {}\n",
-            Self::key_record(key),
-            report_record.finish(),
-        );
-        let final_path = self.path_for(key);
-        // Unique temp name per (process, write): concurrent writers never
-        // collide, and rename-into-place is atomic on POSIX, so readers
-        // only ever see complete records.
-        let tmp_path = self.dir.join(format!(
-            "{}.tmp.{}.{}",
-            final_path
-                .file_name()
-                .expect("record path has a file name")
-                .to_string_lossy(),
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
-        ));
-        fs::write(&tmp_path, text)?;
-        let renamed = fs::rename(&tmp_path, &final_path);
-        if renamed.is_err() {
-            let _ = fs::remove_file(&tmp_path);
-        }
-        renamed
-    }
-
-    /// Number of complete records currently on disk (diagnostics/tests).
-    ///
-    /// # Errors
-    ///
-    /// Errors if the directory cannot be read.
-    pub fn record_count(&self) -> io::Result<usize> {
-        Ok(fs::read_dir(&self.dir)?
-            .filter_map(Result::ok)
-            .filter(|e| e.path().extension().is_some_and(|ext| ext == "run"))
-            .count())
+    /// Number of live run records currently on disk (diagnostics/tests).
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.artifacts.namespace_records(NS_RUNS)
     }
 }
 
@@ -241,7 +178,9 @@ mod tests {
     use crate::experiment::ExperimentScale;
     use crate::simulator::ItlbChoice;
     use crate::strategy::StrategyKind;
-    use cfr_types::{AddressingMode, TlbOrganization};
+    use cfr_types::{AddressingMode, TlbOrganization, SHARD_COUNT};
+    use std::fs;
+    use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("cfr-store-unit-{tag}-{}", std::process::id()));
@@ -275,6 +214,7 @@ mod tests {
                 hits: 40,
                 misses: 2,
                 invalidations: 0,
+                protection_faults: 0,
             },
             energy,
             breakdown: crate::strategy::LookupBreakdown {
@@ -296,7 +236,7 @@ mod tests {
         assert_eq!(store.hits(), 1);
         assert_eq!(store.misses(), 1);
         assert_eq!(store.write_errors(), 0);
-        assert_eq!(store.record_count().unwrap(), 1);
+        assert_eq!(store.record_count(), 1);
         // A second store over the same directory sees it too.
         let other = Store::open(&dir).unwrap();
         assert_eq!(other.load(&key).as_ref(), Some(&report));
@@ -304,90 +244,104 @@ mod tests {
     }
 
     #[test]
-    fn different_keys_address_different_files() {
+    fn different_keys_have_distinct_records() {
         let dir = temp_dir("addressing");
         let store = Store::open(&dir).unwrap();
         let a = sample_key();
         let b = a.with_itlb(ItlbChoice::Mono(TlbOrganization::fully_associative(8)));
         let c = a.with_il1_bytes(2048);
         let d = a.with_page_bytes(16384);
-        let paths: Vec<_> = [a, b, c, d].iter().map(|k| store.path_for(k)).collect();
-        for (i, p) in paths.iter().enumerate() {
-            for q in &paths[i + 1..] {
+        let records: Vec<_> = [a, b, c, d].iter().map(Store::key_record).collect();
+        for (i, p) in records.iter().enumerate() {
+            for q in &records[i + 1..] {
                 assert_ne!(p, q);
             }
         }
-        // The address is stable across processes *and* store instances:
-        // derived from the record text alone.
-        assert_eq!(Store::open(&dir).unwrap().path_for(&a), paths[0]);
+        // Each key is its own record; storing all four keeps all four.
+        for k in [a, b, c, d] {
+            store.save(&k, &sample_report());
+        }
+        assert_eq!(store.record_count(), 4);
+        // ... in O(shards) files.
+        assert!(fs::read_dir(&dir).unwrap().count() <= SHARD_COUNT as usize);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corruption_and_stale_schema_are_misses() {
+    fn corruption_and_stale_records_are_misses() {
         let dir = temp_dir("corruption");
         let store = Store::open(&dir).unwrap();
         let (key, report) = (sample_key(), sample_report());
         store.save(&key, &report);
-        let path = store.path_for(&key);
 
-        // Garbage content.
-        fs::write(&path, "not a record at all").unwrap();
-        assert_eq!(store.load(&key), None);
-
-        // Truncated (torn-looking) record.
-        store.save(&key, &report);
-        let full = fs::read_to_string(&path).unwrap();
-        fs::write(&path, &full[..full.len() / 2]).unwrap();
-        assert_eq!(store.load(&key), None);
-
-        // Stale schema version.
-        let stale = full.replacen(
-            &format!("{STORE_MAGIC} {STORE_SCHEMA_VERSION}"),
-            &format!("{STORE_MAGIC} {}", STORE_SCHEMA_VERSION + 1),
-            1,
-        );
-        fs::write(&path, stale).unwrap();
-        assert_eq!(store.load(&key), None, "future/stale schema is a miss");
-
-        // Trailing garbage.
-        fs::write(&path, format!("{full} extra")).unwrap();
-        assert_eq!(store.load(&key), None);
-
-        // Overwriting repairs it.
-        store.save(&key, &report);
-        assert_eq!(store.load(&key).as_ref(), Some(&report));
-        let _ = fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn colliding_file_with_wrong_key_is_a_miss() {
-        let dir = temp_dir("collision");
-        let store = Store::open(&dir).unwrap();
-        let a = sample_key();
-        let mut b = a;
-        b.strategy = StrategyKind::Base;
-        store.save(&b, &sample_report());
-        // Simulate an FNV collision: b's record sits at a's address.
-        fs::copy(store.path_for(&b), store.path_for(&a)).unwrap();
-        assert_eq!(store.load(&a), None, "stored key must match the request");
-        let _ = fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn no_tmp_files_left_behind() {
-        let dir = temp_dir("tmpfiles");
-        let store = Store::open(&dir).unwrap();
-        store.save(&sample_key(), &sample_report());
-        store.save(&sample_key(), &sample_report()); // overwrite path too
-        let entries: Vec<_> = fs::read_dir(&dir)
+        // Vandalize every shard file in turn; each kind of damage must
+        // read as a miss on a fresh store, never a crash or wrong report.
+        let shards: Vec<PathBuf> = fs::read_dir(&dir)
             .unwrap()
             .filter_map(Result::ok)
-            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .map(|e| e.path())
             .collect();
-        assert_eq!(entries.len(), 1, "only the record itself: {entries:?}");
-        assert!(entries[0].ends_with(".run"), "{entries:?}");
-        assert_eq!(store.record_count().unwrap(), 1);
+        for vandalism in ["garbage", "", "rec 2 runs 0 99999 99999\ntorn"] {
+            for shard in &shards {
+                fs::write(shard, vandalism).unwrap();
+            }
+            let victim = Store::open(&dir).unwrap();
+            assert_eq!(victim.load(&key), None, "{vandalism:?} must miss");
+            // Overwriting repairs it.
+            victim.save(&key, &report);
+            assert_eq!(victim.load(&key).as_ref(), Some(&report));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_codec_value_is_a_miss() {
+        let dir = temp_dir("stalecodec");
+        let store = Store::open(&dir).unwrap();
+        let key = sample_key();
+        // A value from some future codec: parseable framing, unparseable
+        // report.
+        store.artifacts().save(
+            cfr_types::NS_RUNS,
+            &Store::key_record(&key),
+            "report2 whatever",
+        );
+        assert_eq!(store.load(&key), None);
+        store.save(&key, &sample_report());
+        assert_eq!(store.load(&key).as_ref(), Some(&sample_report()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_layout_migrates_and_serves_warm() {
+        let dir = temp_dir("migration");
+        let (key, report) = (sample_key(), sample_report());
+        // Write a PR 2-style one-file-per-key record by hand (the exact
+        // v1 format: magic+version, key section, report section).
+        fs::create_dir_all(&dir).unwrap();
+        let mut w = RecordWriter::new();
+        report.to_record(&mut w);
+        let v1 = format!(
+            "cfr-store 1\nkey {}\nreport {}\n",
+            Store::key_record(&key),
+            w.finish()
+        );
+        fs::write(dir.join("00ab54a98ceb1f0a.run"), v1).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.artifacts().migrated_records(), 1);
+        assert_eq!(
+            store.load(&key).as_ref(),
+            Some(&report),
+            "migrated v1 records keep serving warm"
+        );
+        assert!(
+            !fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .any(|e| e.path().extension().is_some_and(|x| x == "run")),
+            "v1 files are consumed"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -172,6 +172,7 @@ impl ItlbModel {
                     hits: l1.hits + l2.hits,
                     misses: l2.misses,
                     invalidations: l1.invalidations + l2.invalidations,
+                    protection_faults: l1.protection_faults + l2.protection_faults,
                 }
             }
         }

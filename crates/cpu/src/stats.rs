@@ -141,6 +141,7 @@ mod tests {
             &mut s.l2.writebacks,
             &mut s.dtlb.accesses,
             &mut s.dtlb.invalidations,
+            &mut s.dtlb.protection_faults,
             &mut s.loads,
             &mut s.stores,
         ]) {

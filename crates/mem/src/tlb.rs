@@ -48,6 +48,11 @@ pub struct TlbLookup {
     /// Cycles charged beyond the (caller-owned) lookup cycle: 0 on a hit,
     /// the miss penalty on a miss.
     pub penalty: u32,
+    /// Whether the translation's protection refused the requested access
+    /// (e.g. an instruction fetch of a page allocated read/write) — the
+    /// fault is *reported*, never silently a hit; see
+    /// [`TlbStats::protection_faults`].
+    pub fault: bool,
 }
 
 /// Access/hit/miss counters for one TLB.
@@ -61,6 +66,10 @@ pub struct TlbStats {
     pub misses: u64,
     /// Entries invalidated by OS action.
     pub invalidations: u64,
+    /// Lookups whose translation's protection refused the requested
+    /// access (§3.2: the OS owns the bits; a wrong-protection access must
+    /// surface as a fault, not a silent hit).
+    pub protection_faults: u64,
 }
 
 impl TlbStats {
@@ -74,29 +83,44 @@ impl TlbStats {
         }
     }
 
-    /// Serializes as `tlbstats <accesses> <hits> <misses> <invalidations>`
-    /// (persistent run store codec — the vendored `serde` is a no-op).
+    /// Serializes as `tlbstats2 <accesses> <hits> <misses> <invalidations>
+    /// <protection_faults>` (persistent artifact store codec — the
+    /// vendored `serde` is a no-op).
     pub fn to_record(&self, w: &mut RecordWriter) {
-        w.token("tlbstats");
+        w.token("tlbstats2");
         w.u64(self.accesses);
         w.u64(self.hits);
         w.u64(self.misses);
         w.u64(self.invalidations);
+        w.u64(self.protection_faults);
     }
 
-    /// Parses a [`Self::to_record`] stream.
+    /// Parses a [`Self::to_record`] stream. The pre-fault-model `tlbstats`
+    /// tag (4 counters, PR 2's run store) is still accepted with
+    /// `protection_faults = 0`, so records migrated from a v1 store keep
+    /// serving warm.
     ///
     /// # Errors
     ///
     /// Errors on a malformed stream.
     pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
-        r.expect("tlbstats")?;
-        Ok(Self {
+        let tag = r.token()?;
+        if tag != "tlbstats" && tag != "tlbstats2" {
+            return Err(RecordError::new(format!(
+                "expected tag \"tlbstats2\", found {tag:?}"
+            )));
+        }
+        let mut stats = Self {
             accesses: r.u64()?,
             hits: r.u64()?,
             misses: r.u64()?,
             invalidations: r.u64()?,
-        })
+            protection_faults: 0,
+        };
+        if tag == "tlbstats2" {
+            stats.protection_faults = r.u64()?;
+        }
+        Ok(stats)
     }
 }
 
@@ -160,26 +184,47 @@ impl Tlb {
     }
 
     /// Looks `vpn` up; on a miss, walks `page_table` and refills. `prot`
-    /// is the protection requested for a first-touch allocation — an iTLB
-    /// passes [`Protection::code`], a dTLB [`Protection::data`] (the page
-    /// table's "first touch wins" makes whatever is passed here permanent).
+    /// plays two roles: it is the protection requested for a first-touch
+    /// allocation — an iTLB passes [`Protection::code`], a dTLB
+    /// [`Protection::data`] (the page table's "first touch wins" makes
+    /// whatever is passed here permanent) — *and* the access right this
+    /// lookup demands. A translation whose resident protection lacks any
+    /// requested bit (an instruction fetch of a data page, a write to a
+    /// code page) reports a **protection fault**: the lookup still
+    /// returns the translation, but [`TlbLookup::fault`] is set and
+    /// [`TlbStats::protection_faults`] counts it instead of the access
+    /// silently passing as an ordinary hit.
     pub fn lookup(&mut self, vpn: Vpn, page_table: &mut PageTable, prot: Protection) -> TlbLookup {
         if let Some((pfn, resident_prot)) = self.access(vpn) {
+            let fault = self.note_fault(resident_prot, prot);
             return TlbLookup {
                 hit: true,
                 pfn,
                 prot: resident_prot,
                 penalty: 0,
+                fault,
             };
         }
-        let (pfn, prot) = page_table.translate(vpn, prot);
-        self.refill(vpn, pfn, prot);
+        let (pfn, translated_prot) = page_table.translate(vpn, prot);
+        self.refill(vpn, pfn, translated_prot);
+        let fault = self.note_fault(translated_prot, prot);
         TlbLookup {
             hit: false,
             pfn,
-            prot,
+            prot: translated_prot,
             penalty: self.cfg.miss_penalty,
+            fault,
         }
+    }
+
+    /// Checks `granted` against the `requested` access rights, counting a
+    /// protection fault when any requested bit is missing.
+    fn note_fault(&mut self, granted: Protection, requested: Protection) -> bool {
+        let fault = !granted.permits(requested);
+        if fault {
+            self.stats.protection_faults += 1;
+        }
+        fault
     }
 
     /// Probe-style counted lookup: charges an access, updates LRU and
@@ -303,6 +348,10 @@ pub struct TwoLevelLookup {
     /// Cycles beyond the caller-owned L1 lookup cycle: the serial L2 lookup
     /// adds `l2_latency`; a full miss adds the walk penalty.
     pub penalty: u32,
+    /// Whether the translation's protection refused the requested access
+    /// (counted on the level that served the translation; see
+    /// [`TlbLookup::fault`]).
+    pub fault: bool,
 }
 
 /// A two-level TLB with *serial* lookup: level 2 is consulted only on a
@@ -389,33 +438,41 @@ impl TwoLevelTlb {
         prot: Protection,
     ) -> TwoLevelLookup {
         if let Some((pfn, resident_prot)) = self.l1.access(vpn) {
+            let fault = self.l1.note_fault(resident_prot, prot);
             return TwoLevelLookup {
                 l1_hit: true,
                 l2_hit: None,
                 pfn,
                 prot: resident_prot,
                 penalty: 0,
+                fault,
             };
         }
         if let Some((pfn, resident_prot)) = self.l2.access(vpn) {
             self.l1.install(vpn, pfn, resident_prot);
+            let fault = self.l2.note_fault(resident_prot, prot);
             return TwoLevelLookup {
                 l1_hit: false,
                 l2_hit: Some(true),
                 pfn,
                 prot: resident_prot,
                 penalty: self.l2_latency,
+                fault,
             };
         }
-        let (pfn, prot) = page_table.translate(vpn, prot);
-        self.l2.install(vpn, pfn, prot);
-        self.l1.install(vpn, pfn, prot);
+        let (pfn, translated_prot) = page_table.translate(vpn, prot);
+        self.l2.install(vpn, pfn, translated_prot);
+        self.l1.install(vpn, pfn, translated_prot);
+        // A full miss walked the page table; the walk's result is checked
+        // (and any fault counted) at the level that owns the walk, L2.
+        let fault = self.l2.note_fault(translated_prot, prot);
         TwoLevelLookup {
             l1_hit: false,
             l2_hit: Some(false),
             pfn,
-            prot,
+            prot: translated_prot,
             penalty: self.l2_latency + self.l2.cfg.miss_penalty,
+            fault,
         }
     }
 
@@ -656,6 +713,7 @@ mod tests {
             hits: 123_000_000,
             misses: 456_789,
             invalidations: 7,
+            protection_faults: 3,
         };
         let mut w = RecordWriter::new();
         stats.to_record(&mut w);
@@ -663,8 +721,87 @@ mod tests {
         let mut r = RecordReader::new(&record);
         assert_eq!(TlbStats::from_record(&mut r).unwrap(), stats);
         r.finish().unwrap();
-        assert!(TlbStats::from_record(&mut RecordReader::new("cachestats 1 2 3 4")).is_err());
-        assert!(TlbStats::from_record(&mut RecordReader::new("tlbstats 1 2")).is_err());
+        assert!(TlbStats::from_record(&mut RecordReader::new("cachestats 1 2 3 4 5")).is_err());
+        assert!(TlbStats::from_record(&mut RecordReader::new("tlbstats2 1 2")).is_err());
+    }
+
+    #[test]
+    fn tlb_stats_accepts_pre_fault_records() {
+        // PR 2's run store wrote the 4-counter `tlbstats` tag; records
+        // migrated from a v1 store must keep parsing (with zero faults)
+        // so migration actually preserves warm runs.
+        let mut r = RecordReader::new("tlbstats 10 8 2 1");
+        let stats = TlbStats::from_record(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(
+            stats,
+            TlbStats {
+                accesses: 10,
+                hits: 8,
+                misses: 2,
+                invalidations: 1,
+                protection_faults: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_protection_access_faults_instead_of_silently_hitting() {
+        // Regression (§3.2 OS support): a dTLB allocates a page
+        // read/write; an instruction fetch of that page must report a
+        // protection fault, not pass as an ordinary hit.
+        let mut dtlb = Tlb::new(TlbConfig::default_dtlb());
+        let mut itlb = Tlb::new(TlbConfig::default_itlb());
+        let mut pt = PageTable::new();
+        let alloc = dtlb.lookup(Vpn::new(9), &mut pt, Protection::data());
+        assert!(!alloc.fault, "matching first touch is clean");
+        assert_eq!(dtlb.stats().protection_faults, 0);
+
+        // Fetching from the data page: resident (page-table) prot is rw-,
+        // the fetch requests r-x — missing EXECUTE is a fault.
+        let fetch = itlb.lookup(Vpn::new(9), &mut pt, Protection::code());
+        assert!(fetch.fault, "executing a data page faults");
+        assert!(!fetch.hit, "cold iTLB: fault detected on the walk result");
+        assert_eq!(fetch.prot, Protection::data(), "first touch won");
+        assert_eq!(itlb.stats().protection_faults, 1);
+
+        // The faulting translation is now resident: the *hit* path
+        // reports (and counts) the fault too.
+        let again = itlb.lookup(Vpn::new(9), &mut pt, Protection::code());
+        assert!(again.hit && again.fault);
+        assert_eq!(itlb.stats().protection_faults, 2);
+
+        // And the symmetric case: writing a code page faults in the dTLB.
+        itlb.lookup(Vpn::new(4), &mut pt, Protection::code());
+        let write = dtlb.lookup(Vpn::new(4), &mut pt, Protection::data());
+        assert!(write.fault, "writing a code page faults");
+        assert_eq!(dtlb.stats().protection_faults, 1);
+    }
+
+    #[test]
+    fn two_level_counts_faults_at_the_serving_level() {
+        let mut t = TwoLevelTlb::fig6_small();
+        let mut dtlb = Tlb::new(TlbConfig::default_dtlb());
+        let mut pt = PageTable::new();
+        dtlb.lookup(Vpn::new(3), &mut pt, Protection::data());
+
+        // Full miss: the walk's result is checked at L2.
+        let cold = t.lookup(Vpn::new(3), &mut pt, Protection::code());
+        assert!(cold.fault);
+        assert_eq!(t.l2().stats().protection_faults, 1);
+        assert_eq!(t.l1().stats().protection_faults, 0);
+
+        // L1 hit: counted at L1.
+        let hot = t.lookup(Vpn::new(3), &mut pt, Protection::code());
+        assert!(hot.l1_hit && hot.fault);
+        assert_eq!(t.l1().stats().protection_faults, 1);
+
+        // Displace from the 1-entry L1, then return: L2 hit counts at L2.
+        t.lookup(Vpn::new(8), &mut pt, Protection::code());
+        let l2_hit = t.lookup(Vpn::new(3), &mut pt, Protection::code());
+        assert_eq!(l2_hit.l2_hit, Some(true));
+        assert!(l2_hit.fault);
+        assert_eq!(t.l2().stats().protection_faults, 2);
     }
 
     #[test]

@@ -27,12 +27,18 @@ mod org;
 mod page;
 mod protection;
 pub mod record;
+pub mod store;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
 pub use org::{AddressingMode, CacheOrganization, TlbOrganization};
 pub use page::{PageGeometry, PageGeometryError};
 pub use protection::Protection;
 pub use record::{fnv1a64, RecordError, RecordReader, RecordWriter};
+pub use store::{
+    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, DEFAULT_STORE_DIR, NS_PROGRAMS, NS_RUNS,
+    NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV,
+    STORE_MAX_BYTES_ENV,
+};
 
 /// Number of bytes every instruction occupies in the synthetic ISA.
 ///

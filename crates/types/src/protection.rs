@@ -66,6 +66,16 @@ impl Protection {
     pub const fn executable(self) -> bool {
         self.bits & Self::EXECUTE != 0
     }
+
+    /// Whether this protection grants everything `requested` asks for —
+    /// the access check the OS-owned bits exist to enforce (§3.2): an
+    /// instruction fetch requests [`Protection::code`], a data access
+    /// [`Protection::data`], and a resident translation lacking any
+    /// requested bit is a protection fault.
+    #[must_use]
+    pub const fn permits(self, requested: Protection) -> bool {
+        self.bits & requested.bits == requested.bits
+    }
 }
 
 impl Default for Protection {
@@ -117,5 +127,22 @@ mod tests {
     #[test]
     fn default_is_code() {
         assert_eq!(Protection::default(), Protection::code());
+    }
+
+    #[test]
+    fn permits_requires_every_requested_bit() {
+        assert!(Protection::code().permits(Protection::code()));
+        assert!(Protection::data().permits(Protection::data()));
+        assert!(
+            !Protection::data().permits(Protection::code()),
+            "rw- lacks x"
+        );
+        assert!(
+            !Protection::code().permits(Protection::data()),
+            "r-x lacks w"
+        );
+        let read_only = Protection::from_bits(Protection::READ);
+        assert!(Protection::code().permits(read_only));
+        assert!(!read_only.permits(Protection::code()));
     }
 }

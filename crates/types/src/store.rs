@@ -1,0 +1,1145 @@
+//! The sharded, packed, garbage-collected artifact store.
+//!
+//! PR 2's run store wrote **one file per key** — simple, but it scales to
+//! thousands of records, never evicts, and only ever held pipeline
+//! reports. This module replaces that layout with a generic, namespaced
+//! artifact store every expensive layer of the stack persists into:
+//! pipeline reports (`runs`), functional walk measurements (`walks`), and
+//! generated programs (`programs`). Typed codecs live with their types;
+//! this store only moves opaque `(namespace, key) → value` record strings.
+//!
+//! # Layout
+//!
+//! The store directory holds a fixed number of **shard files**
+//! (`shard-00.cfr` … `shard-15.cfr`; [`SHARD_COUNT`] total — O(shards)
+//! files no matter how many records). A record's shard is the FNV-1a hash
+//! of its `namespace + key` modulo [`SHARD_COUNT`]. Each shard file is an
+//! append-only sequence of length-prefixed text records:
+//!
+//! ```text
+//! rec <format-version> <namespace> <stamp> <key-bytes> <value-bytes>\n
+//! <key>\n
+//! <value>\n
+//! ```
+//!
+//! `stamp` is the record's write time (Unix seconds) and drives age-based
+//! GC; `<key>`/`<value>` are single-line record strings produced by the
+//! `to_record` codecs. The **last** record for a `(namespace, key)` pair
+//! in a shard wins; earlier ones are dead bytes until compaction.
+//!
+//! An in-memory index (`(namespace, key) → shard/offset/length`) is built
+//! by scanning every shard once at open; loads seek straight to the
+//! record and verify the stored namespace and key byte-for-byte before
+//! returning the value, so a stale index entry, hash collision, or
+//! mid-compaction racing reader degrades to a **miss**, never a wrong
+//! answer.
+//!
+//! # Garbage collection
+//!
+//! [`GcPolicy`] carries two knobs, read from the environment by
+//! [`GcPolicy::from_env`]:
+//!
+//! - `CFR_STORE_MAX_BYTES` — total on-disk budget; when the shard files
+//!   exceed it, live records are evicted **oldest first** (by stamp, then
+//!   file order) until the live set fits.
+//! - `CFR_STORE_MAX_AGE` — maximum record age in seconds; older records
+//!   are evicted regardless of the byte budget.
+//!
+//! [`ArtifactStore::gc`] (run automatically at open and whenever a save
+//! pushes the store over budget) drops dead and evicted records by
+//! **compacting** each dirty shard: surviving record bytes are copied
+//! verbatim into a temp file that is atomically renamed over the shard,
+//! so post-compaction reads are byte-identical and a crashed compaction
+//! leaves the old shard intact.
+//!
+//! # Migration
+//!
+//! A v1 store directory (one `<hash>.run` file per key) is detected at
+//! open and migrated transparently: parseable v1 records are re-appended
+//! into the `runs` namespace (keeping their file mtime as the stamp) and
+//! the old files are removed. Anything unparseable is simply dropped — a
+//! cold start, never a crash.
+//!
+//! # Robustness rules
+//!
+//! Inherited from PR 2 and still load-bearing:
+//!
+//! - **Appends are single `write` calls** on `O_APPEND` descriptors; a
+//!   torn or interleaved append is skipped by the scanner's resync (it
+//!   searches for the next `\nrec ` boundary) and costs one future
+//!   recomputation, nothing else.
+//! - **Every read failure is a miss** — absent, torn, stale-format,
+//!   mismatched, or non-UTF-8 records all mean "recompute and overwrite".
+//! - **Format versioning**: records framed with a different
+//!   [`STORE_FORMAT_VERSION`] are dead on scan; bump it whenever the
+//!   framing changes.
+
+use std::collections::HashMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::record::fnv1a64;
+
+/// Version of the shard-file record framing. Bumping it invalidates every
+/// record (they read as dead and are recomputed).
+pub const STORE_FORMAT_VERSION: u32 = 2;
+
+/// Number of shard files per store. The directory holds O(`SHARD_COUNT`)
+/// files regardless of how many records live in the store.
+pub const SHARD_COUNT: u32 = 16;
+
+/// Environment variable overriding the store directory.
+pub const STORE_DIR_ENV: &str = "CFR_STORE_DIR";
+
+/// Default store directory, relative to the working directory.
+pub const DEFAULT_STORE_DIR: &str = "target/cfr-store";
+
+/// Environment variable capping the store's total on-disk bytes.
+pub const STORE_MAX_BYTES_ENV: &str = "CFR_STORE_MAX_BYTES";
+
+/// Environment variable capping record age, in seconds.
+pub const STORE_MAX_AGE_ENV: &str = "CFR_STORE_MAX_AGE";
+
+/// Namespace holding pipeline run reports (`RunKey → RunReport`).
+pub const NS_RUNS: &str = "runs";
+
+/// Namespace holding functional walk measurements.
+pub const NS_WALKS: &str = "walks";
+
+/// Namespace holding generated benchmark programs.
+pub const NS_PROGRAMS: &str = "programs";
+
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// Size/age bounds a store enforces at GC time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Total on-disk byte budget across all shard files (`None` =
+    /// unbounded).
+    pub max_bytes: Option<u64>,
+    /// Maximum record age in seconds (`None` = records never expire).
+    pub max_age_secs: Option<u64>,
+}
+
+impl GcPolicy {
+    /// No bounds: records live until explicitly compacted away.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Reads [`STORE_MAX_BYTES_ENV`] and [`STORE_MAX_AGE_ENV`];
+    /// unset or unparsable values mean unbounded.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        Self {
+            max_bytes: parse(STORE_MAX_BYTES_ENV),
+            max_age_secs: parse(STORE_MAX_AGE_ENV),
+        }
+    }
+
+    /// Whether either bound is set.
+    #[must_use]
+    pub fn bounded(&self) -> bool {
+        self.max_bytes.is_some() || self.max_age_secs.is_some()
+    }
+}
+
+/// Where one live record sits on disk.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    shard: u32,
+    offset: u64,
+    bytes: u64,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct Index {
+    map: HashMap<(String, String), Slot>,
+    /// Physical size of each shard file as last observed by this process.
+    file_bytes: Vec<u64>,
+    /// Shards whose scanned tail was not a complete record (a torn write
+    /// from a crashed process). Appending directly after such a tail
+    /// would fuse the new record onto the garbage (`...tornrec ...` has
+    /// no `\nrec ` boundary to resync to), so the next append to a dirty
+    /// shard is prefixed with a newline guard.
+    dirty_tail: Vec<bool>,
+}
+
+impl Index {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            file_bytes: vec![0; SHARD_COUNT as usize],
+            dirty_tail: vec![false; SHARD_COUNT as usize],
+        }
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.map.values().map(|s| s.bytes).sum()
+    }
+
+    fn total_file_bytes(&self) -> u64 {
+        self.file_bytes.iter().sum()
+    }
+}
+
+/// One record parsed out of a shard byte buffer.
+struct ParsedRecord<'a> {
+    ns: &'a str,
+    stamp: u64,
+    key: &'a str,
+    value: &'a str,
+    /// Total framed length (header line + key line + value line).
+    bytes: u64,
+}
+
+/// Parses the record starting at `pos`, or `None` if the bytes there are
+/// not one complete, current-version, UTF-8 record.
+fn parse_record_at(data: &[u8], pos: usize) -> Option<ParsedRecord<'_>> {
+    let rest = data.get(pos..)?;
+    if !rest.starts_with(b"rec ") {
+        return None;
+    }
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let header = core::str::from_utf8(&rest[..nl]).ok()?;
+    let mut t = header.split_ascii_whitespace();
+    if t.next()? != "rec" || t.next()?.parse::<u32>().ok()? != STORE_FORMAT_VERSION {
+        return None;
+    }
+    let ns = t.next()?;
+    let stamp = t.next()?.parse::<u64>().ok()?;
+    let klen: usize = t.next()?.parse().ok()?;
+    let vlen: usize = t.next()?.parse().ok()?;
+    if t.next().is_some() {
+        return None;
+    }
+    let key_start = nl + 1;
+    let key_end = key_start.checked_add(klen)?;
+    let val_start = key_end.checked_add(1)?;
+    let val_end = val_start.checked_add(vlen)?;
+    // Fully checked arithmetic: a corrupt length header (e.g. lengths
+    // summing near usize::MAX) must be a miss, never an overflow panic.
+    let total = val_end.checked_add(1)?;
+    if total > rest.len() || rest[key_end] != b'\n' || rest[val_end] != b'\n' {
+        return None;
+    }
+    Some(ParsedRecord {
+        ns,
+        stamp,
+        key: core::str::from_utf8(&rest[key_start..key_end]).ok()?,
+        value: core::str::from_utf8(&rest[val_start..val_end]).ok()?,
+        bytes: total as u64,
+    })
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Per-shard occupancy figures (diagnostics / `store_gc`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Shard number.
+    pub shard: u32,
+    /// Physical file size in bytes.
+    pub file_bytes: u64,
+    /// Live (latest-per-key) records in this shard.
+    pub live_records: u64,
+    /// Bytes those live records occupy.
+    pub live_bytes: u64,
+}
+
+/// What one [`ArtifactStore::gc`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Live records after the pass.
+    pub live_records: u64,
+    /// Bytes those records occupy (equals the shard files' total size
+    /// after a clean pass).
+    pub live_bytes: u64,
+    /// Dead (superseded or unparseable) bytes dropped by compaction.
+    pub dead_bytes_dropped: u64,
+    /// Records evicted because they exceeded `max_age_secs`.
+    pub evicted_age: u64,
+    /// Records evicted (oldest first) to fit under `max_bytes`.
+    pub evicted_size: u64,
+    /// Shard files rewritten.
+    pub shards_rewritten: u32,
+}
+
+/// A sharded, packed, garbage-collected `(namespace, key) → value` store
+/// of record strings, shared by every process on the machine.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    policy: GcPolicy,
+    index: Mutex<Index>,
+    write_errors: AtomicU64,
+    evicted: AtomicU64,
+    tmp_counter: AtomicU64,
+    migrated: u64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`, migrating any
+    /// v1 one-file-per-key layout found there and applying `policy`'s
+    /// bounds once.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the directory cannot be created. Unreadable shard files
+    /// or v1 records are not errors — they read as empty/cold.
+    pub fn open(dir: impl Into<PathBuf>, policy: GcPolicy) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let v1 = collect_v1_records(&dir);
+        let mut index = Index::new();
+        for shard in 0..SHARD_COUNT {
+            scan_shard(&dir, shard, &mut index);
+        }
+        let mut store = Self {
+            dir,
+            policy,
+            index: Mutex::new(index),
+            write_errors: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+            migrated: 0,
+        };
+        for (path, key, value, stamp) in v1 {
+            // A record already in the shards is newer than any straggler
+            // v1 file (migration appends, and appends win) — skip it.
+            let present = store
+                .index
+                .lock()
+                .expect("store index poisoned")
+                .map
+                .contains_key(&(NS_RUNS.to_string(), key.clone()));
+            if present {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            // The old file is removed only once the replacement append
+            // actually landed — a failed write must not lose a record
+            // that was intact on disk.
+            if store.try_save(NS_RUNS, &key, &value, stamp).is_ok() {
+                store.migrated += 1;
+                let _ = fs::remove_file(&path);
+            } else {
+                store.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if store.policy.bounded() {
+            let _ = store.gc();
+        }
+        Ok(store)
+    }
+
+    /// Opens the machine-shared default store: `$CFR_STORE_DIR` if set,
+    /// else [`DEFAULT_STORE_DIR`], with the environment's GC policy.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the directory cannot be created.
+    pub fn open_default() -> io::Result<Self> {
+        let dir = std::env::var_os(STORE_DIR_ENV)
+            .map_or_else(|| PathBuf::from(DEFAULT_STORE_DIR), PathBuf::from);
+        Self::open(dir, GcPolicy::from_env())
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The GC bounds this store enforces.
+    #[must_use]
+    pub fn policy(&self) -> GcPolicy {
+        self.policy
+    }
+
+    /// Best-effort writes that failed (diagnostics only; a failed write
+    /// costs a future process one recomputation, nothing else).
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Records evicted by GC over this store's lifetime.
+    #[must_use]
+    pub fn evicted_records(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// v1 records migrated into the sharded layout at open.
+    #[must_use]
+    pub fn migrated_records(&self) -> u64 {
+        self.migrated
+    }
+
+    fn shard_of(&self, ns: &str, key: &str) -> u32 {
+        // '\n' can never appear inside a record string, so it is a safe
+        // separator: ("a", "bc") and ("ab", "c") hash differently.
+        (fnv1a64(&format!("{ns}\n{key}")) % u64::from(SHARD_COUNT)) as u32
+    }
+
+    fn shard_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard:02}.cfr"))
+    }
+
+    /// Looks `(ns, key)` up. Any failure — absent, torn, compacted away
+    /// underneath us, colliding bytes — is a miss (`None`); the caller
+    /// recomputes and overwrites.
+    #[must_use]
+    pub fn load(&self, ns: &str, key: &str) -> Option<String> {
+        let map_key = (ns.to_string(), key.to_string());
+        let slot = {
+            let index = self.index.lock().expect("store index poisoned");
+            index.map.get(&map_key).copied()
+        }?;
+        let value = self.read_slot(ns, key, slot);
+        if value.is_none() {
+            // The shard changed underneath the index (e.g. another
+            // process compacted it). Drop the stale entry so a later
+            // save can repair it.
+            self.index
+                .lock()
+                .expect("store index poisoned")
+                .map
+                .remove(&map_key);
+        }
+        value
+    }
+
+    fn read_slot(&self, ns: &str, key: &str, slot: Slot) -> Option<String> {
+        let mut f = fs::File::open(self.shard_path(slot.shard)).ok()?;
+        f.seek(SeekFrom::Start(slot.offset)).ok()?;
+        let mut buf = vec![0u8; usize::try_from(slot.bytes).ok()?];
+        f.read_exact(&mut buf).ok()?;
+        let rec = parse_record_at(&buf, 0)?;
+        // Verify the stored namespace and key byte-for-byte against the
+        // request, so stale offsets and collisions degrade to misses
+        // instead of serving a wrong value.
+        (rec.bytes == slot.bytes && rec.ns == ns && rec.key == key).then(|| rec.value.to_string())
+    }
+
+    /// Persists `(ns, key) → value`, stamped with the current time.
+    /// Best-effort: an I/O failure is counted (see
+    /// [`ArtifactStore::write_errors`]) but never propagated.
+    pub fn save(&self, ns: &str, key: &str, value: &str) {
+        self.save_stamped(ns, key, value, now_secs());
+    }
+
+    /// [`ArtifactStore::save`] with an explicit stamp — used by migration
+    /// (to keep a record's original age) and by GC tests/tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is not a single whitespace-free token or if `key`
+    /// or `value` contain a newline (the framing's record separator).
+    pub fn save_stamped(&self, ns: &str, key: &str, value: &str, stamp: u64) {
+        assert!(
+            !ns.is_empty() && !ns.contains(char::is_whitespace),
+            "namespace must be one token: {ns:?}"
+        );
+        assert!(
+            !key.contains('\n') && !value.contains('\n') && !key.is_empty(),
+            "keys and values are single-line record strings"
+        );
+        if self.try_save(ns, key, value, stamp).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_save(&self, ns: &str, key: &str, value: &str, stamp: u64) -> io::Result<()> {
+        let record = format!(
+            "rec {STORE_FORMAT_VERSION} {ns} {stamp} {} {}\n{key}\n{value}\n",
+            key.len(),
+            value.len(),
+        );
+        let shard = self.shard_of(ns, key);
+        let mut index = self.index.lock().expect("store index poisoned");
+        let mut f = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.shard_path(shard))?;
+        // A shard whose scanned tail was torn gets one newline guard in
+        // front of the record, restoring the `\nrec ` boundary scanners
+        // resync to. The guard byte is dead and compacts away later.
+        let buf = if index.dirty_tail[shard as usize] {
+            format!("\n{record}")
+        } else {
+            record.clone()
+        };
+        // One write call: concurrent appenders from other processes can
+        // only interleave whole records (and a torn tail is resynced past
+        // by the scanner).
+        f.write_all(buf.as_bytes())?;
+        let end = f.stream_position()?;
+        index.file_bytes[shard as usize] = end;
+        index.dirty_tail[shard as usize] = false;
+        index.map.insert(
+            (ns.to_string(), key.to_string()),
+            Slot {
+                shard,
+                offset: end - record.len() as u64,
+                bytes: record.len() as u64,
+                stamp,
+            },
+        );
+        if let Some(cap) = self.policy.max_bytes {
+            if index.total_file_bytes() > cap {
+                self.gc_locked(&mut index);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the GC policy and compacts: drops dead bytes, evicts
+    /// expired records, then evicts oldest-first until the live set fits
+    /// the byte budget. Dirty shards are rewritten via atomic rename;
+    /// surviving records keep their exact bytes.
+    pub fn gc(&self) -> GcReport {
+        let mut index = self.index.lock().expect("store index poisoned");
+        self.gc_locked(&mut index)
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn gc_locked(&self, index: &mut Index) -> GcReport {
+        let now = now_secs();
+        let mut report = GcReport::default();
+
+        // Age eviction.
+        if let Some(age) = self.policy.max_age_secs {
+            let expired: Vec<(String, String)> = index
+                .map
+                .iter()
+                .filter(|(_, s)| s.stamp.saturating_add(age) < now)
+                .map(|(k, _)| k.clone())
+                .collect();
+            report.evicted_age = expired.len() as u64;
+            for k in expired {
+                index.map.remove(&k);
+            }
+        }
+
+        // Size eviction: oldest first (stamp, then shard file order).
+        if let Some(cap) = self.policy.max_bytes {
+            let mut live = index.live_bytes();
+            if live > cap {
+                let mut order: Vec<((String, String), Slot)> =
+                    index.map.iter().map(|(k, s)| (k.clone(), *s)).collect();
+                order.sort_by_key(|(_, s)| (s.stamp, s.shard, s.offset));
+                for (k, s) in order {
+                    if live <= cap {
+                        break;
+                    }
+                    live -= s.bytes;
+                    index.map.remove(&k);
+                    report.evicted_size += 1;
+                }
+            }
+        }
+
+        // Compact every shard whose file holds more than its live bytes.
+        for shard in 0..SHARD_COUNT {
+            let mut survivors: Vec<((String, String), Slot)> = index
+                .map
+                .iter()
+                .filter(|(_, s)| s.shard == shard)
+                .map(|(k, s)| (k.clone(), *s))
+                .collect();
+            survivors.sort_by_key(|(_, s)| s.offset);
+            let live_bytes: u64 = survivors.iter().map(|(_, s)| s.bytes).sum();
+            let file_bytes = index.file_bytes[shard as usize];
+            if live_bytes == file_bytes {
+                continue;
+            }
+            report.dead_bytes_dropped += file_bytes.saturating_sub(live_bytes);
+            let path = self.shard_path(shard);
+            let data = fs::read(&path).unwrap_or_default();
+            let mut out = Vec::with_capacity(live_bytes as usize);
+            let mut moved = Vec::with_capacity(survivors.len());
+            for (k, s) in survivors {
+                let start = s.offset as usize;
+                let end = start + s.bytes as usize;
+                // Copy the surviving record bytes *verbatim*, so a
+                // post-compaction read is byte-identical to the original.
+                if end <= data.len() {
+                    let new_offset = out.len() as u64;
+                    out.extend_from_slice(&data[start..end]);
+                    moved.push((
+                        k,
+                        Slot {
+                            shard,
+                            offset: new_offset,
+                            bytes: s.bytes,
+                            stamp: s.stamp,
+                        },
+                    ));
+                } else {
+                    // The file shrank underneath us (external change):
+                    // the record is lost; drop it from the index.
+                    index.map.remove(&k);
+                }
+            }
+            let tmp = self.dir.join(format!(
+                "shard-{shard:02}.tmp.{}.{}",
+                std::process::id(),
+                self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+            ));
+            let written = fs::write(&tmp, &out).and_then(|()| fs::rename(&tmp, &path));
+            if written.is_err() {
+                let _ = fs::remove_file(&tmp);
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                continue; // old shard file intact; index offsets still valid
+            }
+            for (k, s) in moved {
+                index.map.insert(k, s);
+            }
+            index.file_bytes[shard as usize] = out.len() as u64;
+            index.dirty_tail[shard as usize] = false;
+            report.shards_rewritten += 1;
+        }
+
+        report.live_records = index.map.len() as u64;
+        report.live_bytes = index.live_bytes();
+        self.evicted
+            .fetch_add(report.evicted_age + report.evicted_size, Ordering::Relaxed);
+        report
+    }
+
+    /// Live (latest-per-key) records across all namespaces.
+    #[must_use]
+    pub fn live_records(&self) -> usize {
+        self.index.lock().expect("store index poisoned").map.len()
+    }
+
+    /// Live records in one namespace.
+    #[must_use]
+    pub fn namespace_records(&self, ns: &str) -> usize {
+        self.index
+            .lock()
+            .expect("store index poisoned")
+            .map
+            .keys()
+            .filter(|(n, _)| n == ns)
+            .count()
+    }
+
+    /// Bytes the live records occupy.
+    #[must_use]
+    pub fn live_bytes(&self) -> u64 {
+        self.index
+            .lock()
+            .expect("store index poisoned")
+            .live_bytes()
+    }
+
+    /// Total physical size of the shard files (live + dead bytes).
+    #[must_use]
+    pub fn file_bytes(&self) -> u64 {
+        self.index
+            .lock()
+            .expect("store index poisoned")
+            .total_file_bytes()
+    }
+
+    /// Per-shard occupancy, in shard order.
+    #[must_use]
+    pub fn shard_occupancy(&self) -> Vec<ShardOccupancy> {
+        let index = self.index.lock().expect("store index poisoned");
+        let mut out: Vec<ShardOccupancy> = (0..SHARD_COUNT)
+            .map(|shard| ShardOccupancy {
+                shard,
+                file_bytes: index.file_bytes[shard as usize],
+                live_records: 0,
+                live_bytes: 0,
+            })
+            .collect();
+        for slot in index.map.values() {
+            let o = &mut out[slot.shard as usize];
+            o.live_records += 1;
+            o.live_bytes += slot.bytes;
+        }
+        out
+    }
+}
+
+fn scan_shard(dir: &Path, shard: u32, index: &mut Index) {
+    let path = dir.join(format!("shard-{shard:02}.cfr"));
+    let Ok(data) = fs::read(&path) else {
+        index.file_bytes[shard as usize] = 0;
+        return;
+    };
+    index.file_bytes[shard as usize] = data.len() as u64;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        if let Some(rec) = parse_record_at(&data, pos) {
+            // Later records win: append order is write order.
+            index.map.insert(
+                (rec.ns.to_string(), rec.key.to_string()),
+                Slot {
+                    shard,
+                    offset: pos as u64,
+                    bytes: rec.bytes,
+                    stamp: rec.stamp,
+                },
+            );
+            pos += rec.bytes as usize;
+        } else {
+            // Corrupt or foreign bytes: resync to the next plausible
+            // record boundary; everything skipped is dead.
+            match find_subsequence(&data[pos + 1..], b"\nrec ") {
+                Some(i) => pos = pos + 1 + i + 1,
+                None => {
+                    // The tail is garbage: the next append must restore
+                    // the record boundary with a newline guard.
+                    index.dirty_tail[shard as usize] = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Reads every v1 (`<hash>.run`) record file in `dir`, returning the
+/// parseable ones as `(path, key, value, stamp)`. The
+/// parseable files are left in place — the caller removes each only
+/// after its replacement append has landed in a shard. Unparseable
+/// `.run` files hold nothing recoverable and are consumed here (a cold
+/// start for that key, never a crash).
+fn collect_v1_records(dir: &Path) -> Vec<(PathBuf, String, String, u64)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.extension().is_none_or(|ext| ext != "run") {
+            continue;
+        }
+        let parsed = fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_v1_record(&text));
+        match parsed {
+            Some((key, value)) => {
+                let stamp = fs::metadata(&path)
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                    .map_or_else(now_secs, |d| d.as_secs());
+                out.push((path, key, value, stamp));
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+    out
+}
+
+/// Parses a v1 record file (`cfr-store 1\nkey <key record>\nreport
+/// <report record>`) into its key and value record strings. The report
+/// record's own leading `report` tag is part of the value.
+fn parse_v1_record(text: &str) -> Option<(String, String)> {
+    let tokens: Vec<&str> = text.split_ascii_whitespace().collect();
+    if tokens.len() < 5 || tokens[0] != "cfr-store" || tokens[1] != "1" || tokens[2] != "key" {
+        return None;
+    }
+    let section = tokens.iter().skip(3).position(|t| *t == "report")? + 3;
+    (section + 1 < tokens.len()).then(|| {
+        (
+            tokens[3..section].join(" "),
+            tokens[section + 1..].join(" "),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cfr-artifact-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> ArtifactStore {
+        ArtifactStore::open(dir, GcPolicy::unbounded()).unwrap()
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let store = open(&dir);
+        assert_eq!(store.load("runs", "key a"), None, "cold store");
+        store.save("runs", "key a", "value 1 2 3");
+        assert_eq!(store.load("runs", "key a").as_deref(), Some("value 1 2 3"));
+        // A second store over the same directory (= a fresh process)
+        // rebuilds the index from the shard files.
+        let other = open(&dir);
+        assert_eq!(other.load("runs", "key a").as_deref(), Some("value 1 2 3"));
+        assert_eq!(other.live_records(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let dir = temp_dir("namespaces");
+        let store = open(&dir);
+        store.save("runs", "shared-key", "a run");
+        store.save("walks", "shared-key", "a walk");
+        assert_eq!(store.load("runs", "shared-key").as_deref(), Some("a run"));
+        assert_eq!(store.load("walks", "shared-key").as_deref(), Some("a walk"));
+        assert_eq!(store.load("programs", "shared-key"), None);
+        assert_eq!(store.namespace_records("runs"), 1);
+        assert_eq!(store.namespace_records("walks"), 1);
+        assert_eq!(store.namespace_records("programs"), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn last_write_wins_and_leaves_dead_bytes() {
+        let dir = temp_dir("lastwins");
+        let store = open(&dir);
+        store.save("runs", "k", "old");
+        store.save("runs", "k", "new");
+        assert_eq!(store.load("runs", "k").as_deref(), Some("new"));
+        assert_eq!(store.live_records(), 1);
+        assert!(
+            store.file_bytes() > store.live_bytes(),
+            "old record is dead"
+        );
+        // A rescan agrees.
+        let other = open(&dir);
+        assert_eq!(other.load("runs", "k").as_deref(), Some("new"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_holds_o_shards_files() {
+        let dir = temp_dir("files");
+        let store = open(&dir);
+        for i in 0..200 {
+            store.save("runs", &format!("key-{i}"), "v");
+        }
+        let files = fs::read_dir(&dir).unwrap().count();
+        assert!(
+            files <= SHARD_COUNT as usize,
+            "200 records must not mean 200 files: {files}"
+        );
+        assert_eq!(store.live_records(), 200);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_and_garbage_resync() {
+        let dir = temp_dir("resync");
+        let store = open(&dir);
+        store.save("runs", "a", "first");
+        // Append garbage (a torn write from a crashed process), then a
+        // valid record after it via a fresh handle.
+        let shard = store.shard_path(store.shard_of("runs", "a"));
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(b"rec 2 runs 0 999 999\ntorn").unwrap();
+        drop(f);
+        let second = open(&dir);
+        assert_eq!(
+            second.load("runs", "a").as_deref(),
+            Some("first"),
+            "record before the tear survives"
+        );
+        second.save("runs", "b", "after");
+        let third = open(&dir);
+        assert_eq!(third.load("runs", "b").as_deref(), Some("after"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_after_torn_tail_restores_the_record_boundary() {
+        let dir = temp_dir("dirtytail");
+        let store = open(&dir);
+        store.save("runs", "k", "v1");
+        // A crashed writer left a torn tail with no trailing newline.
+        let shard = store.shard_path(store.shard_of("runs", "k"));
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(b"complete garbage with no newline").unwrap();
+        drop(f);
+        // A fresh handle saves the same key — which appends to the *same*
+        // shard, right after the garbage. Without the newline guard the
+        // new record would fuse onto the tail and be unrecoverable.
+        let second = open(&dir);
+        assert_eq!(second.load("runs", "k").as_deref(), Some("v1"));
+        second.save("runs", "k", "v2");
+        assert_eq!(second.load("runs", "k").as_deref(), Some("v2"));
+        let third = open(&dir);
+        assert_eq!(third.load("runs", "k").as_deref(), Some("v2"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absurd_length_headers_are_misses_not_panics() {
+        // A corrupt length header whose spans land exactly on usize::MAX
+        // must fail the checked bounds (a miss), not overflow-panic the
+        // scanner. Solve for vlen so that val_end == usize::MAX.
+        let dir = temp_dir("absurd");
+        let store = open(&dir);
+        store.save("runs", "k", "v");
+        let shard = store.shard_path(store.shard_of("runs", "k"));
+        let mut vlen = usize::MAX - 40;
+        for _ in 0..4 {
+            let prefix = format!("rec {STORE_FORMAT_VERSION} runs 0 1 {vlen}\n");
+            vlen = usize::MAX - prefix.len() - 2;
+        }
+        fs::write(
+            &shard,
+            format!("rec {STORE_FORMAT_VERSION} runs 0 1 {vlen}\nK\n"),
+        )
+        .unwrap();
+        let reopened = open(&dir); // the scan must survive
+        assert_eq!(reopened.load("runs", "k"), None, "corrupt header = miss");
+        reopened.save("runs", "k", "repaired");
+        assert_eq!(reopened.load("runs", "k").as_deref(), Some("repaired"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_format_version_is_dead() {
+        let dir = temp_dir("version");
+        let store = open(&dir);
+        store.save("runs", "k", "v");
+        let shard = store.shard_path(store.shard_of("runs", "k"));
+        let text = fs::read_to_string(&shard).unwrap();
+        let stale = text.replacen(
+            &format!("rec {STORE_FORMAT_VERSION} "),
+            &format!("rec {} ", STORE_FORMAT_VERSION + 1),
+            1,
+        );
+        assert_ne!(stale, text);
+        fs::write(&shard, stale).unwrap();
+        let reader = open(&dir);
+        assert_eq!(reader.load("runs", "k"), None, "future format is a miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_index_offset_degrades_to_a_miss() {
+        let dir = temp_dir("stale");
+        let a = open(&dir);
+        a.save("runs", "k1", "value one with some length");
+        a.save("runs", "k2", "value two");
+        // A second handle compacts the store underneath `a` after `k1`
+        // gains a superseding record (shifting k2's offset).
+        let b = open(&dir);
+        b.save("runs", "k1", "replacement");
+        let report = b.gc();
+        assert!(report.dead_bytes_dropped > 0);
+        // `a`'s index predates both the new record and the compaction:
+        // its offsets are stale. Loads must miss, never return garbage.
+        for key in ["k1", "k2"] {
+            let got = a.load("runs", key);
+            assert!(
+                got.is_none() || got.as_deref() == Some("value two"),
+                "stale read must be a miss or the true record: {got:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_drops_dead_bytes_and_keeps_exact_values() {
+        let dir = temp_dir("compact");
+        let store = open(&dir);
+        for i in 0..20 {
+            store.save("runs", "hot", &format!("version {i}"));
+        }
+        store.save("walks", "cool", "unchanged 0x3fb999999999999a");
+        let before = store.file_bytes();
+        let report = store.gc();
+        assert!(report.dead_bytes_dropped > 0);
+        assert!(store.file_bytes() < before);
+        assert_eq!(store.file_bytes(), store.live_bytes());
+        assert_eq!(store.load("runs", "hot").as_deref(), Some("version 19"));
+        assert_eq!(
+            store.load("walks", "cool").as_deref(),
+            Some("unchanged 0x3fb999999999999a"),
+            "post-compaction reads are byte-identical"
+        );
+        // A fresh scan of the compacted files agrees.
+        let other = open(&dir);
+        assert_eq!(other.load("runs", "hot").as_deref(), Some("version 19"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest_first() {
+        let dir = temp_dir("evict");
+        let payload = "x".repeat(200);
+        let store = ArtifactStore::open(
+            &dir,
+            GcPolicy {
+                max_bytes: Some(3000),
+                max_age_secs: None,
+            },
+        )
+        .unwrap();
+        for i in 0..30u64 {
+            store.save_stamped("runs", &format!("key-{i:02}"), &payload, 1000 + i);
+        }
+        assert!(
+            store.file_bytes() <= 3000,
+            "auto-GC keeps the store under budget: {}",
+            store.file_bytes()
+        );
+        assert!(store.evicted_records() > 0);
+        // The survivors are exactly the newest records: a contiguous
+        // suffix of the insertion order.
+        let alive: Vec<bool> = (0..30u64)
+            .map(|i| store.load("runs", &format!("key-{i:02}")).is_some())
+            .collect();
+        let first_alive = alive.iter().position(|a| *a).expect("someone survives");
+        assert!(first_alive > 0, "the oldest record must be evicted");
+        assert!(
+            alive[first_alive..].iter().all(|a| *a),
+            "eviction is oldest-first: {alive:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn age_cap_expires_old_records() {
+        let dir = temp_dir("age");
+        let store = ArtifactStore::open(
+            &dir,
+            GcPolicy {
+                max_bytes: None,
+                max_age_secs: Some(3600),
+            },
+        )
+        .unwrap();
+        store.save_stamped("runs", "ancient", "v", 12); // 1970
+        store.save("runs", "fresh", "v");
+        let report = store.gc();
+        assert_eq!(report.evicted_age, 1);
+        assert_eq!(store.load("runs", "ancient"), None);
+        assert_eq!(store.load("runs", "fresh").as_deref(), Some("v"));
+        // Open applies the policy too.
+        let reopened = ArtifactStore::open(
+            &dir,
+            GcPolicy {
+                max_bytes: None,
+                max_age_secs: Some(3600),
+            },
+        )
+        .unwrap();
+        assert_eq!(reopened.load("runs", "fresh").as_deref(), Some("v"));
+        assert_eq!(reopened.live_records(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrates_v1_layout() {
+        let dir = temp_dir("migrate");
+        fs::create_dir_all(&dir).unwrap();
+        // Two v1 record files (content shape from PR 2's one-file-per-key
+        // store) plus one corrupt straggler.
+        fs::write(
+            dir.join("00aa.run"),
+            "cfr-store 1\nkey runkey 177.mesa scale 1000 7\nreport report base vipt 1 2\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("00bb.run"),
+            "cfr-store 1\nkey runkey 254.gap scale 1000 7\nreport report ia vipt 3 4\n",
+        )
+        .unwrap();
+        fs::write(dir.join("00cc.run"), "not a v1 record").unwrap();
+        let store = open(&dir);
+        assert_eq!(store.migrated_records(), 2);
+        assert_eq!(
+            store
+                .load("runs", "runkey 177.mesa scale 1000 7")
+                .as_deref(),
+            Some("report base vipt 1 2"),
+        );
+        assert_eq!(
+            store.load("runs", "runkey 254.gap scale 1000 7").as_deref(),
+            Some("report ia vipt 3 4"),
+        );
+        // The old files are gone; only shard files remain.
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| !n.starts_with("shard-"))
+            .collect();
+        assert!(leftovers.is_empty(), "v1 files consumed: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_addressing_is_stable() {
+        let dir = temp_dir("addressing");
+        let store = open(&dir);
+        let a = store.shard_of("runs", "some key");
+        assert_eq!(store.shard_of("runs", "some key"), a, "deterministic");
+        assert!(a < SHARD_COUNT);
+        // Namespace participates in the address.
+        let spread: std::collections::HashSet<u32> = (0..64)
+            .map(|i| store.shard_of("runs", &format!("key-{i}")))
+            .collect();
+        assert!(spread.len() > 4, "keys spread across shards: {spread:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn occupancy_accounts_every_live_record() {
+        let dir = temp_dir("occupancy");
+        let store = open(&dir);
+        for i in 0..50 {
+            store.save("runs", &format!("k{i}"), "v");
+        }
+        let occ = store.shard_occupancy();
+        assert_eq!(occ.len(), SHARD_COUNT as usize);
+        assert_eq!(occ.iter().map(|o| o.live_records).sum::<u64>(), 50);
+        assert_eq!(
+            occ.iter().map(|o| o.live_bytes).sum::<u64>(),
+            store.live_bytes()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_from_env_shapes() {
+        // Only shape-checks the parser (the env itself is shared state we
+        // must not mutate in a parallel test run).
+        let p = GcPolicy::unbounded();
+        assert!(!p.bounded());
+        let q = GcPolicy {
+            max_bytes: Some(1),
+            max_age_secs: None,
+        };
+        assert!(q.bounded());
+    }
+}

@@ -1,4 +1,4 @@
-//! Memoized program generation.
+//! Memoized — and optionally persistent — program generation.
 //!
 //! Generating a [`BenchmarkProfile`]'s program is deterministic (the
 //! profile's [`GeneratorParams`] embed the seed) but not cheap, and the
@@ -7,54 +7,116 @@
 //! each profile **once** and shares the result via [`Arc`], so concurrent
 //! simulations of the same benchmark borrow one immutable program.
 //!
+//! With an [`ArtifactStore`] attached ([`ProgramCache::attach_store`]),
+//! the memoization extends **across processes**: a first-miss consults the
+//! store's `programs` namespace before generating, and a fresh generation
+//! is written back. Loaded programs are re-validated
+//! ([`Program::validate`]) before use, so a corrupt or stale record
+//! degrades to regeneration, never a bad program.
+//!
 //! [`GeneratorParams`]: crate::GeneratorParams
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use cfr_types::{ArtifactStore, RecordReader, RecordWriter, NS_PROGRAMS};
+
+use crate::codec::program_store_key;
 use crate::profiles::BenchmarkProfile;
 use crate::program::Program;
 
-/// A by-name memo of generated programs.
+/// A by-name memo of generated programs, optionally backed by the
+/// persistent artifact store.
 ///
 /// Profiles are identified by their `name`: two profiles sharing a name
 /// are assumed to share [`GeneratorParams`] (true of the canonical
-/// [`profiles`](crate::profiles) set, whose names are unique).
+/// [`profiles`](crate::profiles) set, whose names are unique). The
+/// *store* key additionally fingerprints the full parameter set, so a
+/// recalibrated profile misses instead of loading a stale program.
+///
+/// [`GeneratorParams`]: crate::GeneratorParams
 #[derive(Debug, Default)]
 pub struct ProgramCache {
     programs: Mutex<HashMap<&'static str, Arc<Program>>>,
+    store: Mutex<Option<Arc<ArtifactStore>>>,
     generated: AtomicU64,
+    loaded: AtomicU64,
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// An empty, in-memory-only cache.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The program for `profile`, generating it on first request and
-    /// returning the shared copy afterwards.
+    /// Backs this cache with a persistent store: first requests consult
+    /// the store's `programs` namespace before generating, and fresh
+    /// generations are written back.
+    pub fn attach_store(&self, store: Arc<ArtifactStore>) {
+        *self.store.lock().expect("program cache poisoned") = Some(store);
+    }
+
+    /// The program for `profile`, from (in order) the in-memory memo, the
+    /// attached store, or the generator — always returning the shared
+    /// copy afterwards.
     ///
     /// # Panics
     ///
-    /// Panics if the cache mutex is poisoned (a previous generation
+    /// Panics if a cache mutex is poisoned (a previous generation
     /// panicked).
     #[must_use]
     pub fn get(&self, profile: &BenchmarkProfile) -> Arc<Program> {
         let mut programs = self.programs.lock().expect("program cache poisoned");
-        Arc::clone(programs.entry(profile.name).or_insert_with(|| {
-            self.generated.fetch_add(1, Ordering::Relaxed);
-            Arc::new(profile.generate())
-        }))
+        if let Some(program) = programs.get(profile.name) {
+            return Arc::clone(program);
+        }
+        let store = self.store.lock().expect("program cache poisoned").clone();
+        let program = match store.as_deref().and_then(|s| self.try_load(s, profile)) {
+            Some(warm) => {
+                self.loaded.fetch_add(1, Ordering::Relaxed);
+                warm
+            }
+            None => {
+                self.generated.fetch_add(1, Ordering::Relaxed);
+                let fresh = profile.generate();
+                if let Some(store) = &store {
+                    let mut w = RecordWriter::new();
+                    fresh.to_record(&mut w);
+                    store.save(NS_PROGRAMS, &program_store_key(profile), &w.finish());
+                }
+                fresh
+            }
+        };
+        let program = Arc::new(program);
+        programs.insert(profile.name, Arc::clone(&program));
+        program
     }
 
-    /// How many programs have actually been generated (cache misses);
-    /// the memoization guarantee asserted by tests.
+    /// Loads and re-validates a stored program; any parse or validation
+    /// failure is a miss (the caller regenerates and overwrites).
+    fn try_load(&self, store: &ArtifactStore, profile: &BenchmarkProfile) -> Option<Program> {
+        let text = store.load(NS_PROGRAMS, &program_store_key(profile))?;
+        let mut r = RecordReader::new(&text);
+        let program = Program::from_record(&mut r).ok()?;
+        r.finish().ok()?;
+        program.validate().ok()?;
+        Some(program)
+    }
+
+    /// How many programs this cache actually generated (in-memory *and*
+    /// store misses); the memoization guarantee asserted by tests.
     #[must_use]
     pub fn generated(&self) -> u64 {
         self.generated.load(Ordering::Relaxed)
+    }
+
+    /// How many programs were served from the persistent store instead of
+    /// being generated (0 without a store).
+    #[must_use]
+    pub fn loaded(&self) -> u64 {
+        self.loaded.load(Ordering::Relaxed)
     }
 }
 
@@ -62,6 +124,8 @@ impl ProgramCache {
 mod tests {
     use super::*;
     use crate::profiles;
+    use cfr_types::GcPolicy;
+    use std::path::PathBuf;
 
     #[test]
     fn generates_each_profile_once() {
@@ -72,6 +136,7 @@ mod tests {
         assert_eq!(cache.generated(), 1);
         let _ = cache.get(&profiles::gap());
         assert_eq!(cache.generated(), 2);
+        assert_eq!(cache.loaded(), 0, "no store attached");
     }
 
     #[test]
@@ -84,5 +149,61 @@ mod tests {
             profile.generate(),
             "memoization must not change the program"
         );
+    }
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cfr-progcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_serves_programs_across_caches() {
+        let dir = temp_store("warm");
+        let profile = profiles::mesa();
+
+        let cold = ProgramCache::new();
+        cold.attach_store(Arc::new(
+            ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap(),
+        ));
+        let generated = cold.get(&profile);
+        assert_eq!((cold.generated(), cold.loaded()), (1, 0));
+
+        // A fresh cache over the same directory (= a fresh process) loads
+        // instead of generating, and the program is identical.
+        let warm = ProgramCache::new();
+        warm.attach_store(Arc::new(
+            ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap(),
+        ));
+        let loaded = warm.get(&profile);
+        assert_eq!((warm.generated(), warm.loaded()), (0, 1));
+        assert_eq!(*loaded, *generated);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_stored_program_regenerates() {
+        let dir = temp_store("corrupt");
+        let profile = profiles::mesa();
+        let store = Arc::new(ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap());
+        // A parseable-but-invalid program (a function whose last block
+        // has no terminator) and plain garbage both regenerate.
+        for vandalism in [
+            "program 1 1 1 functions 1 0 1 blocks 1 1 ialu - - -",
+            "not a program",
+        ] {
+            store.save(NS_PROGRAMS, &program_store_key(&profile), vandalism);
+            let cache = ProgramCache::new();
+            cache.attach_store(Arc::clone(&store));
+            let program = cache.get(&profile);
+            assert_eq!(cache.generated(), 1, "bad record regenerates: {vandalism}");
+            assert_eq!(*program, profile.generate());
+        }
+        // The regeneration repaired the store.
+        let repaired = ProgramCache::new();
+        repaired.attach_store(Arc::clone(&store));
+        let _ = repaired.get(&profile);
+        assert_eq!((repaired.generated(), repaired.loaded()), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

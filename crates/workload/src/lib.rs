@@ -30,6 +30,7 @@
 //! ```
 
 mod cache;
+pub mod codec;
 mod generate;
 mod isa;
 mod layout;
@@ -40,10 +41,13 @@ mod rng;
 mod walk;
 
 pub use cache::ProgramCache;
+pub use codec::{params_fingerprint, program_store_key, walk_store_key};
 pub use generate::{generate, GeneratorParams};
 pub use isa::{BranchKind, BranchSpec, BranchTarget, DataRegion, Instruction, OpClass, RegId};
 pub use layout::{LaidProgram, Slot};
-pub use measure::{static_branch_stats, FunctionalStats, StaticBranchStats};
+pub use measure::{
+    measure_walk, static_branch_stats, FunctionalStats, StaticBranchStats, WalkMeasurement,
+};
 pub use profiles::BenchmarkProfile;
 pub use program::{Block, BlockId, Function, FunctionId, Program};
 pub use rng::SplitMix64;

@@ -248,6 +248,29 @@ pub struct StaticBranchStats {
     pub analyzable_crossing: u64,
 }
 
+/// Everything one functional walk of a laid-out program produces: the
+/// dynamic [`FunctionalStats`] plus the layout's [`StaticBranchStats`] —
+/// the unit the persistent artifact store caches under its `walks`
+/// namespace (Table 4 and the calibration paths consume exactly this
+/// pair, so a warm read makes them instruction-count-free).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WalkMeasurement {
+    /// Dynamic statistics from the walk.
+    pub functional: FunctionalStats,
+    /// Static branch statistics of the layout walked.
+    pub static_branches: StaticBranchStats,
+}
+
+/// Walks `n` instructions and bundles the dynamic statistics with the
+/// layout's static branch statistics (see [`WalkMeasurement`]).
+#[must_use]
+pub fn measure_walk(prog: &LaidProgram, n: u64, seed: u64) -> WalkMeasurement {
+    WalkMeasurement {
+        functional: measure(prog, n, seed),
+        static_branches: static_branch_stats(prog),
+    }
+}
+
 /// Computes [`StaticBranchStats`] from a layout.
 #[must_use]
 pub fn static_branch_stats(prog: &LaidProgram) -> StaticBranchStats {

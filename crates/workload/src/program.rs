@@ -119,8 +119,14 @@ impl Program {
             if f.n_blocks == 0 {
                 return Err(format!("function {i} is empty"));
             }
-            expected += f.n_blocks;
-            let last = &self.blocks[(f.first_block + f.n_blocks - 1) as usize];
+            // Untrusted inputs (records loaded from the persistent store)
+            // reach this check: a function table overrunning the block
+            // array must be an error, never an out-of-bounds panic.
+            expected = match f.first_block.checked_add(f.n_blocks) {
+                Some(end) if (end as usize) <= self.blocks.len() => end,
+                _ => return Err(format!("function {i} extends past the block array")),
+            };
+            let last = &self.blocks[expected as usize - 1];
             match last.terminator() {
                 Some(t) => {
                     let spec = t.branch.as_ref().expect("branch has spec");
@@ -248,6 +254,15 @@ mod tests {
         let mut p = tiny_program();
         p.blocks[0] = Block { instrs: vec![] };
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_function_overrunning_blocks() {
+        let mut p = tiny_program();
+        p.functions[0].n_blocks = 5;
+        assert!(p.validate().is_err(), "no panic on an overrunning table");
+        p.functions[0].first_block = u32::MAX;
+        assert!(p.validate().is_err(), "no overflow panic either");
     }
 
     #[test]

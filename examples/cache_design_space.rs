@@ -19,7 +19,7 @@ fn main() {
         max_commits: 400_000,
         seed: 0x5EED,
     };
-    let engine = Engine::new();
+    let engine = Engine::with_default_store();
 
     println!(
         "iL1 addressing design space — {} ({} instructions)\n",
@@ -52,4 +52,8 @@ fn main() {
     println!("every fetch group and is much slower; with IA the CFR supplies the frame");
     println!("directly and PI-PT returns to within a few percent of VI-PT — at a");
     println!("fraction of the energy, and without VI-VT's write-back complications.");
+
+    // Per-namespace store accounting on stderr (stdout stays byte-stable
+    // across cold and warm invocations).
+    eprintln!("{}", engine.summary_line());
 }

@@ -10,7 +10,7 @@
 //! cargo run --release --example os_interaction
 //! ```
 
-use cfr_sim::core::{Strategy, StrategyKind};
+use cfr_sim::core::{Engine, Strategy, StrategyKind};
 use cfr_sim::cpu::{FetchEvent, FetchKind, FetchTranslator};
 use cfr_sim::energy::EnergyModel;
 use cfr_sim::mem::{PageTable, TlbConfig};
@@ -82,4 +82,10 @@ fn main() {
         strategy.cfr().prot()
     );
     println!("alter them without a supervisor-mode round trip)");
+
+    // This example drives the Strategy directly, so it computes nothing
+    // through the engine — the summary below is all-zero by design and
+    // printed for parity with the other examples (every binary reports
+    // its per-namespace store traffic on stderr).
+    eprintln!("{}", Engine::with_default_store().summary_line());
 }

@@ -21,8 +21,9 @@ fn main() {
         profile.name, scale.max_commits
     );
 
-    // Both runs execute in parallel on the shared engine.
-    let engine = Engine::new();
+    // Both runs execute in parallel on the shared engine, backed by the
+    // machine-wide artifact store: a second invocation simulates nothing.
+    let engine = Engine::with_default_store();
     let reports = engine.run_many(&[
         RunKey::new(
             profile.name,
@@ -59,4 +60,8 @@ fn main() {
 
     println!("\nTranslation-path energy breakdown for IA:");
     println!("{}", ia.energy);
+
+    // Per-namespace store accounting on stderr (stdout stays byte-stable
+    // across cold and warm invocations).
+    eprintln!("{}", engine.summary_line());
 }

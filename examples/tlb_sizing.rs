@@ -16,7 +16,7 @@ fn main() {
         max_commits: 400_000,
         seed: 0x5EED,
     };
-    let engine = Engine::new();
+    let engine = Engine::with_default_store();
 
     println!(
         "iTLB sizing under base vs IA — {} (VI-PT, {} instructions)\n",
@@ -59,4 +59,8 @@ fn main() {
     println!("Under IA the iTLB is touched only at page changes, so growing it from");
     println!("1 to 128 entries barely moves energy while cycles improve — the paper's");
     println!("\"work very well with large iTLB structures\" claim.");
+
+    // Per-namespace store accounting on stderr (stdout stays byte-stable
+    // across cold and warm invocations).
+    eprintln!("{}", engine.summary_line());
 }

@@ -227,12 +227,13 @@ proptest! {
     /// Store codec: TLB and cache stat counters round-trip exactly for
     /// arbitrary values.
     #[test]
-    fn stat_records_round_trip(counts in proptest::collection::vec(0u64..u64::MAX / 2, 8..9)) {
+    fn stat_records_round_trip(counts in proptest::collection::vec(0u64..u64::MAX / 2, 9..10)) {
         let tlb = TlbStats {
             accesses: counts[0],
             hits: counts[1],
             misses: counts[2],
             invalidations: counts[3],
+            protection_faults: counts[8],
         };
         let mut w = RecordWriter::new();
         tlb.to_record(&mut w);

@@ -1,14 +1,17 @@
-//! End-to-end tests of the persistent cross-process run store: a second
-//! engine over the same directory (standing in for a second process)
-//! simulates nothing and reproduces bit-identical reports; corruption,
-//! torn writes, and schema bumps degrade to re-simulation, never a crash.
+//! End-to-end tests of the persistent cross-process artifact store: a
+//! second engine over the same directory (standing in for a second
+//! process) computes nothing — in *any* namespace — and reproduces
+//! bit-identical results; corruption, torn writes, format bumps, and
+//! stale codecs degrade to recomputation, never a crash; and a v1
+//! (one-file-per-key) store directory migrates transparently.
 
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use cfr_sim::core::{
-    table2, Engine, ExperimentScale, RunKey, RunReport, Store, StrategyKind, STORE_SCHEMA_VERSION,
+    table2, table4, Engine, ExperimentScale, RunKey, RunReport, Store, StrategyKind,
+    STORE_FORMAT_VERSION,
 };
 use cfr_sim::types::AddressingMode;
 
@@ -33,8 +36,21 @@ fn sample_keys(scale: &ExperimentScale) -> Vec<RunKey> {
     ]
 }
 
+fn shard_files(dir: &PathBuf) -> Vec<PathBuf> {
+    fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("shard-"))
+        })
+        .collect()
+}
+
 /// The headline behaviour: everything a first engine simulates, a second
-/// engine over the same store serves warm, bit-identically.
+/// engine over the same store serves warm, bit-identically — and the
+/// directory holds O(shards) files, not O(runs).
 #[test]
 fn second_engine_simulates_nothing() {
     let dir = temp_store("warm");
@@ -47,9 +63,13 @@ fn second_engine_simulates_nothing() {
     assert_eq!(cold.store_warm_runs(), 0);
     assert_eq!(cold.store_cold_runs(), keys.len() as u64);
     assert_eq!(
-        cold.store().unwrap().record_count().unwrap(),
+        cold.store().unwrap().record_count(),
         keys.len(),
-        "one record per unique key"
+        "one live record per unique key"
+    );
+    assert!(
+        fs::read_dir(&dir).unwrap().count() <= cfr_sim::core::SHARD_COUNT as usize,
+        "packed layout: O(shards) files"
     );
 
     let warm = Engine::new().with_store(Store::open(&dir).unwrap());
@@ -57,6 +77,9 @@ fn second_engine_simulates_nothing() {
     assert_eq!(warm.simulated_runs(), 0, "everything came from disk");
     assert_eq!(warm.store_warm_runs(), keys.len() as u64);
     assert_eq!(warm.store_cold_runs(), 0);
+    let summary = warm.store_summary();
+    assert_eq!(summary.runs.cold, 0);
+    assert_eq!(summary.programs.cold, 0, "warm runs need no programs");
     for (a, b) in cold_reports.iter().zip(&warm_reports) {
         assert_eq!(**a, **b, "warm reports are bit-identical");
     }
@@ -73,6 +96,10 @@ fn table2_is_warm_on_second_run() {
     let cold = Engine::new().with_store(Store::open(&dir).unwrap());
     let cold_rows = table2(&cold, &scale);
     assert!(cold.simulated_runs() > 0);
+    assert!(
+        cold.store_summary().programs.cold > 0,
+        "cold run generated (and persisted) programs"
+    );
 
     let warm = Engine::new().with_store(Store::open(&dir).unwrap());
     let warm_rows = table2(&warm, &scale);
@@ -87,8 +114,51 @@ fn table2_is_warm_on_second_run() {
     let _ = fs::remove_dir_all(&dir);
 }
 
-/// Corrupt and torn records degrade to re-simulation and are repaired in
-/// place; the run's result is unaffected.
+/// Table 4 exercises the two non-pipeline namespaces: a cold run
+/// persists programs and walk measurements; a warm run reads the walks
+/// back — 0 cold in *every* namespace, without touching the generator.
+#[test]
+fn table4_walks_are_warm_on_second_run() {
+    let dir = temp_store("table4");
+    let scale = tiny();
+
+    let cold = Engine::new().with_store(Store::open(&dir).unwrap());
+    let cold_rows = table4(&cold, &scale);
+    let s = cold.store_summary();
+    assert_eq!(s.runs.cold, 0, "table4 needs no pipeline runs");
+    assert_eq!(
+        s.walks,
+        cfr_sim::core::NamespaceTraffic { warm: 0, cold: 6 }
+    );
+    assert_eq!(s.programs.cold, 6, "walking required the programs");
+
+    let warm = Engine::new().with_store(Store::open(&dir).unwrap());
+    let warm_rows = table4(&warm, &scale);
+    let s = warm.store_summary();
+    assert_eq!(
+        s.walks,
+        cfr_sim::core::NamespaceTraffic { warm: 6, cold: 0 }
+    );
+    assert_eq!(
+        (s.runs.cold, s.programs.cold),
+        (0, 0),
+        "0 cold in all namespaces"
+    );
+    assert_eq!(
+        s.programs.warm, 0,
+        "warm walks never even load the programs"
+    );
+    for (a, b) in cold_rows.iter().zip(&warm_rows) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.static_total, b.static_total);
+        assert_eq!(a.dyn_total, b.dyn_total);
+        assert_eq!(a.dyn_in_page, b.dyn_in_page);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Corrupt and torn shard files degrade to re-simulation and are
+/// repaired in place; the run's result is unaffected.
 #[test]
 fn corruption_resimulates_and_repairs() {
     let dir = temp_store("corrupt");
@@ -97,14 +167,15 @@ fn corruption_resimulates_and_repairs() {
 
     let first = Engine::new().with_store(Store::open(&dir).unwrap());
     let original: Arc<RunReport> = first.run(key);
-    let path = first.store().unwrap().path_for(&key);
 
     for vandalism in [
         "complete garbage".to_string(),
         String::new(), // zero-length (crash between create and write)
-        fs::read_to_string(&path).unwrap()[..40].to_string(), // torn prefix
+        "rec 2 runs 0 424242 424242\ntorn".to_string(), // torn length-prefixed tail
     ] {
-        fs::write(&path, &vandalism).unwrap();
+        for shard in shard_files(&dir) {
+            fs::write(&shard, &vandalism).unwrap();
+        }
         let engine = Engine::new().with_store(Store::open(&dir).unwrap());
         let report = engine.run(key);
         assert_eq!(engine.simulated_runs(), 1, "corrupt record re-simulates");
@@ -118,29 +189,31 @@ fn corruption_resimulates_and_repairs() {
     let _ = fs::remove_dir_all(&dir);
 }
 
-/// Bumping the schema version invalidates every record: a reader built
-/// against a different version re-simulates everything (here simulated by
-/// rewriting the version token of stored files, which is equivalent).
+/// Bumping the record-framing version invalidates every record: a reader
+/// built against a different version re-simulates everything (here
+/// simulated by rewriting the version token of stored records, which is
+/// equivalent).
 #[test]
-fn schema_bump_forces_full_resimulation() {
-    let dir = temp_store("schema");
+fn format_bump_forces_full_resimulation() {
+    let dir = temp_store("format");
     let scale = tiny();
     let keys = sample_keys(&scale);
 
     let cold = Engine::new().with_store(Store::open(&dir).unwrap());
     let _ = cold.run_many(&keys);
 
-    // Rewrite every record as if it had been written by an older schema.
-    for entry in fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
-        let text = fs::read_to_string(entry.path()).unwrap();
-        let stale = text.replacen(
-            &format!("cfr-store {STORE_SCHEMA_VERSION}"),
-            &format!("cfr-store {}", STORE_SCHEMA_VERSION + 1),
-            1,
+    // Rewrite every record as if it had been framed by an older version.
+    let mut rewrote = false;
+    for shard in shard_files(&dir) {
+        let text = fs::read_to_string(&shard).unwrap();
+        let stale = text.replace(
+            &format!("rec {STORE_FORMAT_VERSION} "),
+            &format!("rec {} ", STORE_FORMAT_VERSION + 1),
         );
-        assert_ne!(stale, text, "every record starts with the magic+version");
-        fs::write(entry.path(), stale).unwrap();
+        rewrote |= stale != text;
+        fs::write(&shard, stale).unwrap();
     }
+    assert!(rewrote, "every record starts with the framing version");
 
     let reader = Engine::new().with_store(Store::open(&dir).unwrap());
     let _ = reader.run_many(&keys);
@@ -156,26 +229,45 @@ fn schema_bump_forces_full_resimulation() {
     let _ = fs::remove_dir_all(&dir);
 }
 
-/// A record stored under one key's address but describing a different
-/// key (hash collision, or a file renamed by hand) is a miss, not a
-/// wrong answer.
+/// A PR 2-era store directory (one `<hash>.run` file per key) migrates
+/// at open: parseable records keep serving warm — bit-identically — and
+/// the old files are consumed.
 #[test]
-fn mismatched_key_record_is_a_miss() {
-    let dir = temp_store("mismatch");
+fn v1_store_layout_migrates_transparently() {
+    let dir = temp_store("v1");
     let scale = tiny();
-    let a = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
-    let b = RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt);
+    let keys = sample_keys(&scale);
 
-    let engine = Engine::new().with_store(Store::open(&dir).unwrap());
-    let (report_a, report_b) = (engine.run(a), engine.run(b));
-    assert_ne!(*report_a, *report_b);
-    let store = Store::open(&dir).unwrap();
-    fs::copy(store.path_for(&b), store.path_for(&a)).unwrap();
+    // Simulate once to learn the ground-truth reports, then write them
+    // out in the exact v1 layout into a fresh directory.
+    let oracle = Engine::new();
+    let reports = oracle.run_many(&keys);
+    fs::create_dir_all(&dir).unwrap();
+    for (i, (key, report)) in keys.iter().zip(&reports).enumerate() {
+        let mut w = cfr_sim::types::RecordWriter::new();
+        report.to_record(&mut w);
+        let text = format!(
+            "cfr-store 1\nkey {}\nreport {}\n",
+            Store::key_record(key),
+            w.finish()
+        );
+        fs::write(dir.join(format!("{i:016x}.run")), text).unwrap();
+    }
 
-    let victim = Engine::new().with_store(Store::open(&dir).unwrap());
-    let resolved = victim.run(a);
-    assert_eq!(victim.simulated_runs(), 1, "foreign record rejected");
-    assert_eq!(*resolved, *report_a, "never serves the wrong report");
+    let migrated = Engine::new().with_store(Store::open(&dir).unwrap());
+    let served = migrated.run_many(&keys);
+    assert_eq!(
+        migrated.simulated_runs(),
+        0,
+        "migrated v1 records serve warm"
+    );
+    for (a, b) in reports.iter().zip(&served) {
+        assert_eq!(**a, **b, "migration preserves bits");
+    }
+    assert!(
+        shard_files(&dir).len() == fs::read_dir(&dir).unwrap().count(),
+        "only shard files remain after migration"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -191,4 +283,9 @@ fn storeless_engine_unchanged() {
     assert_eq!(engine.simulated_runs(), keys.len() as u64);
     assert_eq!(engine.store_warm_runs(), 0);
     assert_eq!(engine.store_cold_runs(), keys.len() as u64);
+    let summary = engine.store_summary();
+    assert_eq!(summary.runs.warm, 0);
+    assert_eq!(summary.walks.warm, 0);
+    assert_eq!(summary.programs.warm, 0);
+    assert!(engine.summary_line().starts_with("store: disabled"));
 }
