@@ -30,13 +30,7 @@ fn bench_tlb(c: &mut Criterion) {
         let mut tlb = Tlb::new(TlbConfig::default_itlb());
         let mut pt = PageTable::new();
         tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
-        b.iter(|| {
-            black_box(tlb.lookup(
-                black_box(Vpn::new(1)),
-                &mut pt,
-                Protection::code(),
-            ))
-        });
+        b.iter(|| black_box(tlb.lookup(black_box(Vpn::new(1)), &mut pt, Protection::code())));
     });
 }
 
@@ -60,5 +54,11 @@ fn bench_workload(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache, bench_tlb, bench_energy, bench_workload);
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_tlb,
+    bench_energy,
+    bench_workload
+);
 criterion_main!(benches);

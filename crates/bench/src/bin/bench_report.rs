@@ -1,0 +1,211 @@
+//! `bench_report` — the perf-trajectory harness.
+//!
+//! Times a **fixed cold workload matrix** (every strategy × addressing
+//! mode over two representative benchmarks, no artifact store, fresh
+//! simulations only) and writes machine-readable results to
+//! `BENCH_pipeline.json`: simulated commits/sec per strategy×mode cell,
+//! total wall time, and the git revision — so each PR can leave a
+//! comparable breadcrumb of simulator throughput. See README
+//! "Performance" for the file format and the measured trajectory.
+//!
+//! ```sh
+//! cargo run -p cfr-bench --release --bin bench_report -- --commits 300000
+//! cargo run -p cfr-bench --release --bin bench_report -- --out out.json
+//! ```
+//!
+//! Program generation and compilation (layout/instrumentation) happen
+//! *outside* the timed region: the cells measure the cycle-level pipeline
+//! itself, which is what the hot-loop work optimizes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cfr_bench::try_scale_from_args;
+use cfr_core::{compiler, RunReport, SimConfig, Simulator, StrategyKind};
+use cfr_types::AddressingMode;
+use cfr_workload::{profiles, LaidProgram};
+
+/// The benchmarks the matrix runs over: the least and the most
+/// TLB-intensive of the paper's six (Table 2), so the timing covers both
+/// behaviour extremes.
+const PROFILES: [&str; 2] = ["177.mesa", "254.gap"];
+
+/// One timed cell of the matrix.
+struct Cell {
+    strategy: StrategyKind,
+    mode: AddressingMode,
+    commits: u64,
+    wall_seconds: f64,
+}
+
+fn mode_name(mode: AddressingMode) -> &'static str {
+    match mode {
+        AddressingMode::PiPt => "pipt",
+        AddressingMode::ViPt => "vipt",
+        AddressingMode::ViVt => "vivt",
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    // Accept the shared --commits/--seed flags plus --out <path>.
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut scale_args: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = arg.strip_prefix("--out=") {
+            out_path = p.to_string();
+        } else {
+            scale_args.push(arg);
+        }
+    }
+    let mut scale = match try_scale_from_args(scale_args) {
+        Ok(scale) => scale,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: --commits N --seed N --out FILE");
+            std::process::exit(2);
+        }
+    };
+    // The harness default is deliberately smaller than the experiment
+    // binaries' 1 M: the matrix has 36 cells and must stay comfortably
+    // runnable per-PR (and at tiny scale in CI).
+    if std::env::args()
+        .skip(1)
+        .all(|a| !a.starts_with("--commits"))
+    {
+        scale.max_commits = 300_000;
+    }
+
+    let profile_set: Vec<_> = profiles::all()
+        .into_iter()
+        .filter(|p| PROFILES.contains(&p.name))
+        .collect();
+    assert_eq!(profile_set.len(), PROFILES.len(), "profiles resolved");
+
+    // Generate + compile everything up front, outside the timed region.
+    // Compilation classes are shared across strategies exactly as in the
+    // engine (instrumented? marked?), so this mirrors warm-engine runs.
+    let cfg: SimConfig = scale.config();
+    let mut compiled: Vec<(StrategyKind, Vec<LaidProgram>)> = Vec::new();
+    for kind in StrategyKind::ALL {
+        let mut per_profile = Vec::new();
+        for p in &profile_set {
+            let program = p.generate();
+            per_profile.push(compiler::compile_for(&program, cfg.cpu.geometry, kind));
+        }
+        compiled.push((kind, per_profile));
+    }
+
+    eprintln!(
+        "bench_report: {} strategies x 3 modes x {} profiles at {} commits/run",
+        StrategyKind::ALL.len(),
+        profile_set.len(),
+        scale.max_commits
+    );
+
+    let total_start = Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+    for (kind, laid_programs) in &compiled {
+        for mode in [
+            AddressingMode::PiPt,
+            AddressingMode::ViPt,
+            AddressingMode::ViVt,
+        ] {
+            let start = Instant::now();
+            let mut commits = 0u64;
+            for laid in laid_programs {
+                let report: RunReport = Simulator::run_compiled(laid, &cfg, *kind, mode);
+                commits += report.committed;
+            }
+            let wall = start.elapsed().as_secs_f64();
+            eprintln!(
+                "  {:>5} {}: {:>9} commits in {:.3}s ({:.0} commits/sec)",
+                kind.name(),
+                mode_name(mode),
+                commits,
+                wall,
+                commits as f64 / wall
+            );
+            cells.push(Cell {
+                strategy: *kind,
+                mode,
+                commits,
+                wall_seconds: wall,
+            });
+        }
+    }
+    let total_wall = total_start.elapsed().as_secs_f64();
+
+    let total_commits: u64 = cells.iter().map(|c| c.commits).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_pipeline/v1\",");
+    let _ = writeln!(json, "  \"git_rev\": \"{}\",", json_escape(&git_rev()));
+    let _ = writeln!(json, "  \"commits_per_run\": {},", scale.max_commits);
+    let _ = writeln!(json, "  \"seed\": {},", scale.seed);
+    let _ = writeln!(
+        json,
+        "  \"profiles\": [{}],",
+        PROFILES
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "  \"total_commits\": {total_commits},");
+    let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.3},");
+    let _ = writeln!(
+        json,
+        "  \"total_commits_per_sec\": {:.0},",
+        total_commits as f64 / total_wall
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"strategy\": \"{}\", \"mode\": \"{}\", \"commits\": {}, \
+             \"wall_seconds\": {:.3}, \"commits_per_sec\": {:.0}}}",
+            c.strategy.name(),
+            mode_name(c.mode),
+            c.commits,
+            c.wall_seconds,
+            c.commits as f64 / c.wall_seconds
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_report: {total_commits} commits in {total_wall:.2}s \
+         ({:.0} commits/sec overall) -> {out_path}",
+        total_commits as f64 / total_wall
+    );
+}

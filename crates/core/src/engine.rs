@@ -39,10 +39,17 @@ use cfr_workload::{
 };
 use rayon::prelude::*;
 
+use crate::compiler;
 use crate::experiment::ExperimentScale;
 use crate::simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
 use crate::store::Store;
 use crate::strategy::StrategyKind;
+
+/// Identity of one compiled (laid-out) binary: benchmark, page size, and
+/// the compilation class — whether boundary instrumentation ran and
+/// whether the SoLA in-page marking pass ran. Strategies within a class
+/// execute the *same* binary, so the engine compiles it once.
+type LaidKey = (&'static str, u64, bool, bool);
 
 /// The identity of one simulation run. Two runs with equal keys produce
 /// bit-identical [`RunReport`]s, which is what makes engine-level
@@ -206,6 +213,10 @@ impl RunKey {
 pub struct Engine {
     profiles: Vec<BenchmarkProfile>,
     programs: ProgramCache,
+    /// Memoized compiled binaries (layout + instrumentation + marking):
+    /// one compilation per [`LaidKey`] no matter how many (strategy,
+    /// mode, iTLB) runs execute it.
+    laid: Mutex<HashMap<LaidKey, Arc<LaidProgram>>>,
     state: Mutex<EngineState>,
     /// Signalled whenever results land or in-flight claims are released,
     /// so concurrent `run_many` callers waiting on another batch's keys
@@ -293,6 +304,7 @@ impl Engine {
         Self {
             profiles,
             programs: ProgramCache::new(),
+            laid: Mutex::new(HashMap::new()),
             state: Mutex::new(EngineState::default()),
             resolved: Condvar::new(),
             simulated: AtomicU64::new(0),
@@ -458,6 +470,34 @@ impl Engine {
         &self.programs
     }
 
+    /// The compiled binary a run key executes, memoized per
+    /// [`LaidKey`]: layout (and boundary instrumentation / SoLA marking)
+    /// runs once per compilation class, not once per run.
+    fn compiled(&self, key: &RunKey) -> Arc<LaidProgram> {
+        let geom = key.config().cpu.geometry;
+        let laid_key: LaidKey = (
+            key.profile,
+            geom.page_bytes(),
+            compiler::wants_instrumented(key.strategy),
+            key.strategy == StrategyKind::SoLA,
+        );
+        if let Some(hit) = self
+            .laid
+            .lock()
+            .expect("laid cache poisoned")
+            .get(&laid_key)
+        {
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock (layout is the expensive part); a
+        // concurrent compilation of the same class produces an identical
+        // binary, so last-insert-wins is correct.
+        let program = self.program(key.profile);
+        let laid = Arc::new(compiler::compile_for(&program, geom, key.strategy));
+        let mut cache = self.laid.lock().expect("laid cache poisoned");
+        Arc::clone(cache.entry(laid_key).or_insert(laid))
+    }
+
     /// The generated program for a registered profile, memoized.
     ///
     /// # Panics
@@ -541,13 +581,13 @@ impl Engine {
                         (*key, warm)
                     })
                     .collect();
-                // Resolve programs for the cold keys up front (serially,
-                // memoized) so parallel workers share one immutable Arc
-                // per benchmark.
-                let jobs: Vec<(RunKey, Arc<Program>)> = resolved
+                // Resolve compiled binaries for the cold keys up front
+                // (serially, memoized) so parallel workers share one
+                // immutable Arc per compilation class.
+                let jobs: Vec<(RunKey, Arc<LaidProgram>)> = resolved
                     .iter()
                     .filter(|(_, warm)| warm.is_none())
-                    .map(|(k, _)| (*k, self.program(k.profile)))
+                    .map(|(k, _)| (*k, self.compiled(k)))
                     .collect();
                 // Simulate the cold keys in parallel and write each result
                 // back (a single append per record; concurrent binaries
@@ -555,9 +595,9 @@ impl Engine {
                 // them as misses, never as torn reports).
                 let fresh: Vec<RunReport> = jobs
                     .par_iter()
-                    .map(|(key, program)| {
+                    .map(|(key, laid)| {
                         let report =
-                            Simulator::run_program(program, &key.config(), key.strategy, key.mode);
+                            Simulator::run_compiled(laid, &key.config(), key.strategy, key.mode);
                         if let Some(store) = &self.store {
                             store.save(key, &report);
                         }

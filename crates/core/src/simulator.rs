@@ -210,6 +210,22 @@ impl Simulator {
         mode: AddressingMode,
     ) -> RunReport {
         let laid = compiler::compile_for(program, cfg.cpu.geometry, kind);
+        Self::run_compiled(&laid, cfg, kind, mode)
+    }
+
+    /// Runs an already-compiled (laid-out, instrumented, marked) program.
+    ///
+    /// `laid` must be the [`compiler::compile_for`] output for this
+    /// `kind` and `cfg.cpu.geometry` — the [`crate::Engine`] memoizes
+    /// those compilations across runs, since every strategy of a
+    /// compilation class shares the same binary.
+    #[must_use]
+    pub fn run_compiled(
+        laid: &cfr_workload::LaidProgram,
+        cfg: &SimConfig,
+        kind: StrategyKind,
+        mode: AddressingMode,
+    ) -> RunReport {
         let mut strategy = Strategy::with_itlb(
             kind,
             mode,
@@ -217,7 +233,7 @@ impl Simulator {
             cfg.itlb.build(cfg.itlb_miss_penalty),
             EnergyModel::default(),
         );
-        let mut pipe = Pipeline::new(&laid, cfg.cpu, cfg.seed);
+        let mut pipe = Pipeline::new(laid, cfg.cpu, cfg.seed);
         pipe.run(&mut strategy, cfg.max_commits);
         let stats = *pipe.stats();
         RunReport {

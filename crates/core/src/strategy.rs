@@ -16,7 +16,7 @@
 //!   BTB target page differs from the CFR (point C) — point A (predicted,
 //!   same page) keeps trust and costs only the BTB-side comparator.
 
-use cfr_energy::{EnergyMeter, EnergyModel};
+use cfr_energy::{EnergyMeter, EnergyModel, MeterSlot};
 use cfr_mem::{PageTable, Tlb, TlbConfig, TlbStats, TwoLevelTlb};
 use cfr_types::{AddressingMode, PageGeometry, Pfn, Protection, VirtAddr, Vpn};
 use serde::{Deserialize, Serialize};
@@ -125,34 +125,73 @@ pub enum ItlbModel {
     TwoLevel(TwoLevelTlb),
 }
 
+/// Cached [`MeterSlot`]s for every hot charge site, so the per-event
+/// energy accounting skips the by-name component lookup.
+#[derive(Debug, Default)]
+struct MeterSlots {
+    cfr_read: MeterSlot,
+    cfr_compare: MeterSlot,
+    itlb_access: MeterSlot,
+    itlb_refill: MeterSlot,
+    itlb_l1_access: MeterSlot,
+    itlb_l2_access: MeterSlot,
+    itlb_l1_refill: MeterSlot,
+    itlb_l2_refill: MeterSlot,
+}
+
 impl ItlbModel {
     fn lookup(
         &mut self,
         vpn: Vpn,
         pt: &mut PageTable,
         meter: &mut EnergyMeter,
+        slots: &mut MeterSlots,
         model: &EnergyModel,
     ) -> (Pfn, Protection, u32) {
         match self {
             ItlbModel::Mono(tlb) => {
                 let org = tlb.organization();
-                meter.charge("itlb_access", model.tlb_access_pj(&org));
+                meter.charge_cached(
+                    &mut slots.itlb_access,
+                    "itlb_access",
+                    model.tlb_access_pj(&org),
+                );
                 let r = tlb.lookup(vpn, pt, Protection::code());
                 if !r.hit {
-                    meter.charge("itlb_refill", model.tlb_refill_pj(&org));
+                    meter.charge_cached(
+                        &mut slots.itlb_refill,
+                        "itlb_refill",
+                        model.tlb_refill_pj(&org),
+                    );
                 }
                 (r.pfn, r.prot, r.penalty)
             }
             ItlbModel::TwoLevel(two) => {
                 let l1_org = two.l1().organization();
                 let l2_org = two.l2().organization();
-                meter.charge("itlb_l1_access", model.tlb_access_pj(&l1_org));
+                meter.charge_cached(
+                    &mut slots.itlb_l1_access,
+                    "itlb_l1_access",
+                    model.tlb_access_pj(&l1_org),
+                );
                 let r = two.lookup(vpn, pt, Protection::code());
                 if !r.l1_hit {
-                    meter.charge("itlb_l2_access", model.tlb_access_pj(&l2_org));
-                    meter.charge("itlb_l1_refill", model.tlb_refill_pj(&l1_org));
+                    meter.charge_cached(
+                        &mut slots.itlb_l2_access,
+                        "itlb_l2_access",
+                        model.tlb_access_pj(&l2_org),
+                    );
+                    meter.charge_cached(
+                        &mut slots.itlb_l1_refill,
+                        "itlb_l1_refill",
+                        model.tlb_refill_pj(&l1_org),
+                    );
                     if r.l2_hit == Some(false) {
-                        meter.charge("itlb_l2_refill", model.tlb_refill_pj(&l2_org));
+                        meter.charge_cached(
+                            &mut slots.itlb_l2_refill,
+                            "itlb_l2_refill",
+                            model.tlb_refill_pj(&l2_org),
+                        );
                     }
                 }
                 (r.pfn, r.prot, r.penalty)
@@ -239,6 +278,7 @@ pub struct Strategy {
     /// the same fetch's iL1 miss under PI-PT/VI-PT).
     last_pfn: Option<Pfn>,
     breakdown: LookupBreakdown,
+    slots: MeterSlots,
     context_switches: u64,
 }
 
@@ -275,6 +315,7 @@ impl Strategy {
             model,
             last_pfn: None,
             breakdown: LookupBreakdown::default(),
+            slots: MeterSlots::default(),
             context_switches: 0,
         }
     }
@@ -319,12 +360,19 @@ impl Strategy {
     }
 
     fn charge_cfr_read(&mut self) {
-        self.meter.charge("cfr_read", self.model.cfr_read_pj());
+        self.meter.charge_cached(
+            &mut self.slots.cfr_read,
+            "cfr_read",
+            self.model.cfr_read_pj(),
+        );
     }
 
     fn charge_compare(&mut self) {
-        self.meter
-            .charge("cfr_compare", self.model.cfr_compare_pj());
+        self.meter.charge_cached(
+            &mut self.slots.cfr_compare,
+            "cfr_compare",
+            self.model.cfr_compare_pj(),
+        );
     }
 
     fn count_lookup_cause(&mut self, ev: &FetchEvent) {
@@ -343,7 +391,9 @@ impl Strategy {
         let vpn = self.geom.vpn(ev.pc);
         self.count_lookup_cause(ev);
         let mut meter = std::mem::take(&mut self.meter);
-        let (pfn, prot, penalty) = self.itlb.lookup(vpn, pt, &mut meter, &self.model);
+        let (pfn, prot, penalty) =
+            self.itlb
+                .lookup(vpn, pt, &mut meter, &mut self.slots, &self.model);
         self.meter = meter;
         self.cfr.load(vpn, pfn, prot);
         (pfn, penalty)

@@ -224,6 +224,7 @@ impl BranchPredictor {
     /// Predicts the branch at `pc`. `fallthrough` is `pc + 4` (pushed on
     /// calls). Mutates the RAS speculatively; the fetch engine only calls
     /// this on the paths it actually follows.
+    #[inline]
     pub fn predict(
         &mut self,
         pc: VirtAddr,
@@ -287,6 +288,7 @@ impl BranchPredictor {
     }
 
     /// Trains the predictor with a resolved (right-path) branch.
+    #[inline]
     pub fn update(&mut self, pc: VirtAddr, spec: &BranchSpec, taken: bool, target: VirtAddr) {
         if spec.kind.conditional() {
             self.bimodal.update(pc, taken);

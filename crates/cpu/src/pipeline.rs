@@ -45,31 +45,66 @@ struct FetchedBranch {
     target: VirtAddr,
 }
 
-#[derive(Clone, Debug)]
+/// One fetched instruction, carrying the decode-time metadata (class,
+/// operands, latency) read from the instruction slot *at fetch* — the
+/// fetch engine touches the slot anyway for the branch spec, so decode
+/// and issue never have to index the slot array again.
+#[derive(Clone, Copy, Debug)]
 struct FetchedInstr {
     slot: usize,
     pc: VirtAddr,
+    class: OpClass,
+    srcs: [Option<RegId>; 2],
+    dst: Option<RegId>,
+    latency: u32,
     wrong_path: bool,
     mem_addr: Option<VirtAddr>,
     branch: Option<FetchedBranch>,
     is_boundary: bool,
 }
 
-#[derive(Clone, Debug)]
+/// The commit/completion-facing slice of an RUU entry, kept in a compact
+/// parallel array (see [`Pipeline::ruu_hot`]) so the commit head check
+/// and the completion pass touch a few bytes per entry instead of
+/// dragging the whole [`RuuEntry`] through the cache.
+#[derive(Clone, Copy, Debug)]
+struct RuuHot {
+    done_at: u64,
+    issued: bool,
+    done: bool,
+    /// Right-path branch whose completion must train the predictor (and
+    /// possibly trigger mispredict recovery).
+    resolves_branch: bool,
+}
+
+/// One unissued entry in the issue pass's pending list — self-contained
+/// (operands and class travel with the wake time), so scanning candidates
+/// touches only this dense array until an entry actually issues.
+#[derive(Clone, Copy, Debug)]
+struct PendingIssue {
+    /// Provable earliest cycle this entry could issue.
+    wake_at: u64,
+    /// Decode-order sequence number (see [`Pipeline::head_seq`]).
+    seq: u64,
+    /// Source operands (readiness check).
+    srcs: [Option<RegId>; 2],
+    /// Functional class (unit check).
+    class: OpClass,
+}
+
+/// The cold remainder of an RUU entry: read only when a specific entry is
+/// decoded, issued, resolved, or committed — never by the per-cycle scans.
+#[derive(Clone, Copy, Debug)]
 struct RuuEntry {
     slot: usize,
     pc: VirtAddr,
     class: OpClass,
-    srcs: [Option<RegId>; 2],
     dst: Option<RegId>,
+    latency: u32,
     mem_addr: Option<VirtAddr>,
     wrong_path: bool,
     branch: Option<FetchedBranch>,
     is_boundary: bool,
-    decoded_at: u64,
-    issued: bool,
-    done: bool,
-    done_at: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +132,37 @@ pub struct Pipeline<'p> {
     page_table: PageTable,
 
     fetch_q: VecDeque<FetchedInstr>,
+    /// Cold per-entry data, in lockstep with [`Pipeline::ruu_hot`].
     ruu: VecDeque<RuuEntry>,
+    /// Hot per-entry data the per-cycle scans stream over.
+    ruu_hot: VecDeque<RuuHot>,
+    /// `(done_at, seq)` of every issued-but-incomplete entry. Sequence
+    /// numbers are decode order: the RUU front holds `head_seq`, so an
+    /// entry's index is `seq - head_seq` — stable across front pops,
+    /// which is what lets the completion pass touch only the few entries
+    /// actually in flight instead of scanning the window.
+    inflight: Vec<(u64, u64)>,
+    /// Sequence number of the RUU front entry.
+    head_seq: u64,
+    /// Earliest `done_at` among in-flight entries (`u64::MAX` when none):
+    /// the completion pass runs only on cycles that can complete
+    /// something, so quiet cycles are O(1). May be stale-low after a
+    /// flush, which only costs one empty recheck.
+    next_done_at: u64,
+    /// Every unissued entry, in seq (age) order. An entry sleeps until
+    /// its provable earliest-issue cycle: operand ready times can only
+    /// move it *earlier* when a shorter-latency writer overwrites
+    /// `reg_ready` — [`Pipeline::issue`] detects that (rare) decrease and
+    /// clamps every wake time, so a sleeping entry is never checked later
+    /// than the original every-cycle scan would have issued it.
+    pending: Vec<PendingIssue>,
+    /// Issue gate: no cycle before this can issue anything, so the issue
+    /// pass is skipped entirely. Sound because operand readiness
+    /// (`reg_ready`) changes only inside [`Pipeline::issue`] itself, and
+    /// a pass that issued nothing left every functional unit free — so a
+    /// blocked window stays blocked until the earliest wake time that
+    /// pass observed. Newly decoded entries re-arm the gate.
+    next_issue_at: u64,
     lsq_used: usize,
     reg_ready: [u64; RegId::COUNT],
 
@@ -132,6 +197,12 @@ impl<'p> Pipeline<'p> {
             page_table: PageTable::new(),
             fetch_q: VecDeque::with_capacity(cfg.fetch_queue),
             ruu: VecDeque::with_capacity(cfg.ruu_size),
+            ruu_hot: VecDeque::with_capacity(cfg.ruu_size),
+            inflight: Vec::with_capacity(cfg.ruu_size),
+            head_seq: 0,
+            next_done_at: u64::MAX,
+            pending: Vec::with_capacity(cfg.ruu_size),
+            next_issue_at: 0,
             lsq_used: 0,
             reg_ready: [0; RegId::COUNT],
             fetch_slot: entry,
@@ -159,11 +230,17 @@ impl<'p> Pipeline<'p> {
 
     /// Runs until `max_commits` instructions have committed.
     ///
+    /// Generic over the translator so every concrete strategy gets its own
+    /// monomorphized copy of the fetch loop — the per-fetch
+    /// [`FetchTranslator::on_fetch`] call is direct (and inlinable)
+    /// instead of virtual. Callers holding a trait object use
+    /// [`Pipeline::run_dyn`].
+    ///
     /// # Panics
     ///
     /// Panics if the pipeline wedges (cycles exceed `1000 × max_commits`),
     /// which indicates a simulator bug rather than a slow workload.
-    pub fn run(&mut self, translator: &mut dyn FetchTranslator, max_commits: u64) {
+    pub fn run<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T, max_commits: u64) {
         let cycle_cap = max_commits.saturating_mul(MAX_CPI) + 1_000_000;
         while self.stats.committed < max_commits {
             self.commit(max_commits);
@@ -189,6 +266,12 @@ impl<'p> Pipeline<'p> {
         self.stats.dtlb = *self.dtlb.stats();
     }
 
+    /// Dyn-compatible wrapper over [`Pipeline::run`] for callers that only
+    /// hold a `&mut dyn FetchTranslator`.
+    pub fn run_dyn(&mut self, translator: &mut dyn FetchTranslator, max_commits: u64) {
+        self.run(translator, max_commits);
+    }
+
     // ---- commit ------------------------------------------------------
 
     fn commit(&mut self, max_commits: u64) {
@@ -196,12 +279,23 @@ impl<'p> Pipeline<'p> {
             if self.stats.committed >= max_commits {
                 break;
             }
-            let Some(head) = self.ruu.front() else { break };
+            let Some(head) = self.ruu_hot.front() else {
+                break;
+            };
             if !head.done || head.done_at > self.cycle {
                 break;
             }
-            debug_assert!(!head.wrong_path, "wrong-path instruction at commit");
-            let entry = self.ruu.pop_front().expect("checked front");
+            let hot = self.ruu_hot.pop_front().expect("checked front");
+            let entry = self.ruu.pop_front().expect("hot and cold in lockstep");
+            debug_assert!(!entry.wrong_path, "wrong-path instruction at commit");
+            if !hot.issued {
+                // A decode-complete branch placeholder committing before
+                // ever issuing: it is the oldest entry, hence the pending
+                // list's head.
+                debug_assert_eq!(self.pending.first().map(|p| p.seq), Some(self.head_seq));
+                self.pending.remove(0);
+            }
+            self.head_seq += 1;
             if matches!(entry.class, OpClass::Load | OpClass::Store) {
                 self.lsq_used -= 1;
             }
@@ -214,33 +308,57 @@ impl<'p> Pipeline<'p> {
 
     // ---- execute completion & branch resolution ----------------------
 
-    fn resolve_completions(&mut self, translator: &mut dyn FetchTranslator) {
+    fn resolve_completions<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T) {
+        // Quiet-cycle gate: nothing in flight can complete before
+        // `next_done_at`, so most cycles return here in O(1).
+        if self.next_done_at > self.cycle || self.inflight.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        let mut next_done = u64::MAX;
         let mut resolve_at: Option<usize> = None;
-        for (i, e) in self.ruu.iter_mut().enumerate() {
-            if e.issued && !e.done && e.done_at <= self.cycle {
-                e.done = true;
-                if let Some(b) = e.branch {
-                    if !e.wrong_path {
-                        // Train the predictor at resolution.
-                        let spec = self.prog.slots[e.slot]
-                            .instr
-                            .branch
-                            .as_ref()
-                            .expect("branch entry has spec");
-                        self.predictor.update(e.pc, spec, b.taken, b.target);
-                        if b.mispredicted && resolve_at.is_none() {
-                            resolve_at = Some(i);
-                        }
-                    }
+        // Process completions oldest-first (predictor training order is
+        // architectural state); the in-flight list is kept seq-sorted by
+        // the ordered insert in `issue`.
+        debug_assert!(self.inflight.windows(2).all(|w| w[0].1 < w[1].1));
+        let mut j = 0;
+        while j < self.inflight.len() {
+            let (done_at, seq) = self.inflight[j];
+            if done_at > cycle {
+                next_done = next_done.min(done_at);
+                j += 1;
+                continue;
+            }
+            self.inflight.remove(j);
+            let i = (seq - self.head_seq) as usize;
+            let h = &mut self.ruu_hot[i];
+            h.done = true;
+            if h.resolves_branch {
+                let e = &self.ruu[i];
+                let b = e.branch.expect("resolving entry carries its branch");
+                // Train the predictor at resolution.
+                let spec = self.prog.slots[e.slot]
+                    .instr
+                    .branch
+                    .as_ref()
+                    .expect("branch entry has spec");
+                self.predictor.update(e.pc, spec, b.taken, b.target);
+                if b.mispredicted && resolve_at.is_none() {
+                    resolve_at = Some(i);
                 }
             }
         }
+        self.next_done_at = next_done;
         if let Some(i) = resolve_at {
             let recovery = self.ruu[i].branch.expect("resolved branch").recovery_slot;
-            let done_at = self.ruu[i].done_at;
+            let done_at = self.ruu_hot[i].done_at;
             // Flush everything younger: by construction it is wrong-path.
+            let keep_below = self.head_seq + i as u64 + 1;
+            self.inflight.retain(|&(_, seq)| seq < keep_below);
+            self.pending.retain(|p| p.seq < keep_below);
             while self.ruu.len() > i + 1 {
-                let dropped = self.ruu.pop_back().expect("len checked");
+                self.ruu_hot.pop_back().expect("len checked");
+                let dropped = self.ruu.pop_back().expect("hot and cold in lockstep");
                 if matches!(dropped.class, OpClass::Load | OpClass::Store) {
                     self.lsq_used -= 1;
                 }
@@ -259,27 +377,54 @@ impl<'p> Pipeline<'p> {
     // ---- issue -------------------------------------------------------
 
     fn issue(&mut self) {
+        // Event gate: a previous pass proved nothing can issue before
+        // `next_issue_at` (see the field's invariant).
+        if self.cycle < self.next_issue_at {
+            return;
+        }
         let mut issued = 0usize;
+        let mut hit_width_limit = false;
+        // Earliest wake among entries that stay pending — only
+        // meaningful when nothing issues.
+        let mut next_wake = u64::MAX;
+        // Set when a shorter-latency writer moved a register's ready time
+        // *backwards*: cached wake times may now be too late.
+        let mut ready_decreased = false;
         let mut fu = [0u32; 5]; // IntAlu, IntMul, FpAlu, FpMul, Mem
         let cycle = self.cycle;
-        for idx in 0..self.ruu.len() {
+        // One in-place pass over the pending (unissued) entries in age
+        // order: sleeping entries cost a single compare; issued entries
+        // are dropped; the rest are retained with an updated wake time.
+        let mut j = 0; // read cursor
+        let mut k = 0; // write cursor (retained prefix)
+        while j < self.pending.len() {
             if issued >= self.cfg.issue_width {
+                hit_width_limit = true;
                 break;
             }
-            let ready = {
-                let e = &self.ruu[idx];
-                if e.issued || e.decoded_at >= cycle {
-                    continue;
-                }
-                e.srcs
-                    .iter()
-                    .flatten()
-                    .all(|r| self.reg_ready[r.0 as usize] <= cycle)
-            };
-            if !ready {
+            let p = self.pending[j];
+            j += 1;
+            if p.wake_at > cycle {
+                next_wake = next_wake.min(p.wake_at);
+                self.pending[k] = p;
+                k += 1;
                 continue;
             }
-            let (fu_idx, fu_limit) = match self.ruu[idx].class {
+            let mut ready_at = 0u64;
+            for r in p.srcs.iter().flatten() {
+                ready_at = ready_at.max(self.reg_ready[r.0 as usize]);
+            }
+            if ready_at > cycle {
+                next_wake = next_wake.min(ready_at);
+                self.pending[k] = PendingIssue {
+                    wake_at: ready_at,
+                    ..p
+                };
+                k += 1;
+                continue;
+            }
+            let class = p.class;
+            let (fu_idx, fu_limit) = match class {
                 OpClass::IntAlu | OpClass::Branch => (0, self.cfg.int_alu),
                 OpClass::IntMul => (1, self.cfg.int_mul),
                 OpClass::FpAlu => (2, self.cfg.fp_alu),
@@ -287,13 +432,24 @@ impl<'p> Pipeline<'p> {
                 OpClass::Load | OpClass::Store => (4, MEM_PORTS),
             };
             if fu[fu_idx] >= fu_limit {
+                // Units free up next cycle; retry then.
+                next_wake = next_wake.min(cycle + 1);
+                self.pending[k] = PendingIssue {
+                    wake_at: cycle + 1,
+                    ..p
+                };
+                k += 1;
                 continue;
             }
             fu[fu_idx] += 1;
 
-            let class = self.ruu[idx].class;
-            let mem_addr = self.ruu[idx].mem_addr;
-            let base_latency = self.prog.slots[self.ruu[idx].slot].instr.latency();
+            let seq = p.seq;
+            let idx = (seq - self.head_seq) as usize;
+            debug_assert!(!self.ruu_hot[idx].issued, "pending entry already issued");
+            let (mem_addr, base_latency, dst) = {
+                let e = &self.ruu[idx];
+                (e.mem_addr, e.latency, e.dst)
+            };
             let latency = match (class, mem_addr) {
                 (OpClass::Load, Some(addr)) => {
                     base_latency + self.data_access(addr, AccessKind::Read)
@@ -308,11 +464,27 @@ impl<'p> Pipeline<'p> {
                 _ => base_latency,
             };
 
-            let e = &mut self.ruu[idx];
-            e.issued = true;
-            e.done_at = cycle + u64::from(latency);
-            if let Some(dst) = e.dst {
-                self.reg_ready[dst.0 as usize] = e.done_at;
+            let done_at = cycle + u64::from(latency);
+            let h = &mut self.ruu_hot[idx];
+            h.issued = true;
+            h.done_at = done_at;
+            if !h.done {
+                // Keep the in-flight list sorted by seq (age): issues run
+                // in ascending age within a cycle, so the insertion
+                // point is almost always the tail.
+                let mut pos = self.inflight.len();
+                while pos > 0 && self.inflight[pos - 1].1 > seq {
+                    pos -= 1;
+                }
+                self.inflight.insert(pos, (done_at, seq));
+                self.next_done_at = self.next_done_at.min(done_at);
+            }
+            if let Some(dst) = dst {
+                let slot = &mut self.reg_ready[dst.0 as usize];
+                if done_at < *slot {
+                    ready_decreased = true;
+                }
+                *slot = done_at;
             }
             match class {
                 OpClass::Load => self.stats.loads += 1,
@@ -321,6 +493,33 @@ impl<'p> Pipeline<'p> {
             }
             issued += 1;
         }
+        // Keep any entries the issue-width break left unexamined.
+        if k < j {
+            while j < self.pending.len() {
+                self.pending[k] = self.pending[j];
+                k += 1;
+                j += 1;
+            }
+            self.pending.truncate(k);
+        } else {
+            debug_assert_eq!(k, j, "write cursor cannot pass read cursor");
+        }
+        if ready_decreased {
+            // Cached wake times assumed ready times only move later;
+            // clamp them so every sleeper is rechecked promptly.
+            for p in &mut self.pending {
+                p.wake_at = p.wake_at.min(cycle + 1);
+            }
+            next_wake = cycle + 1;
+        }
+        // Arm the gate. A pass that issued something (or stopped at the
+        // issue width) may free units or wake dependents next cycle; only
+        // a clean nothing-issued pass proves a longer quiet window.
+        self.next_issue_at = if issued > 0 || hit_width_limit {
+            cycle + 1
+        } else {
+            next_wake
+        };
     }
 
     /// dTLB + dL1 (+L2, +DRAM) access for a data reference; returns the
@@ -363,42 +562,50 @@ impl<'p> Pipeline<'p> {
                 break;
             }
             let Some(f) = self.fetch_q.front() else { break };
-            let is_mem = {
-                let s = &self.prog.slots[f.slot];
-                matches!(s.instr.class, OpClass::Load | OpClass::Store)
-            };
+            let is_mem = matches!(f.class, OpClass::Load | OpClass::Store);
             if is_mem && self.lsq_used >= self.cfg.lsq_size {
                 break;
             }
             let f = self.fetch_q.pop_front().expect("checked front");
-            let s = &self.prog.slots[f.slot];
             if is_mem {
                 self.lsq_used += 1;
             }
+            let resolves_branch = f.branch.is_some() && !f.wrong_path;
+            // A fresh entry is an issue candidate from the next cycle on.
+            self.next_issue_at = self.next_issue_at.min(self.cycle + 1);
+            self.pending.push(PendingIssue {
+                wake_at: self.cycle + 1,
+                seq: self.head_seq + self.ruu.len() as u64,
+                srcs: f.srcs,
+                class: f.class,
+            });
             self.ruu.push_back(RuuEntry {
                 slot: f.slot,
                 pc: f.pc,
-                class: s.instr.class,
-                srcs: s.instr.srcs,
-                dst: s.instr.dst,
+                class: f.class,
+                dst: f.dst,
+                latency: f.latency,
                 mem_addr: f.mem_addr,
                 wrong_path: f.wrong_path,
                 branch: f.branch,
                 is_boundary: f.is_boundary,
-                decoded_at: self.cycle,
-                issued: false,
-                done: matches!(s.instr.class, OpClass::Branch) && f.branch.is_none(),
+            });
+            self.ruu_hot.push_back(RuuHot {
                 done_at: self.cycle,
+                issued: false,
+                done: matches!(f.class, OpClass::Branch) && f.branch.is_none(),
+                resolves_branch,
             });
         }
     }
 
     // ---- fetch -------------------------------------------------------
 
-    fn fetch(&mut self, translator: &mut dyn FetchTranslator) {
+    fn fetch<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T) {
         if self.cycle < self.fetch_stall_until {
             return;
         }
+        let prog = self.prog;
         let mut group_stall: u32 = 0;
         let mut fetched_any = false;
         for _ in 0..self.cfg.fetch_width {
@@ -447,15 +654,23 @@ impl<'p> Pipeline<'p> {
                 group_stall = group_stall.max(miss_stall);
             }
 
-            // Instruction + prediction + oracle.
+            // Instruction + prediction + oracle. Borrow the branch spec
+            // from the program (alive for `'p`) instead of cloning it —
+            // the old per-fetch clone heap-allocated for every indirect
+            // branch's target set.
             self.pending_kind = PendingKind::Sequential;
             self.last_fetch_pc = pc;
-            let instr_branch = self.prog.slots[slot].instr.branch.clone();
-            let is_boundary = instr_branch.as_ref().is_some_and(|b| b.boundary);
+            let instr = &prog.slots[slot].instr;
+            let instr_branch = instr.branch.as_ref();
+            let is_boundary = instr_branch.is_some_and(|b| b.boundary);
 
             let mut fetched = FetchedInstr {
                 slot,
                 pc,
+                class: instr.class,
+                srcs: instr.srcs,
+                dst: instr.dst,
+                latency: instr.latency(),
                 wrong_path: self.wrong_path,
                 mem_addr: None,
                 branch: None,
@@ -466,7 +681,7 @@ impl<'p> Pipeline<'p> {
             if self.wrong_path {
                 self.stats.wrong_path_fetched += 1;
                 // Follow predictions blindly; nothing here resolves.
-                if let Some(spec) = &instr_branch {
+                if let Some(spec) = instr_branch {
                     let pred = self.predictor.predict(pc, spec, pc.add(INSTRUCTION_BYTES));
                     translator.on_branch_predicted(pc, pred.target);
                     if pred.taken {
@@ -513,7 +728,7 @@ impl<'p> Pipeline<'p> {
 
                 if let Some(exec) = step.branch {
                     self.stats.branches += 1;
-                    let spec = instr_branch.as_ref().expect("branch step has spec");
+                    let spec = instr_branch.expect("branch step has spec");
                     let pred = self.predictor.predict(pc, spec, pc.add(INSTRUCTION_BYTES));
                     translator.on_branch_predicted(pc, pred.target);
 
@@ -602,6 +817,24 @@ mod tests {
         let a = run_for(&p, 10_000);
         let b = run_for(&p, 10_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dyn_wrapper_matches_monomorphized_run() {
+        // `run` is generic (monomorphized per translator); `run_dyn` is
+        // the trait-object entry point for callers that only hold a
+        // `&mut dyn FetchTranslator`. Both must drive the identical
+        // simulation.
+        let p = laid();
+        let mut mono_pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+        let mut mono_t = NullTranslator::default();
+        mono_pipe.run(&mut mono_t, 10_000);
+
+        let mut dyn_pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+        let mut dyn_t = NullTranslator::default();
+        let dyn_ref: &mut dyn FetchTranslator = &mut dyn_t;
+        dyn_pipe.run_dyn(dyn_ref, 10_000);
+        assert_eq!(dyn_pipe.stats(), mono_pipe.stats());
     }
 
     #[test]

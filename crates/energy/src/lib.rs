@@ -30,7 +30,7 @@ mod meter;
 mod model;
 
 pub use cfr_types::{CacheOrganization, TlbOrganization};
-pub use meter::{ComponentEnergy, EnergyMeter};
+pub use meter::{ComponentEnergy, EnergyMeter, MeterSlot};
 pub use model::{EnergyModel, TechnologyParams};
 
 /// Converts picojoules to millijoules (the unit the paper's tables use).

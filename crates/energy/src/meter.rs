@@ -1,6 +1,5 @@
 //! Event-count energy accounting.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use cfr_types::{RecordError, RecordReader, RecordWriter};
@@ -31,9 +30,35 @@ pub struct ComponentEnergy {
 /// assert_eq!(meter.events("cfr_read"), 3);
 /// assert!((meter.total_pj() - 453.8).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EnergyMeter {
-    components: BTreeMap<String, ComponentEnergy>,
+    /// Components sorted by name — the handful of distinct components a
+    /// run charges makes a dense sorted `Vec` both faster to look up on
+    /// the per-fetch hot path and identical in iteration order to the
+    /// `BTreeMap` it replaced (serialization stays byte-for-byte stable).
+    components: Vec<(String, ComponentEnergy)>,
+    /// Bumped whenever component positions can move (insert/clear), so
+    /// [`MeterSlot`] caches know to re-resolve. Excluded from equality
+    /// and serialization — it is a lookup cache, not accounting state.
+    #[serde(skip)]
+    generation: u32,
+}
+
+impl PartialEq for EnergyMeter {
+    fn eq(&self, other: &Self) -> bool {
+        // `generation` is a lookup-cache version, not accounting state.
+        self.components == other.components
+    }
+}
+
+/// A caller-owned cached position of one component in one meter: lets a
+/// hot charge site (e.g. the per-fetch CFR read) skip the by-name lookup
+/// while staying exactly equivalent to [`EnergyMeter::charge`]. Invalid
+/// slots (fresh, or stale after an insert) transparently re-resolve.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeterSlot {
+    generation: u32,
+    index: u32,
 }
 
 impl EnergyMeter {
@@ -44,36 +69,92 @@ impl EnergyMeter {
     }
 
     /// Charges one event of `pj` picojoules to `component`.
+    #[inline]
     pub fn charge(&mut self, component: &str, pj: f64) {
         self.charge_n(component, 1, pj);
     }
 
     /// Charges `n` events of `pj_each` picojoules to `component`.
+    #[inline]
     pub fn charge_n(&mut self, component: &str, n: u64, pj_each: f64) {
         if n == 0 {
             return;
         }
-        let entry = self.components.entry(component.to_owned()).or_default();
-        entry.events += n;
-        entry.total_pj += pj_each * n as f64;
+        // The meter is charged once per modeled event on the simulator's
+        // hot path: linear-scan the few components, and allocate the key
+        // `String` only on a component's first charge.
+        if let Some((_, entry)) = self
+            .components
+            .iter_mut()
+            .find(|(name, _)| name == component)
+        {
+            entry.events += n;
+            entry.total_pj += pj_each * n as f64;
+            return;
+        }
+        self.insert_sorted(
+            component.to_owned(),
+            ComponentEnergy {
+                events: n,
+                total_pj: pj_each * n as f64,
+            },
+        );
+    }
+
+    /// Inserts a new component at its sorted position and invalidates
+    /// every cached [`MeterSlot`] — the single place positions can move.
+    fn insert_sorted(&mut self, name: String, component: ComponentEnergy) {
+        let at = self
+            .components
+            .partition_point(|(n, _)| n.as_str() < name.as_str());
+        self.components.insert(at, (name, component));
+        self.generation += 1;
+    }
+
+    /// [`EnergyMeter::charge`] with a caller-cached component position:
+    /// a valid `slot` skips the by-name lookup entirely; a stale or
+    /// fresh one falls back to the ordinary charge and re-resolves.
+    /// Exactly equivalent to `charge(component, pj)`.
+    #[inline]
+    pub fn charge_cached(&mut self, slot: &mut MeterSlot, component: &str, pj: f64) {
+        if slot.generation == self.generation && (slot.index as usize) < self.components.len() {
+            let entry = &mut self.components[slot.index as usize].1;
+            entry.events += 1;
+            entry.total_pj += pj;
+            return;
+        }
+        self.charge(component, pj);
+        slot.index = self
+            .components
+            .iter()
+            .position(|(name, _)| name == component)
+            .expect("just charged") as u32;
+        slot.generation = self.generation;
     }
 
     /// Event count for `component` (0 if never charged).
     #[must_use]
     pub fn events(&self, component: &str) -> u64 {
-        self.components.get(component).map_or(0, |c| c.events)
+        self.get(component).map_or(0, |c| c.events)
+    }
+
+    fn get(&self, component: &str) -> Option<&ComponentEnergy> {
+        self.components
+            .iter()
+            .find(|(name, _)| name == component)
+            .map(|(_, c)| c)
     }
 
     /// Energy in picojoules for `component` (0 if never charged).
     #[must_use]
     pub fn component_pj(&self, component: &str) -> f64 {
-        self.components.get(component).map_or(0.0, |c| c.total_pj)
+        self.get(component).map_or(0.0, |c| c.total_pj)
     }
 
     /// Total energy across all components, in picojoules.
     #[must_use]
     pub fn total_pj(&self) -> f64 {
-        self.components.values().map(|c| c.total_pj).sum()
+        self.components.iter().map(|(_, c)| c.total_pj).sum()
     }
 
     /// Total energy across all components, in millijoules.
@@ -90,19 +171,24 @@ impl EnergyMeter {
     /// Folds another meter's charges into this one.
     pub fn merge(&mut self, other: &EnergyMeter) {
         for (name, c) in &other.components {
-            let entry = self.components.entry(name.clone()).or_default();
-            entry.events += c.events;
-            entry.total_pj += c.total_pj;
+            match self.components.iter_mut().find(|(n, _)| n == name) {
+                Some((_, entry)) => {
+                    entry.events += c.events;
+                    entry.total_pj += c.total_pj;
+                }
+                None => self.insert_sorted(name.clone(), *c),
+            }
         }
     }
 
     /// Resets all counters.
     pub fn clear(&mut self) {
         self.components.clear();
+        self.generation += 1;
     }
 
     /// Serializes as `meter <n>` followed by `n` named [`ComponentEnergy`]
-    /// records in name (= BTreeMap) order — deterministic, so equal meters
+    /// records in name (sorted) order — deterministic, so equal meters
     /// always produce byte-equal records. Component names are single
     /// tokens (`itlb_access`-style identifiers), which
     /// [`EnergyMeter::charge`] callers already uphold.
@@ -123,15 +209,16 @@ impl EnergyMeter {
     pub fn from_record(r: &mut RecordReader<'_>) -> Result<Self, RecordError> {
         r.expect("meter")?;
         let n = r.usize()?;
-        let mut components = BTreeMap::new();
+        let mut meter = Self::new();
         for _ in 0..n {
             let name = r.token()?.to_owned();
             let component = ComponentEnergy::from_record(r)?;
-            if components.insert(name.clone(), component).is_some() {
+            if meter.get(&name).is_some() {
                 return Err(RecordError::new(format!("duplicate component {name:?}")));
             }
+            meter.insert_sorted(name, component);
         }
-        Ok(Self { components })
+        Ok(meter)
     }
 }
 

@@ -138,13 +138,35 @@ struct Way {
     lru: u64,
 }
 
+/// Sentinel for [`Cache::mru_block`]: no last-hit block to fast-path
+/// through. Real block addresses are `addr >> block_bits < 2^60`, so the
+/// all-ones value can never collide with one.
+const NO_MRU_BLOCK: u64 = u64::MAX;
+
 /// A blocking, set-associative, true-LRU, write-back/write-allocate cache.
+///
+/// Accesses check the **last-hit block first** (an MRU fast path):
+/// with a 32-byte block, eight consecutive instruction fetches land on
+/// the same block, so most accesses — especially on the direct-mapped
+/// iL1 — skip the set/tag decomposition and the way scan entirely. The
+/// fast path performs exactly the bookkeeping the scan would (tick, LRU
+/// stamp, dirty bit, hit counter), so replacement behaviour and
+/// statistics are bit-identical.
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
     ways: Vec<Way>, // sets * associativity, row-major by set
     assoc: usize,
     sets: u64,
+    /// `(sets - 1, log2(sets))` when the set count is a power of two (the
+    /// common case), letting [`Cache::set_and_tag`] mask and shift instead
+    /// of dividing.
+    set_mask_shift: Option<(u64, u32)>,
+    /// Block address (`addr >> block_bits`) of the most recently hit or
+    /// refilled block; [`NO_MRU_BLOCK`] when invalid.
+    mru_block: u64,
+    /// Index into `ways` of that block's way (valid iff `mru_block` is).
+    mru_way: usize,
     block_bits: u32,
     tick: u64,
     stats: CacheStats,
@@ -166,6 +188,11 @@ impl Cache {
             ways: vec![Way::default(); sets as usize * assoc],
             assoc,
             sets,
+            set_mask_shift: sets
+                .is_power_of_two()
+                .then(|| (sets - 1, sets.trailing_zeros())),
+            mru_block: NO_MRU_BLOCK,
+            mru_way: 0,
             block_bits: cfg.organization.block_bytes.trailing_zeros(),
             tick: 0,
             stats: CacheStats::default(),
@@ -193,21 +220,23 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.block_bits;
-        let set = (block % self.sets) as usize;
-        let tag = block / self.sets;
-        (set, tag)
+        match self.set_mask_shift {
+            Some((mask, shift)) => ((block & mask) as usize, block >> shift),
+            None => ((block % self.sets) as usize, block / self.sets),
+        }
     }
 
     /// Accesses `addr`, allocating on a miss. Returns hit/miss and any dirty
     /// eviction the caller must write back.
+    #[inline]
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
         self.tick += 1;
         self.stats.accesses += 1;
-        let (set, tag) = self.set_and_tag(addr);
-        let base = set * self.assoc;
-        let ways = &mut self.ways[base..base + self.assoc];
-
-        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+        let block = addr >> self.block_bits;
+        // MRU fast path: same block as the last hit — no set/tag split,
+        // no way scan.
+        if block == self.mru_block {
+            let way = &mut self.ways[self.mru_way];
             way.lru = self.tick;
             if kind == AccessKind::Write {
                 way.dirty = true;
@@ -218,15 +247,43 @@ impl Cache {
                 writeback: None,
             };
         }
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+
+        for i in base..base + self.assoc {
+            let way = &mut self.ways[i];
+            if way.valid && way.tag == tag {
+                way.lru = self.tick;
+                if kind == AccessKind::Write {
+                    way.dirty = true;
+                }
+                self.mru_block = block;
+                self.mru_way = i;
+                self.stats.hits += 1;
+                return AccessResult {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
 
         self.stats.misses += 1;
         let sets = self.sets;
         let block_bits = self.block_bits;
-        // Victim: an invalid way if any, else true LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
-            .expect("cache has at least one way");
+        // Victim: the first invalid way if any, else the first true-LRU
+        // way. Invalid-way preference is explicit (the old
+        // `min_by_key(lru + 1)` encoding wrapped if `lru == u64::MAX`).
+        let ways = &mut self.ways[base..base + self.assoc];
+        let victim_idx = ways.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            let mut min = 0;
+            for (i, w) in ways.iter().enumerate().skip(1) {
+                if w.lru < ways[min].lru {
+                    min = i;
+                }
+            }
+            min
+        });
+        let victim = &mut ways[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
             Some(((victim.tag * sets) + set as u64) << block_bits)
@@ -237,6 +294,8 @@ impl Cache {
         victim.valid = true;
         victim.dirty = kind == AccessKind::Write;
         victim.lru = self.tick;
+        self.mru_block = block;
+        self.mru_way = base + victim_idx;
         AccessResult {
             hit: false,
             writeback,
@@ -256,6 +315,7 @@ impl Cache {
     /// Invalidates everything (e.g., on an address-space switch for a
     /// virtually-tagged cache without ASIDs).
     pub fn invalidate_all(&mut self) {
+        self.mru_block = NO_MRU_BLOCK;
         for w in &mut self.ways {
             w.valid = false;
             w.dirty = false;

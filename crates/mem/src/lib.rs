@@ -30,6 +30,8 @@
 mod cache;
 mod dram;
 mod page_table;
+#[cfg(test)]
+mod proptests;
 mod tlb;
 
 pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, CacheStats};

@@ -4,8 +4,15 @@
 //! scrambled (but reproducible) bijection of the allocation order, so
 //! physically-indexed structures see realistic frame scatter rather than an
 //! identity mapping, while runs remain bit-for-bit repeatable.
-
-use std::collections::HashMap;
+//!
+//! The map itself is a hand-rolled **open-addressed table** (Fibonacci
+//! hash of the VPN, linear probing, tombstoned deletion) rather than
+//! `std::collections::HashMap`: the page table sits on the simulator's
+//! hot path (every TLB miss, every VI-VT iL1 miss), and SipHash plus the
+//! std map's per-lookup overhead are measurable there. The table is fully
+//! deterministic — no random hasher state — and its behaviour is
+//! cross-checked against a `HashMap` reference model by the property
+//! suite.
 
 use cfr_types::{Pfn, Protection, Vpn};
 
@@ -15,11 +22,34 @@ use cfr_types::{Pfn, Protection, Vpn};
 const FRAME_SCRAMBLE: u64 = 0x9E37_79B1;
 const FRAME_BITS: u32 = 28;
 
+/// Fibonacci multiplier (2^64 / φ, forced odd) for the VPN hash.
+const HASH_SCRAMBLE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Initial slot-array size; always a power of two.
+const INITIAL_CAPACITY: usize = 64;
+
+/// One open-addressed slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    /// Never used: a probe chain may stop here.
+    Empty,
+    /// Deleted: a probe chain must continue past, but inserts may reuse.
+    Tombstone,
+    /// A live translation.
+    Full(Vpn, Pfn, Protection),
+}
+
 /// The OS page table: allocates and remembers translations, and supports the
 /// eviction/remap hooks the paper's §3.2 OS support needs.
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    map: HashMap<Vpn, (Pfn, Protection)>,
+    /// Power-of-two slot array (empty until the first insert).
+    slots: Vec<Slot>,
+    /// Live (`Full`) slots.
+    live: usize,
+    /// Occupied (`Full` + `Tombstone`) slots — what load factor is
+    /// measured against, so long tombstone chains trigger a rebuild.
+    used: usize,
     allocations: u64,
 }
 
@@ -36,22 +66,98 @@ impl PageTable {
         Pfn::new(n.wrapping_mul(FRAME_SCRAMBLE) & ((1 << FRAME_BITS) - 1))
     }
 
+    /// Home slot of `vpn` in a table of `cap` slots (`cap` a power of two).
+    #[inline]
+    fn home(vpn: Vpn, cap: usize) -> usize {
+        // Fibonacci hashing: take the top bits of the scrambled VPN, which
+        // mixes high and low VPN bits into the index (pure masking would
+        // degenerate for the simulator's contiguous page ranges).
+        (vpn.raw().wrapping_mul(HASH_SCRAMBLE) >> (64 - cap.trailing_zeros())) as usize
+    }
+
+    /// Grows (or initially allocates) the slot array and rehashes every
+    /// live entry. Tombstones are dropped, so `used == live` afterwards.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(INITIAL_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
+        self.used = self.live;
+        for slot in old {
+            if let Slot::Full(vpn, ..) = slot {
+                let mut i = Self::home(vpn, new_cap);
+                loop {
+                    if matches!(self.slots[i], Slot::Empty) {
+                        self.slots[i] = slot;
+                        break;
+                    }
+                    i = (i + 1) & (new_cap - 1);
+                }
+            }
+        }
+    }
+
+    /// Index of the `Full` slot holding `vpn`, if any.
+    #[inline]
+    fn find(&self, vpn: Vpn) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::home(vpn, self.slots.len());
+        loop {
+            match self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(v, _, _) if v == vpn => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
     /// Translates `vpn`, allocating a frame with `prot` protection on first
     /// touch. Subsequent calls return the same frame (until a
     /// [`remap`](Self::remap)).
+    #[inline]
     pub fn translate(&mut self, vpn: Vpn, prot: Protection) -> (Pfn, Protection) {
-        if let Some(&entry) = self.map.get(&vpn) {
-            return entry;
+        // Keep at least one `Empty` slot per probe chain: grow at 7/8
+        // occupancy (tombstones included, so deletions cannot degrade
+        // probing indefinitely).
+        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::home(vpn, self.slots.len());
+        let mut reuse: Option<usize> = None;
+        loop {
+            match self.slots[i] {
+                Slot::Full(v, pfn, p) if v == vpn => return (pfn, p),
+                Slot::Tombstone => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                }
+                Slot::Empty => break,
+                Slot::Full(..) => {}
+            }
+            i = (i + 1) & mask;
         }
         let pfn = self.fresh_pfn();
-        self.map.insert(vpn, (pfn, prot));
+        match reuse {
+            Some(t) => self.slots[t] = Slot::Full(vpn, pfn, prot),
+            None => {
+                self.slots[i] = Slot::Full(vpn, pfn, prot);
+                self.used += 1;
+            }
+        }
+        self.live += 1;
         (pfn, prot)
     }
 
     /// Looks up an existing translation without allocating.
     #[must_use]
     pub fn probe(&self, vpn: Vpn) -> Option<(Pfn, Protection)> {
-        self.map.get(&vpn).copied()
+        self.find(vpn).map(|i| match self.slots[i] {
+            Slot::Full(_, pfn, prot) => (pfn, prot),
+            _ => unreachable!("find returns Full slots"),
+        })
     }
 
     /// Moves `vpn` to a fresh frame (page migration / swap-in at a new
@@ -59,24 +165,94 @@ impl PageTable {
     /// mapped. Any cached copy of the old translation — in a TLB *or in the
     /// CFR* — is now stale; the paper requires the OS to invalidate both.
     pub fn remap(&mut self, vpn: Vpn) -> Option<Pfn> {
-        if !self.map.contains_key(&vpn) {
-            return None;
-        }
+        let i = self.find(vpn)?;
         let pfn = self.fresh_pfn();
-        let entry = self.map.get_mut(&vpn).expect("checked above");
-        entry.0 = pfn;
+        match &mut self.slots[i] {
+            Slot::Full(_, old, _) => *old = pfn,
+            _ => unreachable!("find returns Full slots"),
+        }
         Some(pfn)
     }
 
     /// Removes the mapping for `vpn` (page evicted to backing store).
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pfn> {
-        self.map.remove(&vpn).map(|(pfn, _)| pfn)
+        let i = self.find(vpn)?;
+        let Slot::Full(_, pfn, _) = self.slots[i] else {
+            unreachable!("find returns Full slots")
+        };
+        self.slots[i] = Slot::Tombstone;
+        self.live -= 1;
+        Some(pfn)
     }
 
     /// Number of live mappings.
     #[must_use]
     pub fn mapped_pages(&self) -> usize {
-        self.map.len()
+        self.live
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod reference {
+    //! The pre-optimization `HashMap`-backed page table, kept as the
+    //! reference model the property suite cross-checks the open-addressed
+    //! table against.
+
+    use std::collections::HashMap;
+
+    use cfr_types::{Pfn, Protection, Vpn};
+
+    use super::{FRAME_BITS, FRAME_SCRAMBLE};
+
+    /// `HashMap`-backed reference page table (identical observable
+    /// behaviour, slower).
+    #[derive(Clone, Debug, Default)]
+    pub struct HashPageTable {
+        map: HashMap<Vpn, (Pfn, Protection)>,
+        allocations: u64,
+    }
+
+    impl HashPageTable {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn fresh_pfn(&mut self) -> Pfn {
+            let n = self.allocations;
+            self.allocations += 1;
+            Pfn::new(n.wrapping_mul(FRAME_SCRAMBLE) & ((1 << FRAME_BITS) - 1))
+        }
+
+        pub fn translate(&mut self, vpn: Vpn, prot: Protection) -> (Pfn, Protection) {
+            if let Some(&entry) = self.map.get(&vpn) {
+                return entry;
+            }
+            let pfn = self.fresh_pfn();
+            self.map.insert(vpn, (pfn, prot));
+            (pfn, prot)
+        }
+
+        pub fn probe(&self, vpn: Vpn) -> Option<(Pfn, Protection)> {
+            self.map.get(&vpn).copied()
+        }
+
+        pub fn remap(&mut self, vpn: Vpn) -> Option<Pfn> {
+            if !self.map.contains_key(&vpn) {
+                return None;
+            }
+            let pfn = self.fresh_pfn();
+            let entry = self.map.get_mut(&vpn).expect("checked above");
+            entry.0 = pfn;
+            Some(pfn)
+        }
+
+        pub fn unmap(&mut self, vpn: Vpn) -> Option<Pfn> {
+            self.map.remove(&vpn).map(|(pfn, _)| pfn)
+        }
+
+        pub fn mapped_pages(&self) -> usize {
+            self.map.len()
+        }
     }
 }
 
@@ -100,6 +276,10 @@ mod tests {
         for i in 0..10_000 {
             let (pfn, _) = pt.translate(Vpn::new(i), Protection::data());
             assert!(seen.insert(pfn), "duplicate frame for page {i}");
+        }
+        assert_eq!(pt.mapped_pages(), 10_000, "growth preserves every entry");
+        for i in 0..10_000 {
+            assert!(pt.probe(Vpn::new(i)).is_some(), "page {i} lost in growth");
         }
     }
 
@@ -146,6 +326,46 @@ mod tests {
         assert!(pt.unmap(Vpn::new(3)).is_some());
         assert_eq!(pt.probe(Vpn::new(3)), None);
         assert_eq!(pt.unmap(Vpn::new(3)), None);
+    }
+
+    #[test]
+    fn unmap_then_translate_reuses_the_chain() {
+        // Tombstone handling: a VPN whose probe chain crosses a deleted
+        // slot must still be findable, and a re-translate must not
+        // duplicate it.
+        let mut pt = PageTable::new();
+        for i in 0..100 {
+            pt.translate(Vpn::new(i), Protection::code());
+        }
+        for i in (0..100).step_by(2) {
+            assert!(pt.unmap(Vpn::new(i)).is_some());
+        }
+        assert_eq!(pt.mapped_pages(), 50);
+        for i in (1..100).step_by(2) {
+            assert!(pt.probe(Vpn::new(i)).is_some(), "survivor {i} lost");
+        }
+        for i in (0..100).step_by(2) {
+            pt.translate(Vpn::new(i), Protection::data());
+        }
+        assert_eq!(pt.mapped_pages(), 100);
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded_and_correct() {
+        // Repeated unmap/translate cycles must not wedge probing or leak
+        // occupancy (tombstones are reclaimed on growth).
+        let mut pt = PageTable::new();
+        for round in 0..50u64 {
+            for i in 0..64 {
+                pt.translate(Vpn::new(round * 64 + i), Protection::data());
+            }
+            for i in 0..64 {
+                assert!(pt.unmap(Vpn::new(round * 64 + i)).is_some());
+            }
+        }
+        assert_eq!(pt.mapped_pages(), 0);
+        pt.translate(Vpn::new(7), Protection::code());
+        assert_eq!(pt.mapped_pages(), 1);
     }
 
     #[test]

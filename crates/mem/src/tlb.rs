@@ -133,13 +133,43 @@ struct TlbEntry {
     lru: u64,
 }
 
+/// Sentinel for [`Tlb::mru`] slots: no last-hit entry to fast-path through.
+const NO_MRU: usize = usize::MAX;
+
+/// How many recently-hit entries the fast path checks before the way
+/// scan. One would capture a single stream's page locality; a data TLB
+/// interleaves several streams (stack, globals, heap), so a short
+/// recency list is needed to keep the fast-path hit rate high.
+const MRU_SLOTS: usize = 4;
+
+/// Key mirror value for an invalid way (no real VPN reaches 2^64 - 1).
+const NO_KEY: u64 = u64::MAX;
+
 /// A set-associative (or fully-associative) TLB with true LRU replacement.
+///
+/// Lookups check the **last-hit entry first** (an MRU fast path): the
+/// paper's thesis is that instruction streams have extreme page locality,
+/// so the vast majority of lookups land on the same entry as the previous
+/// one and skip the associative way scan entirely. The fast path performs
+/// exactly the bookkeeping the scan would (tick, LRU stamp, hit counter),
+/// so replacement behaviour and statistics are bit-identical.
 #[derive(Clone, Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
     entries: Vec<TlbEntry>, // sets * ways, row-major by set
+    /// VPN-key mirror of `entries` ([`NO_KEY`] for invalid ways): the way
+    /// scan streams over this dense `u64` array — which the compiler can
+    /// vectorize — instead of the wide entry structs. `entries` remains
+    /// the source of truth; every mutation updates both.
+    keys: Vec<u64>,
     ways: usize,
     sets: u64,
+    /// `sets - 1` when the set count is a power of two (the common case),
+    /// letting [`Tlb::set_of`] mask instead of divide.
+    set_mask: Option<u64>,
+    /// Indices into `entries` of the most recently hit (or refilled)
+    /// entries, most recent first; [`NO_MRU`] marks unused slots.
+    mru: [usize; MRU_SLOTS],
     tick: u64,
     stats: TlbStats,
 }
@@ -153,8 +183,11 @@ impl Tlb {
         Self {
             cfg,
             entries: vec![TlbEntry::default(); ways * sets as usize],
+            keys: vec![NO_KEY; ways * sets as usize],
             ways,
             sets,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
+            mru: [NO_MRU; MRU_SLOTS],
             tick: 0,
             stats: TlbStats::default(),
         }
@@ -180,7 +213,10 @@ impl Tlb {
 
     #[inline]
     fn set_of(&self, vpn: Vpn) -> usize {
-        (vpn.raw() % self.sets) as usize
+        match self.set_mask {
+            Some(mask) => (vpn.raw() & mask) as usize,
+            None => (vpn.raw() % self.sets) as usize,
+        }
     }
 
     /// Looks `vpn` up; on a miss, walks `page_table` and refills. `prot`
@@ -194,6 +230,7 @@ impl Tlb {
     /// returns the translation, but [`TlbLookup::fault`] is set and
     /// [`TlbStats::protection_faults`] counts it instead of the access
     /// silently passing as an ordinary hit.
+    #[inline]
     pub fn lookup(&mut self, vpn: Vpn, page_table: &mut PageTable, prot: Protection) -> TlbLookup {
         if let Some((pfn, resident_prot)) = self.access(vpn) {
             let fault = self.note_fault(resident_prot, prot);
@@ -235,22 +272,58 @@ impl Tlb {
     /// level-1 miss must fall through to level 2 *without* a premature
     /// page walk; the caller refills via [`Tlb::install`] from whatever
     /// level (or walk) actually produced the translation.
+    #[inline]
     pub fn access(&mut self, vpn: Vpn) -> Option<(Pfn, Protection)> {
         self.tick += 1;
         self.stats.accesses += 1;
+        // MRU fast path: a matching VPN is always in its own set, so
+        // checking the recently-hit entries directly is sound for any
+        // geometry.
+        for pi in 0..MRU_SLOTS {
+            let cand = self.mru[pi];
+            if let Some(e) = self.entries.get_mut(cand) {
+                if e.valid && e.vpn == vpn {
+                    e.lru = self.tick;
+                    let hit = (e.pfn, e.prot);
+                    if pi != 0 {
+                        self.mru[..=pi].rotate_right(1);
+                    }
+                    self.stats.hits += 1;
+                    return Some(hit);
+                }
+            }
+        }
         let set = self.set_of(vpn);
         let base = set * self.ways;
-        let tick = self.tick;
-        if let Some(e) = self.entries[base..base + self.ways]
-            .iter_mut()
-            .find(|e| e.valid && e.vpn == vpn)
+        if let Some(off) = self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == vpn.raw())
         {
-            e.lru = tick;
+            let i = base + off;
+            let e = &mut self.entries[i];
+            e.lru = self.tick;
+            let hit = (e.pfn, e.prot);
+            self.promote_mru(i);
             self.stats.hits += 1;
-            Some((e.pfn, e.prot))
-        } else {
-            self.stats.misses += 1;
-            None
+            return Some(hit);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Moves entry index `i` to the front of the MRU list (inserting it
+    /// if absent, dropping the oldest slot).
+    #[inline]
+    fn promote_mru(&mut self, i: usize) {
+        if self.mru[0] == i {
+            return;
+        }
+        let mut prev = i;
+        for slot in &mut self.mru {
+            std::mem::swap(slot, &mut prev);
+            if prev == i {
+                break;
+            }
         }
     }
 
@@ -261,24 +334,40 @@ impl Tlb {
         let set = self.set_of(vpn);
         let base = set * self.ways;
         let tick = self.tick;
-        let ways = &mut self.entries[base..base + self.ways];
-        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+        if let Some(off) = self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == vpn.raw())
+        {
+            let i = base + off;
+            let e = &mut self.entries[i];
             e.pfn = pfn;
             e.prot = prot;
             e.lru = tick;
+            self.promote_mru(i);
             return;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.lru + 1 } else { 0 })
-            .expect("TLB has at least one way");
-        *victim = TlbEntry {
+        // Victim: the first invalid way if any, else the first true-LRU
+        // way. Invalid-way preference is explicit (the old
+        // `min_by_key(lru + 1)` encoding wrapped if `lru == u64::MAX`).
+        let ways = &self.entries[base..base + self.ways];
+        let victim = ways.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            let mut min = 0;
+            for (i, e) in ways.iter().enumerate().skip(1) {
+                if e.lru < ways[min].lru {
+                    min = i;
+                }
+            }
+            min
+        });
+        self.entries[base + victim] = TlbEntry {
             vpn,
             pfn,
             prot,
             valid: true,
             lru: tick,
         };
+        self.keys[base + victim] = vpn.raw();
+        self.promote_mru(base + victim);
     }
 
     /// Refills an entry without counting an access (used by a two-level TLB
@@ -304,11 +393,18 @@ impl Tlb {
     pub fn invalidate(&mut self, vpn: Vpn) -> bool {
         let set = self.set_of(vpn);
         let base = set * self.ways;
-        if let Some(e) = self.entries[base..base + self.ways]
-            .iter_mut()
-            .find(|e| e.valid && e.vpn == vpn)
+        if let Some(off) = self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == vpn.raw())
         {
-            e.valid = false;
+            let i = base + off;
+            self.entries[i].valid = false;
+            self.keys[i] = NO_KEY;
+            for slot in &mut self.mru {
+                if *slot == i {
+                    *slot = NO_MRU;
+                }
+            }
             self.stats.invalidations += 1;
             true
         } else {
@@ -318,9 +414,11 @@ impl Tlb {
 
     /// Invalidates every entry (address-space switch without ASIDs).
     pub fn invalidate_all(&mut self) {
-        for e in &mut self.entries {
+        self.mru = [NO_MRU; MRU_SLOTS];
+        for (e, k) in self.entries.iter_mut().zip(&mut self.keys) {
             if e.valid {
                 e.valid = false;
+                *k = NO_KEY;
                 self.stats.invalidations += 1;
             }
         }

@@ -100,6 +100,7 @@ impl<'p> Walker<'p> {
     }
 
     /// Executes the current instruction and advances.
+    #[inline]
     pub fn step(&mut self) -> StepInfo {
         let slot = self.cur;
         let s = &self.prog.slots[slot];

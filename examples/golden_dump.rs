@@ -1,0 +1,56 @@
+//! Regenerates the golden run records that `tests/golden_output.rs` pins.
+//!
+//! Prints one `RunReport::to_record` line per golden key, in the fixed
+//! order the test expects. Run it only to *refresh* the goldens after an
+//! intentional model change (a change to simulated cycles, energy, or any
+//! counter); a hot-path optimization must never need to — the whole point
+//! of the pinned records is that optimizations keep every field
+//! bit-identical.
+//!
+//! ```sh
+//! cargo run --release --example golden_dump
+//! ```
+
+use cfr_sim::core::{Engine, ItlbChoice, RunKey, StrategyKind};
+use cfr_sim::types::{AddressingMode, RecordWriter, TlbOrganization};
+
+/// The fixed key set: every addressing mode, a spread of strategies, a
+/// two-level iTLB, and both config overrides, across two benchmarks.
+#[must_use]
+pub fn golden_keys() -> Vec<RunKey> {
+    let scale = cfr_sim::core::ExperimentScale {
+        max_commits: 60_000,
+        seed: 0x5EED,
+    };
+    vec![
+        RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt),
+        RunKey::new("177.mesa", &scale, StrategyKind::Ia, AddressingMode::ViPt),
+        RunKey::new("177.mesa", &scale, StrategyKind::HoA, AddressingMode::PiPt),
+        RunKey::new("254.gap", &scale, StrategyKind::SoLA, AddressingMode::ViVt),
+        RunKey::new("254.gap", &scale, StrategyKind::Opt, AddressingMode::ViPt).with_itlb(
+            ItlbChoice::TwoLevel(
+                TlbOrganization::fully_associative(1),
+                TlbOrganization::fully_associative(32),
+                1,
+            ),
+        ),
+        RunKey::new("254.gap", &scale, StrategyKind::SoCA, AddressingMode::ViPt)
+            .with_il1_bytes(2048)
+            .with_page_bytes(16384),
+    ]
+}
+
+fn main() {
+    // No store: the goldens must come from real simulations every time.
+    let engine = Engine::new();
+    let keys = golden_keys();
+    let reports = engine.run_many(&keys);
+    for (key, report) in keys.iter().zip(&reports) {
+        let mut kw = RecordWriter::new();
+        key.to_record(&mut kw);
+        let mut rw = RecordWriter::new();
+        report.to_record(&mut rw);
+        println!("KEY {}", kw.finish());
+        println!("REPORT {}", rw.finish());
+    }
+}

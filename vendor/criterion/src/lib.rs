@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`): the macro
+//! and API subset the workspace's microbenchmarks use — `criterion_group!`
+//! / `criterion_main!`, [`Criterion::bench_function`], benchmark groups
+//! with [`Throughput`] / sample-size settings, and [`Bencher::iter`].
+//!
+//! Semantics are honest but simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to pass a fixed measurement window,
+//! and the mean time per iteration (plus throughput, when declared) is
+//! printed. There are no statistics, plots, or saved baselines — the shim
+//! exists so `cargo bench` compiles and gives usable first-order numbers
+//! from a clean offline checkout. Swapping in the real crate is the usual
+//! one-line edit in the root `Cargo.toml`; bench sources are compatible
+//! with upstream's API.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (e.g. simulated instructions).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: warm-up, then as many iterations as the
+    /// measurement window needs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + WARMUP_WINDOW;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE_WINDOW {
+                break;
+            }
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, mean_secs: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / mean_secs)
+        }
+        Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+            format!("  {:.0} B/s", n as f64 / mean_secs)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} time: {}{rate}", human_time(mean_secs));
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for upstream compatibility; the shim sizes runs by wall
+    /// time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.mean_secs,
+            self.throughput,
+        );
+    }
+
+    /// Ends the group (no-op beyond upstream compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b);
+        report(name, b.mean_secs, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; the shim
+            // runs everything and ignores filters.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_secs: 0.0 };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_secs > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("vipt", "Base").id, "vipt/Base");
+    }
+}

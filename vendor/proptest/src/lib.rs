@@ -103,6 +103,17 @@ impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     }
 }
 
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
 /// Boolean strategies (`proptest::bool::ANY`).
 pub mod bool {
     /// Uniform `bool`.
