@@ -323,16 +323,18 @@ impl Engine {
     /// nothing either.
     #[must_use]
     pub fn with_store(mut self, store: Store) -> Self {
-        self.programs.attach_store(store.artifacts());
+        self.programs.attach_store(store.backend());
         self.store = Some(store);
         self
     }
 
-    /// An engine backed by the machine-shared default store
-    /// (`$CFR_STORE_DIR`, default `target/cfr-store`, GC policy from
-    /// `CFR_STORE_MAX_BYTES`/`CFR_STORE_MAX_AGE`). If the store cannot be
-    /// opened the engine still works, just without cross-process caching
-    /// (a warning goes to stderr).
+    /// An engine backed by the environment's default store: the
+    /// `cfr-store-serve` daemon at `$CFR_STORE_ADDR` (layered over the
+    /// local shards) when that variable is set, else the machine-shared
+    /// local store (`$CFR_STORE_DIR`, default `target/cfr-store`, GC
+    /// policy from `CFR_STORE_MAX_BYTES`/`CFR_STORE_MAX_AGE`). If the
+    /// store cannot be opened the engine still works, just without
+    /// cross-process caching (a warning goes to stderr).
     #[must_use]
     pub fn with_default_store() -> Self {
         match Store::open_default() {
@@ -384,7 +386,7 @@ impl Engine {
             .find(|p| p.name == profile)
             .unwrap_or_else(|| panic!("unknown benchmark profile {profile:?}"));
         let key = walk_store_key(p, geom, false, scale.max_commits, scale.seed);
-        let artifacts = self.store.as_ref().map(Store::artifacts);
+        let artifacts = self.store.as_ref().map(Store::backend);
         if let Some(store) = &artifacts {
             let warm = store.load(NS_WALKS, &key).and_then(|text| {
                 let mut r = RecordReader::new(&text);
@@ -431,8 +433,9 @@ impl Engine {
     }
 
     /// The one-line store accounting every binary prints on stderr:
-    /// per-namespace warm/cold traffic and the store directory, or the
-    /// in-process counts when no store is attached.
+    /// per-namespace warm/cold traffic and the store identity (directory
+    /// path, daemon address, or both when layered), or the in-process
+    /// counts when no store is attached.
     #[must_use]
     pub fn summary_line(&self) -> String {
         let s = self.store_summary();
@@ -446,7 +449,7 @@ impl Engine {
                 s.walks.cold,
                 s.programs.warm,
                 s.programs.cold,
-                store.dir().display(),
+                store.describe(),
             ),
             None => format!(
                 "store: disabled ({} runs simulated, {} walks measured, \

@@ -67,10 +67,14 @@ mod store;
 mod strategy;
 
 pub use cfr::Cfr;
+pub use cfr_types::net::{
+    LayeredStore, RemoteStore, ServerConfig, StoreServer, StoreStats, DEFAULT_DAEMON_ADDR,
+    STORE_ADDR_ENV,
+};
 pub use cfr_types::store::{
-    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, DEFAULT_STORE_DIR, NS_PROGRAMS, NS_RUNS,
-    NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV,
-    STORE_MAX_BYTES_ENV,
+    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, StoreBackend, DEFAULT_STORE_DIR,
+    NS_PROGRAMS, NS_RUNS, NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION,
+    STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
 };
 pub use engine::{Engine, NamespaceTraffic, RunKey, StoreSummary};
 pub use experiment::{

@@ -22,22 +22,44 @@
 //! Old-layout (`<hash>.run`, one file per key) store directories are
 //! detected and migrated by [`ArtifactStore::open`]; records whose codecs
 //! still parse keep serving warm, anything else restarts cold.
+//!
+//! # Local vs. networked storage
+//!
+//! The facade holds a [`StoreBackend`] trait object, not the concrete
+//! [`ArtifactStore`], so the same typed surface runs over
+//!
+//! - the machine-local sharded store (the default),
+//! - a [`RemoteStore`](cfr_types::RemoteStore) client of the
+//!   `cfr-store-serve` daemon, or
+//! - the [`LayeredStore`](cfr_types::LayeredStore) stack of both —
+//!   remote first, local fallback on a remote miss.
+//!
+//! [`Store::open_default`] picks the backend from the environment: when
+//! `CFR_STORE_ADDR` names a daemon, every engine and binary transparently
+//! becomes a network client with **zero call-site changes**; unset, the
+//! shards are opened directly as before. Either way the failure contract
+//! is identical: anything that cannot produce the exact stored bytes —
+//! including a dead daemon — is a miss, and the run goes cold.
 
 use std::io;
-use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cfr_types::{ArtifactStore, GcPolicy, RecordReader, RecordWriter, NS_RUNS};
+use cfr_types::net::STORE_ADDR_ENV;
+use cfr_types::{
+    ArtifactStore, GcPolicy, LayeredStore, RecordReader, RecordWriter, RemoteStore, StoreBackend,
+    NS_RUNS,
+};
 
 use crate::engine::RunKey;
 use crate::simulator::RunReport;
 
 /// A typed, crash-tolerant cache of [`RunReport`]s keyed by [`RunKey`],
-/// backed by the machine-shared sharded [`ArtifactStore`].
+/// over any [`StoreBackend`] (local shards, the store daemon, or the
+/// layered stack of both).
 #[derive(Debug)]
 pub struct Store {
-    artifacts: Arc<ArtifactStore>,
+    backend: Arc<dyn StoreBackend>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -70,37 +92,56 @@ impl Store {
         Ok(Self::over(Arc::new(ArtifactStore::open(dir, policy)?)))
     }
 
-    /// Opens the machine-shared default store: `$CFR_STORE_DIR` if set,
-    /// else [`cfr_types::DEFAULT_STORE_DIR`].
+    /// Opens the environment's default store. With `CFR_STORE_ADDR` set
+    /// (`host:port` of a `cfr-store-serve` daemon) this is the **layered
+    /// networked store**: the daemon first, the machine-local shards
+    /// (`$CFR_STORE_DIR`, else [`cfr_types::DEFAULT_STORE_DIR`]) as a
+    /// read-mostly fallback. Unset, it is the machine-local store alone.
+    ///
+    /// An unreachable daemon is not an error — the client reconnects
+    /// with backoff and every operation degrades to a miss meanwhile.
     ///
     /// # Errors
     ///
-    /// Errors if the directory cannot be created.
+    /// Errors if the local store directory cannot be created (local
+    /// mode only; in remote mode a failed local open just drops the
+    /// fallback layer).
     pub fn open_default() -> io::Result<Self> {
+        if let Some(addr) = std::env::var(STORE_ADDR_ENV)
+            .ok()
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+        {
+            let local = ArtifactStore::open_default().ok().map(Arc::new);
+            let layered = LayeredStore::new(RemoteStore::new(addr), local);
+            return Ok(Self::over(Arc::new(layered)));
+        }
         Ok(Self::over(Arc::new(ArtifactStore::open_default()?)))
     }
 
-    /// Wraps an already-open artifact store.
+    /// Wraps an already-open backend (an `Arc<ArtifactStore>` coerces
+    /// directly).
     #[must_use]
-    pub fn over(artifacts: Arc<ArtifactStore>) -> Self {
+    pub fn over(backend: Arc<dyn StoreBackend>) -> Self {
         Self {
-            artifacts,
+            backend,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The underlying namespaced artifact store (shared with the program
+    /// The underlying namespaced store backend (shared with the program
     /// cache and the walk-measurement path).
     #[must_use]
-    pub fn artifacts(&self) -> Arc<ArtifactStore> {
-        Arc::clone(&self.artifacts)
+    pub fn backend(&self) -> Arc<dyn StoreBackend> {
+        Arc::clone(&self.backend)
     }
 
-    /// The store's root directory.
+    /// Human-readable identity of the backend — a directory path, a
+    /// `tcp://` address, or both (layered).
     #[must_use]
-    pub fn dir(&self) -> &Path {
-        self.artifacts.dir()
+    pub fn describe(&self) -> String {
+        self.backend.describe()
     }
 
     /// Loads served from disk ("warm" runs).
@@ -116,12 +157,12 @@ impl Store {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Best-effort writes that failed anywhere in the artifact store
+    /// Best-effort writes that failed anywhere in the backend
     /// (diagnostics only; a failed write costs a future process one
     /// re-simulation, nothing else).
     #[must_use]
     pub fn write_errors(&self) -> u64 {
-        self.artifacts.write_errors()
+        self.backend.write_errors()
     }
 
     /// The canonical record identifying `key` — the store's content
@@ -139,7 +180,7 @@ impl Store {
     #[must_use]
     pub fn load(&self, key: &RunKey) -> Option<RunReport> {
         let report = self
-            .artifacts
+            .backend
             .load(NS_RUNS, &Self::key_record(key))
             .and_then(|text| {
                 let mut r = RecordReader::new(&text);
@@ -161,14 +202,14 @@ impl Store {
     pub fn save(&self, key: &RunKey, report: &RunReport) {
         let mut w = RecordWriter::new();
         report.to_record(&mut w);
-        self.artifacts
+        self.backend
             .save(NS_RUNS, &Self::key_record(key), &w.finish());
     }
 
     /// Number of live run records currently on disk (diagnostics/tests).
     #[must_use]
     pub fn record_count(&self) -> usize {
-        self.artifacts.namespace_records(NS_RUNS)
+        self.backend.namespace_records(NS_RUNS)
     }
 }
 
@@ -301,7 +342,7 @@ mod tests {
         let key = sample_key();
         // A value from some future codec: parseable framing, unparseable
         // report.
-        store.artifacts().save(
+        store.backend().save(
             cfr_types::NS_RUNS,
             &Store::key_record(&key),
             "report2 whatever",
@@ -328,8 +369,11 @@ mod tests {
         );
         fs::write(dir.join("00ab54a98ceb1f0a.run"), v1).unwrap();
 
-        let store = Store::open(&dir).unwrap();
-        assert_eq!(store.artifacts().migrated_records(), 1);
+        // Open the artifact store first to observe the migration count,
+        // then hand it to the facade (the usual coercion).
+        let artifacts = Arc::new(ArtifactStore::open(&dir, GcPolicy::from_env()).unwrap());
+        assert_eq!(artifacts.migrated_records(), 1);
+        let store = Store::over(artifacts);
         assert_eq!(
             store.load(&key).as_ref(),
             Some(&report),

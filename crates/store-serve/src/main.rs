@@ -1,0 +1,209 @@
+//! `cfr-store-serve` — the artifact-store daemon and its maintenance CLI.
+//!
+//! One process **exclusively owns** a sharded artifact store directory
+//! and serves it over TCP (see `cfr_types::net` for the protocol and the
+//! loss-free-compaction argument). Experiment binaries become clients by
+//! setting `CFR_STORE_ADDR=host:port` — no other change.
+//!
+//! ```sh
+//! # Serve (foreground; shut down via the subcommand below or SIGKILL):
+//! cfr-store-serve --addr 127.0.0.1:7433 --dir target/cfr-store
+//!
+//! # Point any experiment binary at it:
+//! CFR_STORE_ADDR=127.0.0.1:7433 all_experiments --commits 1000000
+//!
+//! # Maintenance (protocol commands from another machine/shell):
+//! cfr-store-serve stats    --addr 127.0.0.1:7433
+//! cfr-store-serve gc       --addr 127.0.0.1:7433
+//! cfr-store-serve shutdown --addr 127.0.0.1:7433
+//! ```
+//!
+//! The daemon opens its store **unbounded** so saves never compact
+//! inline; the age/size policy (`CFR_STORE_MAX_BYTES` /
+//! `CFR_STORE_MAX_AGE`) is applied by a background GC thread (cadence
+//! `--gc-interval`, default 60 s) and by the `GC` protocol command.
+//! While the daemon runs, no other process should open the directory —
+//! the daemon being the sole shard owner is what makes its compaction
+//! loss-free.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cfr_types::net::{RemoteStore, ServerConfig, StoreServer, DEFAULT_DAEMON_ADDR};
+use cfr_types::store::{ArtifactStore, GcPolicy, DEFAULT_STORE_DIR, STORE_DIR_ENV};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cfr-store-serve [--addr HOST:PORT] [--dir DIR] [--gc-interval SECS]\n\
+         \x20      cfr-store-serve stats|gc|shutdown [--addr HOST:PORT]\n\
+         \n\
+         serve mode (default): own DIR (default $CFR_STORE_DIR, else {DEFAULT_STORE_DIR})\n\
+         and serve it on HOST:PORT (default {DEFAULT_DAEMON_ADDR}). GC policy comes from\n\
+         CFR_STORE_MAX_BYTES / CFR_STORE_MAX_AGE and runs on a background thread\n\
+         every SECS seconds (default 60; 0 disables the thread).\n\
+         \n\
+         stats / gc / shutdown: send the protocol command to a running daemon\n\
+         and print its reply."
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    command: Option<String>, // None = serve
+    addr: String,
+    dir: Option<String>,
+    gc_interval: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: None,
+        addr: DEFAULT_DAEMON_ADDR.to_string(),
+        dir: None,
+        gc_interval: 60,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut first = true;
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let mut value_of = |flag: &str| -> String {
+            inline.clone().or_else(|| it.next()).unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value_of("--addr"),
+            "--dir" => args.dir = Some(value_of("--dir")),
+            "--gc-interval" => {
+                let v = value_of("--gc-interval");
+                args.gc_interval = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --gc-interval expects seconds, got {v:?}");
+                    usage();
+                });
+            }
+            "stats" | "gc" | "shutdown" if first && args.command.is_none() => {
+                args.command = Some(flag);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        first = false;
+    }
+    args
+}
+
+fn maintenance(command: &str, addr: &str) -> ExitCode {
+    let client = RemoteStore::new(addr);
+    match command {
+        "stats" => match client.stats() {
+            Some(s) => {
+                println!(
+                    "stats: {} live records ({} runs / {} walks / {} programs), \
+                     {} live bytes in {} file bytes",
+                    s.live_records, s.runs, s.walks, s.programs, s.live_bytes, s.file_bytes,
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: no daemon reachable at {addr}");
+                ExitCode::FAILURE
+            }
+        },
+        "gc" => match client.gc() {
+            Some(r) => {
+                println!(
+                    "gc: dropped {} dead bytes, evicted {} by age + {} by size, \
+                     rewrote {} shards; {} records / {} bytes live",
+                    r.dead_bytes_dropped,
+                    r.evicted_age,
+                    r.evicted_size,
+                    r.shards_rewritten,
+                    r.live_records,
+                    r.live_bytes,
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: no daemon reachable at {addr}");
+                ExitCode::FAILURE
+            }
+        },
+        "shutdown" => {
+            if client.shutdown() {
+                println!("shutdown: daemon at {addr} acknowledged");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: no daemon reachable at {addr}");
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!("parse_args only admits known commands"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(command) = &args.command {
+        return maintenance(command, &args.addr);
+    }
+
+    let dir = args.dir.clone().unwrap_or_else(|| {
+        std::env::var(STORE_DIR_ENV).unwrap_or_else(|_| DEFAULT_STORE_DIR.to_string())
+    });
+    // The daemon's store is opened UNBOUNDED: saves never compact
+    // inline. The environment's policy is enforced by the background GC
+    // thread and the GC command instead — GC off the save path.
+    let store = match ArtifactStore::open(&dir, GcPolicy::unbounded()) {
+        Ok(store) => Arc::new(store),
+        Err(err) => {
+            eprintln!("error: cannot open the artifact store at {dir}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = GcPolicy::from_env();
+    let config = ServerConfig {
+        gc_policy: policy,
+        gc_interval: (args.gc_interval > 0).then(|| Duration::from_secs(args.gc_interval)),
+    };
+    let server = match StoreServer::bind(Arc::clone(&store), &args.addr, config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("error: cannot bind {}: {err}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The `listening` line is the readiness signal scripts wait for; the
+    // real address matters when --addr used port 0.
+    println!(
+        "cfr-store-serve listening on {} serving {dir}",
+        server.addr()
+    );
+    println!(
+        "policy: max_bytes={} max_age={} (background GC {})",
+        policy
+            .max_bytes
+            .map_or_else(|| "unbounded".into(), |v| format!("{v} bytes")),
+        policy
+            .max_age_secs
+            .map_or_else(|| "unbounded".into(), |v| format!("{v} s")),
+        config
+            .gc_interval
+            .map_or_else(|| "disabled".into(), |d| format!("every {}s", d.as_secs())),
+    );
+    if store.migrated_records() > 0 {
+        println!("migrated: {} v1 records", store.migrated_records());
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.wait(); // until a client sends SHUTDOWN
+    println!("cfr-store-serve: shutdown requested, exiting");
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,7 @@
 //! ```
 
 mod addr;
+pub mod net;
 mod org;
 mod page;
 mod protection;
@@ -30,14 +31,18 @@ pub mod record;
 pub mod store;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
+pub use net::{
+    LayeredStore, RemoteStore, Request, Response, ServerConfig, StoreServer, StoreStats,
+    DEFAULT_DAEMON_ADDR, STORE_ADDR_ENV,
+};
 pub use org::{AddressingMode, CacheOrganization, TlbOrganization};
 pub use page::{PageGeometry, PageGeometryError};
 pub use protection::Protection;
 pub use record::{fnv1a64, RecordError, RecordReader, RecordWriter};
 pub use store::{
-    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, DEFAULT_STORE_DIR, NS_PROGRAMS, NS_RUNS,
-    NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV,
-    STORE_MAX_BYTES_ENV,
+    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, StoreBackend, DEFAULT_STORE_DIR,
+    NS_PROGRAMS, NS_RUNS, NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION,
+    STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
 };
 
 /// Number of bytes every instruction occupies in the synthetic ISA.

@@ -1,0 +1,1425 @@
+//! The networked store: protocol codec, TCP client, and daemon server.
+//!
+//! PR 3's sharded [`ArtifactStore`] is single-machine: every process
+//! opens the shard files directly, cross-process compaction is
+//! best-effort (two simultaneous compactions can drop each other's fresh
+//! appends), and GC runs inline with saves. This module closes all three
+//! at once by putting **one process in charge of the shards**:
+//!
+//! - [`StoreServer`] — a std-only TCP daemon that exclusively owns an
+//!   [`ArtifactStore`] and serves it over a tiny length-prefixed text
+//!   protocol (`GET` / `PUT` / `STATS` / `GC` / `SHUTDOWN`). Because the
+//!   daemon is the sole shard owner, its in-process index mutex makes
+//!   compaction **loss-free by construction** — an append can never race
+//!   a compaction from another process. GC runs on a background thread
+//!   under an explicit age/size policy ([`ArtifactStore::gc_with`]),
+//!   **off the save path**.
+//! - [`RemoteStore`] — the client: the same namespaced load/save surface
+//!   ([`StoreBackend`]) over a TCP connection, with
+//!   reconnect-with-backoff. Every I/O failure degrades to a **miss**,
+//!   preserving the store's "failure = cold run" contract: a dead or
+//!   unreachable daemon costs recomputation, never a crash.
+//! - [`LayeredStore`] — remote over local: a remote miss falls back to
+//!   the machine-local store (so a pre-daemon warm directory keeps
+//!   serving), a remote hit backfills nothing (the daemon stays the
+//!   single source of truth), and saves go to the daemon — falling back
+//!   to the local layer only while the daemon is unreachable.
+//!
+//! Binaries select local vs. remote storage from the
+//! [`STORE_ADDR_ENV`] (`CFR_STORE_ADDR`) environment variable with zero
+//! call-site changes — see `cfr_core::Store::open_default`.
+//!
+//! # Wire format
+//!
+//! Every message (request or response) is one **frame**:
+//!
+//! ```text
+//! cfr1 <payload-bytes>\n<payload>\n
+//! ```
+//!
+//! The payload length is explicit, so payloads may contain anything
+//! (including newlines); the magic + trailing newline let the decoder
+//! reject garbage quickly and cheaply. Payloads are UTF-8 text; field
+//! grammars ([`Request`], [`Response`]) length-prefix the key/value
+//! sections the same way the shard files do, because keys and values are
+//! record strings containing spaces.
+//!
+//! The decoder ([`decode_frame`]) is a total function over arbitrary
+//! bytes — `Incomplete` / `Invalid` / `Frame`, never a panic — which is
+//! what the protocol fuzz properties in `tests/property_based.rs` pin.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::store::{
+    ArtifactStore, GcPolicy, GcReport, StoreBackend, NS_PROGRAMS, NS_RUNS, NS_WALKS,
+};
+
+/// Environment variable naming the store daemon (`host:port`). When set,
+/// `cfr_core::Store::open_default` builds a [`LayeredStore`] (remote
+/// first, local fallback) instead of opening the shards directly.
+pub const STORE_ADDR_ENV: &str = "CFR_STORE_ADDR";
+
+/// Frame magic: protocol version 1. Bumping it makes every frame from
+/// the other version decode as `Invalid` (a clean error, never a panic).
+pub const PROTOCOL_MAGIC: &str = "cfr1";
+
+/// Upper bound on one frame's payload. A length header beyond this is
+/// corrupt by definition — the decoder rejects it before allocating.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Longest legal frame header: `cfr1 <8-digit-max length>\n` fits well
+/// within this; anything longer without a newline is garbage.
+const MAX_HEADER_BYTES: usize = 16;
+
+/// Default port the daemon binds when none is given.
+pub const DEFAULT_DAEMON_ADDR: &str = "127.0.0.1:7433";
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Encodes one payload as a wire frame (`cfr1 <len>\n<payload>\n`).
+#[must_use]
+pub fn encode_frame(payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + MAX_HEADER_BYTES + 1);
+    out.extend_from_slice(format!("{PROTOCOL_MAGIC} {}\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// What [`decode_frame`] found at the head of a byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameDecode {
+    /// The buffer holds a prefix of a well-formed frame; read more bytes.
+    Incomplete,
+    /// The buffer can never become a well-formed frame: bad magic, bad
+    /// length, missing terminator, or non-UTF-8 payload. The connection
+    /// should answer with an error and/or disconnect.
+    Invalid,
+    /// One complete frame; `consumed` bytes belong to it.
+    Frame {
+        /// The decoded payload text.
+        payload: String,
+        /// Total frame length in bytes (header + payload + terminator).
+        consumed: usize,
+    },
+}
+
+/// Decodes the frame at the head of `buf`. Total over arbitrary bytes:
+/// every input yields `Incomplete`, `Invalid`, or `Frame` — never a
+/// panic, never an allocation proportional to a corrupt length header.
+#[must_use]
+pub fn decode_frame(buf: &[u8]) -> FrameDecode {
+    let header_region = &buf[..buf.len().min(MAX_HEADER_BYTES)];
+    let Some(nl) = header_region.iter().position(|&b| b == b'\n') else {
+        if buf.len() >= MAX_HEADER_BYTES {
+            return FrameDecode::Invalid; // no newline where one must be
+        }
+        // Incomplete only while the bytes so far are a plausible header
+        // prefix: the magic, a space, then decimal digits.
+        let shape = b"cfr1 ";
+        for (i, &b) in buf.iter().enumerate() {
+            let plausible = match shape.get(i) {
+                Some(&expected) => b == expected,
+                None => b.is_ascii_digit(),
+            };
+            if !plausible {
+                return FrameDecode::Invalid;
+            }
+        }
+        return FrameDecode::Incomplete;
+    };
+    let Ok(header) = core::str::from_utf8(&buf[..nl]) else {
+        return FrameDecode::Invalid;
+    };
+    let mut tokens = header.split(' ');
+    if tokens.next() != Some(PROTOCOL_MAGIC) {
+        return FrameDecode::Invalid;
+    }
+    let Some(len_text) = tokens.next() else {
+        return FrameDecode::Invalid;
+    };
+    // Digits only: `parse` alone would accept a leading `+`.
+    if tokens.next().is_some()
+        || len_text.is_empty()
+        || !len_text.bytes().all(|b| b.is_ascii_digit())
+    {
+        return FrameDecode::Invalid;
+    }
+    let Ok(len) = len_text.parse::<usize>() else {
+        return FrameDecode::Invalid;
+    };
+    if len > MAX_FRAME_BYTES {
+        return FrameDecode::Invalid;
+    }
+    let Some(total) = (nl + 1).checked_add(len).and_then(|t| t.checked_add(1)) else {
+        return FrameDecode::Invalid;
+    };
+    if buf.len() < total {
+        return FrameDecode::Incomplete;
+    }
+    if buf[total - 1] != b'\n' {
+        return FrameDecode::Invalid;
+    }
+    match core::str::from_utf8(&buf[nl + 1..total - 1]) {
+        Ok(payload) => FrameDecode::Frame {
+            payload: payload.to_string(),
+            consumed: total,
+        },
+        Err(_) => FrameDecode::Invalid,
+    }
+}
+
+/// A streaming frame reader: buffers partial reads across calls so a
+/// frame split over several TCP segments (or interrupted by a read
+/// timeout) reassembles correctly.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one frame from `stream`. `Ok(None)` is a clean EOF at a
+    /// frame boundary; `ErrorKind::InvalidData` means the peer sent bytes
+    /// that can never become a frame (the caller should error-reply
+    /// and/or disconnect); timeouts surface as the underlying
+    /// `WouldBlock`/`TimedOut` error with the partial frame retained for
+    /// the next call.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from `stream`, plus `InvalidData` for corrupt and
+    /// `UnexpectedEof` for mid-frame EOFs.
+    pub fn read_frame(&mut self, stream: &mut impl Read) -> io::Result<Option<String>> {
+        loop {
+            match decode_frame(&self.buf) {
+                FrameDecode::Frame { payload, consumed } => {
+                    self.buf.drain(..consumed);
+                    return Ok(Some(payload));
+                }
+                FrameDecode::Invalid => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "malformed frame",
+                    ));
+                }
+                FrameDecode::Incomplete => {}
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside a frame",
+                    ))
+                };
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / response grammar
+// ---------------------------------------------------------------------------
+
+fn valid_ns(ns: &str) -> bool {
+    !ns.is_empty() && !ns.contains(char::is_whitespace)
+}
+
+fn valid_key(key: &str) -> bool {
+    !key.is_empty() && !key.contains('\n')
+}
+
+fn valid_value(value: &str) -> bool {
+    !value.contains('\n')
+}
+
+/// One client request. The daemon's whole command surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Look `(ns, key)` up.
+    Get {
+        /// Namespace (single whitespace-free token).
+        ns: String,
+        /// Single-line record-string key.
+        key: String,
+    },
+    /// Persist `(ns, key) → value`.
+    Put {
+        /// Namespace (single whitespace-free token).
+        ns: String,
+        /// Single-line record-string key.
+        key: String,
+        /// Single-line record-string value.
+        value: String,
+    },
+    /// Report occupancy (live records/bytes, per-namespace counts).
+    Stats,
+    /// Run a GC/compaction pass under the daemon's policy now.
+    Gc,
+    /// Stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes this request as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Get { ns, key } => format!("get {ns} {}\n{key}", key.len()),
+            Self::Put { ns, key, value } => {
+                format!("put {ns} {} {}\n{key}\n{value}", key.len(), value.len())
+            }
+            Self::Stats => "stats".to_string(),
+            Self::Gc => "gc".to_string(),
+            Self::Shutdown => "shutdown".to_string(),
+        }
+    }
+
+    /// Parses a frame payload. Total over arbitrary strings: every
+    /// malformed payload is a descriptive `Err`, never a panic — the
+    /// server turns it into an `err` reply. Field shapes are enforced
+    /// here (namespace one token, key/value single-line, lengths exact),
+    /// so a decoded `Put` can always be stored without tripping the
+    /// store's own input assertions.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        let (head, body) = payload
+            .split_once('\n')
+            .map_or((payload, None), |(h, b)| (h, Some(b)));
+        let mut tokens = head.split(' ');
+        let verb = tokens.next().unwrap_or("");
+        match verb {
+            "get" => {
+                let ns = tokens.next().ok_or("get: missing namespace")?;
+                let klen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("get: bad key length")?;
+                if tokens.next().is_some() {
+                    return Err("get: trailing tokens".into());
+                }
+                let key = body.ok_or("get: missing key line")?;
+                if key.len() != klen || !valid_key(key) || !valid_ns(ns) {
+                    return Err("get: malformed namespace or key".into());
+                }
+                Ok(Self::Get {
+                    ns: ns.to_string(),
+                    key: key.to_string(),
+                })
+            }
+            "put" => {
+                let ns = tokens.next().ok_or("put: missing namespace")?;
+                let klen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("put: bad key length")?;
+                let vlen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("put: bad value length")?;
+                if tokens.next().is_some() {
+                    return Err("put: trailing tokens".into());
+                }
+                let body = body.ok_or("put: missing key/value lines")?;
+                let expected = klen.checked_add(1).and_then(|n| n.checked_add(vlen));
+                if expected != Some(body.len()) {
+                    return Err("put: body length mismatch".into());
+                }
+                // `get(..)` (not slicing) so a length landing inside a
+                // multi-byte character is an error, not a panic.
+                let key = body.get(..klen).ok_or("put: key not UTF-8 aligned")?;
+                let sep = body.get(klen..=klen);
+                let value = body.get(klen + 1..).ok_or("put: value not UTF-8 aligned")?;
+                if sep != Some("\n") || !valid_ns(ns) || !valid_key(key) || !valid_value(value) {
+                    return Err("put: malformed namespace, key, or value".into());
+                }
+                Ok(Self::Put {
+                    ns: ns.to_string(),
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+            }
+            "stats" if body.is_none() && tokens.next().is_none() => Ok(Self::Stats),
+            "gc" if body.is_none() && tokens.next().is_none() => Ok(Self::Gc),
+            "shutdown" if body.is_none() && tokens.next().is_none() => Ok(Self::Shutdown),
+            other => Err(format!("unknown request verb {other:?}")),
+        }
+    }
+}
+
+/// The daemon's occupancy report (the `STATS` reply).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live (latest-per-key) records across all namespaces.
+    pub live_records: u64,
+    /// Bytes those records occupy.
+    pub live_bytes: u64,
+    /// Physical shard-file bytes (live + dead).
+    pub file_bytes: u64,
+    /// Live records in the `runs` namespace.
+    pub runs: u64,
+    /// Live records in the `walks` namespace.
+    pub walks: u64,
+    /// Live records in the `programs` namespace.
+    pub programs: u64,
+}
+
+/// One server reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `GET` found the record.
+    Hit {
+        /// The stored single-line record-string value.
+        value: String,
+    },
+    /// `GET` found nothing (the client recomputes).
+    Miss,
+    /// `PUT` / `SHUTDOWN` acknowledged.
+    Done,
+    /// `STATS` reply.
+    Stats(StoreStats),
+    /// `GC` reply: what the pass did.
+    Gc(GcReport),
+    /// The request could not be served (malformed, internal error). The
+    /// client treats it as a miss.
+    Error {
+        /// Single-line description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes this response as a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Hit { value } => format!("hit {}\n{value}", value.len()),
+            Self::Miss => "miss".to_string(),
+            Self::Done => "ok".to_string(),
+            Self::Stats(s) => format!(
+                "stats {} {} {} {} {} {}",
+                s.live_records, s.live_bytes, s.file_bytes, s.runs, s.walks, s.programs
+            ),
+            Self::Gc(r) => format!(
+                "gcdone {} {} {} {} {} {}",
+                r.live_records,
+                r.live_bytes,
+                r.dead_bytes_dropped,
+                r.evicted_age,
+                r.evicted_size,
+                r.shards_rewritten
+            ),
+            Self::Error { message } => format!("err {}", message.replace('\n', " ")),
+        }
+    }
+
+    /// Parses a frame payload; total over arbitrary strings.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        fn numbers<'a>(
+            tokens: &mut impl Iterator<Item = &'a str>,
+            n: usize,
+            verb: &str,
+        ) -> Result<Vec<u64>, String> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(
+                    tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("{verb}: bad numeric field"))?,
+                );
+            }
+            if tokens.next().is_some() {
+                return Err(format!("{verb}: trailing tokens"));
+            }
+            Ok(out)
+        }
+        let (head, body) = payload
+            .split_once('\n')
+            .map_or((payload, None), |(h, b)| (h, Some(b)));
+        let mut tokens = head.split(' ');
+        let verb = tokens.next().unwrap_or("");
+        match verb {
+            "hit" => {
+                let vlen = numbers(&mut tokens, 1, verb)?[0];
+                let value = body.ok_or("hit: missing value line")?;
+                if value.len() as u64 != vlen || !valid_value(value) {
+                    return Err("hit: value length mismatch".into());
+                }
+                Ok(Self::Hit {
+                    value: value.to_string(),
+                })
+            }
+            "miss" if body.is_none() && tokens.next().is_none() => Ok(Self::Miss),
+            "ok" if body.is_none() && tokens.next().is_none() => Ok(Self::Done),
+            "stats" if body.is_none() => {
+                let v = numbers(&mut tokens, 6, verb)?;
+                Ok(Self::Stats(StoreStats {
+                    live_records: v[0],
+                    live_bytes: v[1],
+                    file_bytes: v[2],
+                    runs: v[3],
+                    walks: v[4],
+                    programs: v[5],
+                }))
+            }
+            "gcdone" if body.is_none() => {
+                let v = numbers(&mut tokens, 6, verb)?;
+                #[allow(clippy::cast_possible_truncation)]
+                Ok(Self::Gc(GcReport {
+                    live_records: v[0],
+                    live_bytes: v[1],
+                    dead_bytes_dropped: v[2],
+                    evicted_age: v[3],
+                    evicted_size: v[4],
+                    shards_rewritten: v[5] as u32,
+                }))
+            }
+            "err" => {
+                let message = head.strip_prefix("err ").unwrap_or("").to_string();
+                if body.is_some() {
+                    return Err("err: unexpected body".into());
+                }
+                Ok(Self::Error { message })
+            }
+            other => Err(format!("unknown response verb {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Read/write timeout on client sockets: a stalled daemon degrades to
+/// misses rather than hanging an experiment.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Timeout for establishing a connection.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// First reconnect delay after a failure; doubles per consecutive
+/// failure up to [`BACKOFF_MAX`].
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Longest reconnect delay.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+#[derive(Debug, Default)]
+struct ClientState {
+    conn: Option<Conn>,
+    consecutive_failures: u32,
+    retry_at: Option<Instant>,
+}
+
+/// A [`StoreBackend`] over a TCP connection to a [`StoreServer`].
+///
+/// Failure semantics — the store's "failure = cold run" contract, over
+/// the network:
+///
+/// - every I/O failure (connect refused, reset, timeout, malformed
+///   reply) degrades the operation to a **miss** (loads) or a counted
+///   best-effort failure (saves); nothing propagates;
+/// - after a failure the client **backs off** (50 ms doubling to 2 s):
+///   operations inside the backoff window return misses immediately
+///   instead of hammering a dead daemon, and the next operation past the
+///   window reconnects transparently.
+///
+/// One connection is shared (mutex-serialized) by all threads of the
+/// process; requests are small and the protocol is strictly
+/// request/reply, so serialization is not the bottleneck — simulation
+/// is.
+#[derive(Debug)]
+pub struct RemoteStore {
+    addr: String,
+    state: Mutex<ClientState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    put_errors: AtomicU64,
+}
+
+impl RemoteStore {
+    /// A client of the daemon at `addr` (`host:port`). No connection is
+    /// attempted until the first operation.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            state: Mutex::new(ClientState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            put_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The daemon address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Loads served by the daemon.
+    #[must_use]
+    pub fn remote_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads the daemon missed on — including every load made while the
+    /// daemon was unreachable.
+    #[must_use]
+    pub fn remote_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn connect(addr: &str) -> io::Result<Conn> {
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolves to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    fn note_failure(state: &mut ClientState) {
+        state.conn = None;
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        let shift = state.consecutive_failures.saturating_sub(1).min(8);
+        let delay = BACKOFF_BASE
+            .checked_mul(1 << shift)
+            .map_or(BACKOFF_MAX, |d| d.min(BACKOFF_MAX));
+        state.retry_at = Some(Instant::now() + delay);
+    }
+
+    /// One request/reply exchange. `None` covers every failure: not
+    /// connected and inside the backoff window, connect/write/read
+    /// failure, or an undecodable reply.
+    #[must_use]
+    pub fn request(&self, req: &Request) -> Option<Response> {
+        let mut state = self.state.lock().expect("remote store poisoned");
+        if state.conn.is_none() {
+            if let Some(at) = state.retry_at {
+                if Instant::now() < at {
+                    return None; // back off: degrade to a miss immediately
+                }
+            }
+            match Self::connect(&self.addr) {
+                Ok(conn) => state.conn = Some(conn),
+                Err(_) => {
+                    Self::note_failure(&mut state);
+                    return None;
+                }
+            }
+        }
+        let exchange = (|| -> io::Result<Response> {
+            let conn = state.conn.as_mut().expect("connected above");
+            conn.stream.write_all(&encode_frame(&req.encode()))?;
+            let payload = conn.reader.read_frame(&mut conn.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+            })?;
+            Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })();
+        match exchange {
+            Ok(response) => {
+                // Only a completed request/reply exchange proves the
+                // daemon healthy. Resetting on connect alone would pin
+                // the backoff at its base against a daemon that accepts
+                // (the kernel completes handshakes from the backlog) but
+                // never replies — each request would burn the full I/O
+                // timeout forever instead of backing off.
+                state.consecutive_failures = 0;
+                state.retry_at = None;
+                Some(response)
+            }
+            Err(_) => {
+                Self::note_failure(&mut state);
+                None
+            }
+        }
+    }
+
+    /// Saves over the wire; `true` iff the daemon acknowledged.
+    pub fn try_save(&self, ns: &str, key: &str, value: &str) -> bool {
+        let acked = matches!(
+            self.request(&Request::Put {
+                ns: ns.to_string(),
+                key: key.to_string(),
+                value: value.to_string(),
+            }),
+            Some(Response::Done)
+        );
+        if !acked {
+            self.put_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        acked
+    }
+
+    /// The daemon's occupancy report, if reachable.
+    #[must_use]
+    pub fn stats(&self) -> Option<StoreStats> {
+        match self.request(&Request::Stats) {
+            Some(Response::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Asks the daemon for a GC pass now; its report, if reachable.
+    #[must_use]
+    pub fn gc(&self) -> Option<GcReport> {
+        match self.request(&Request::Gc) {
+            Some(Response::Gc(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Asks the daemon to exit; `true` iff it acknowledged.
+    pub fn shutdown(&self) -> bool {
+        matches!(self.request(&Request::Shutdown), Some(Response::Done))
+    }
+}
+
+impl StoreBackend for RemoteStore {
+    fn load(&self, ns: &str, key: &str) -> Option<String> {
+        let got = match self.request(&Request::Get {
+            ns: ns.to_string(),
+            key: key.to_string(),
+        }) {
+            Some(Response::Hit { value }) => Some(value),
+            _ => None, // miss, error reply, or daemon unreachable
+        };
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    fn save(&self, ns: &str, key: &str, value: &str) {
+        let _ = self.try_save(ns, key, value);
+    }
+
+    fn write_errors(&self) -> u64 {
+        self.put_errors.load(Ordering::Relaxed)
+    }
+
+    fn namespace_records(&self, ns: &str) -> usize {
+        let Some(stats) = self.stats() else { return 0 };
+        let count = match ns {
+            NS_RUNS => stats.runs,
+            NS_WALKS => stats.walks,
+            NS_PROGRAMS => stats.programs,
+            _ => 0,
+        };
+        usize::try_from(count).unwrap_or(usize::MAX)
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+}
+
+/// Remote-first storage with a machine-local fallback.
+///
+/// - **Load**: the daemon is asked first; a remote miss (or an
+///   unreachable daemon) falls back to the local store. A remote hit
+///   backfills nothing locally and a local hit pushes nothing to the
+///   daemon — the daemon stays the single source of truth, the local
+///   layer a read-only legacy of pre-daemon runs plus a degraded-mode
+///   spill.
+/// - **Save**: goes to the daemon; only while the daemon is unreachable
+///   does it land in the local store instead, so degraded runs stay warm
+///   for the next local process.
+#[derive(Debug)]
+pub struct LayeredStore {
+    remote: RemoteStore,
+    local: Option<Arc<ArtifactStore>>,
+}
+
+impl LayeredStore {
+    /// Stacks `remote` over an optional machine-local fallback.
+    #[must_use]
+    pub fn new(remote: RemoteStore, local: Option<Arc<ArtifactStore>>) -> Self {
+        Self { remote, local }
+    }
+
+    /// The remote layer.
+    #[must_use]
+    pub fn remote(&self) -> &RemoteStore {
+        &self.remote
+    }
+
+    /// The local fallback layer, if any.
+    #[must_use]
+    pub fn local(&self) -> Option<&Arc<ArtifactStore>> {
+        self.local.as_ref()
+    }
+}
+
+impl StoreBackend for LayeredStore {
+    fn load(&self, ns: &str, key: &str) -> Option<String> {
+        if let Some(value) = self.remote.load(ns, key) {
+            return Some(value);
+        }
+        self.local.as_ref().and_then(|l| l.load(ns, key))
+    }
+
+    fn save(&self, ns: &str, key: &str, value: &str) {
+        if self.remote.try_save(ns, key, value) {
+            return;
+        }
+        if let Some(local) = &self.local {
+            local.save(ns, key, value);
+        }
+    }
+
+    fn write_errors(&self) -> u64 {
+        self.remote.write_errors()
+            + self
+                .local
+                .as_ref()
+                .map_or(0, |l| ArtifactStore::write_errors(l))
+    }
+
+    fn namespace_records(&self, ns: &str) -> usize {
+        let remote = self.remote.namespace_records(ns);
+        if remote > 0 {
+            return remote;
+        }
+        self.local
+            .as_ref()
+            .map_or(0, |l| ArtifactStore::namespace_records(l, ns))
+    }
+
+    fn describe(&self) -> String {
+        match &self.local {
+            Some(local) => format!("tcp://{} + {}", self.remote.addr(), local.dir().display()),
+            None => self.remote.describe(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server-side read timeout: connection handlers wake this often to
+/// check the shutdown flag, so `StoreServer::shutdown` completes
+/// promptly while idle clients stay connected indefinitely.
+const HANDLER_POLL: Duration = Duration::from_millis(200);
+
+/// How the daemon runs its store.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Age/size policy applied by the background GC thread and the `GC`
+    /// command — **not** by saves (the daemon's store is opened
+    /// unbounded, which is what moves GC off the save path).
+    pub gc_policy: GcPolicy,
+    /// Background GC cadence (`None` = only on explicit `GC` commands).
+    pub gc_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            gc_policy: GcPolicy::unbounded(),
+            gc_interval: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// The store daemon: exclusively owns an [`ArtifactStore`] and serves it
+/// over TCP. See the module docs for the protocol and the ownership
+/// argument; see `cfr-store-serve` for the CLI wrapper.
+#[derive(Debug)]
+pub struct StoreServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    gc_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    store: Arc<ArtifactStore>,
+}
+
+impl StoreServer {
+    /// Binds `addr` (use port `0` for an ephemeral port; read the real
+    /// one back from [`StoreServer::addr`]) and starts serving `store` on
+    /// background threads: one acceptor, one handler per connection, and
+    /// — when `config.gc_interval` is set — one GC thread.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the listener cannot bind.
+    pub fn bind(store: Arc<ArtifactStore>, addr: &str, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let store = Arc::clone(&store);
+            let shutdown = Arc::clone(&shutdown);
+            let handlers = Arc::clone(&handlers);
+            thread::spawn(move || {
+                accept_loop(&listener, &store, config, &shutdown, &handlers, local_addr);
+            })
+        };
+        let gc_thread = config.gc_interval.map(|interval| {
+            let store = Arc::clone(&store);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || gc_loop(&store, config.gc_policy, interval, &shutdown))
+        });
+        Ok(Self {
+            addr: local_addr,
+            shutdown,
+            accept: Some(accept),
+            gc_thread,
+            handlers,
+            store,
+        })
+    }
+
+    /// The address the daemon is actually listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store this daemon owns.
+    #[must_use]
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Blocks until a client sends `SHUTDOWN`, then tears down cleanly.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stop();
+    }
+
+    /// Stops the daemon from this process: stops accepting, waits for
+    /// every connection handler to notice (≤ [`HANDLER_POLL`] plus any
+    /// in-flight request), and joins the GC thread. After this returns no
+    /// thread serves the store — a client's next request definitively
+    /// fails (and degrades to a miss on its side).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor (it checks the flag per accepted
+        // connection).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(gc) = self.gc_thread.take() {
+            let _ = gc.join();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    store: &Arc<ArtifactStore>,
+    config: ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    server_addr: SocketAddr,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Transient accept error — e.g. EMFILE under fd exhaustion,
+            // which returns *immediately* and repeatedly. Sleep briefly
+            // so a persistent condition throttles instead of spinning a
+            // core until fds free up.
+            thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection, or a racer past shutdown
+        }
+        let store = Arc::clone(store);
+        let shutdown = Arc::clone(shutdown);
+        let handle = thread::spawn(move || {
+            handle_connection(stream, &store, config, &shutdown, server_addr)
+        });
+        let mut list = handlers.lock().expect("handler list poisoned");
+        // Finished handlers join instantly; reap them so a long-lived
+        // daemon's list doesn't grow with every connection ever made.
+        list.retain(|h| !h.is_finished());
+        list.push(handle);
+    }
+}
+
+fn gc_loop(
+    store: &Arc<ArtifactStore>,
+    policy: GcPolicy,
+    interval: Duration,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let tick = interval.min(Duration::from_millis(20));
+    let mut last = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        thread::sleep(tick);
+        if last.elapsed() >= interval {
+            let _ = store.gc_with(policy);
+            last = Instant::now();
+        }
+    }
+}
+
+fn stats_of(store: &ArtifactStore) -> StoreStats {
+    StoreStats {
+        live_records: store.live_records() as u64,
+        live_bytes: store.live_bytes(),
+        file_bytes: store.file_bytes(),
+        runs: store.namespace_records(NS_RUNS) as u64,
+        walks: store.namespace_records(NS_WALKS) as u64,
+        programs: store.namespace_records(NS_PROGRAMS) as u64,
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    store: &Arc<ArtifactStore>,
+    config: ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(HANDLER_POLL));
+    let mut reader = FrameReader::new();
+    loop {
+        let payload = match reader.read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean disconnect
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Bytes that can never become a frame: error-reply (the
+                // peer may not even speak the protocol) and disconnect.
+                let reply = Response::Error {
+                    message: "malformed frame".to_string(),
+                };
+                let _ = stream.write_all(&encode_frame(&reply.encode()));
+                return;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick: stay connected unless shutting down.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            // A well-framed but malformed request gets a clean error
+            // reply and the connection survives.
+            Err(message) => Response::Error { message },
+            Ok(Request::Get { ns, key }) => match store.load(&ns, &key) {
+                Some(value) => Response::Hit { value },
+                None => Response::Miss,
+            },
+            Ok(Request::Put { ns, key, value }) => {
+                // Request::decode enforced the store's input shapes, so
+                // this cannot trip the store's assertions.
+                store.save(&ns, &key, &value);
+                Response::Done
+            }
+            Ok(Request::Stats) => Response::Stats(stats_of(store)),
+            Ok(Request::Gc) => Response::Gc(store.gc_with(config.gc_policy)),
+            Ok(Request::Shutdown) => {
+                let _ = stream.write_all(&encode_frame(&Response::Done.encode()));
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(server_addr); // unblock the acceptor
+                return;
+            }
+        };
+        if stream.write_all(&encode_frame(&response.encode())).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cfr-net-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn serve(dir: &std::path::Path, config: ServerConfig) -> StoreServer {
+        let store = Arc::new(ArtifactStore::open(dir, GcPolicy::unbounded()).unwrap());
+        StoreServer::bind(store, "127.0.0.1:0", config).unwrap()
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        for payload in ["", "x", "get runs 3\nkey", "line\nwith\nnewlines", "π ≠ τ"] {
+            let bytes = encode_frame(payload);
+            match decode_frame(&bytes) {
+                FrameDecode::Frame {
+                    payload: got,
+                    consumed,
+                } => {
+                    assert_eq!(got, payload);
+                    assert_eq!(consumed, bytes.len());
+                }
+                other => panic!("{payload:?} decoded to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_prefixes_are_incomplete_and_garbage_is_invalid() {
+        let bytes = encode_frame("hello world");
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_frame(&bytes[..cut]),
+                FrameDecode::Incomplete,
+                "prefix of a valid frame at {cut}"
+            );
+        }
+        for garbage in [
+            b"nonsense bytes here".as_slice(),
+            b"cfr2 5\nhello\n",
+            b"cfr1 x\npayload\n",
+            b"cfr1 +5\nhello\n",
+            b"cfr1 99999999999999999999\n",
+            b"cfr1 5\nhelloX",
+        ] {
+            assert_eq!(decode_frame(garbage), FrameDecode::Invalid, "{garbage:?}");
+        }
+        // A corrupt huge length is rejected without allocating.
+        let huge = format!("cfr1 {}\n", MAX_FRAME_BYTES + 1);
+        assert_eq!(decode_frame(huge.as_bytes()), FrameDecode::Invalid);
+    }
+
+    #[test]
+    fn request_and_response_codecs_round_trip() {
+        let requests = [
+            Request::Get {
+                ns: "runs".into(),
+                key: "runkey 177.mesa scale 1000 7".into(),
+            },
+            Request::Put {
+                ns: "walks".into(),
+                key: "k with spaces".into(),
+                value: "v with spaces and 0x3ff0000000000000".into(),
+            },
+            Request::Put {
+                ns: "programs".into(),
+                key: "k".into(),
+                value: String::new(),
+            },
+            Request::Stats,
+            Request::Gc,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            assert_eq!(Request::decode(&req.encode()).as_ref(), Ok(&req));
+        }
+        let responses = [
+            Response::Hit {
+                value: "report base vipt 1 2".into(),
+            },
+            Response::Hit {
+                value: String::new(),
+            },
+            Response::Miss,
+            Response::Done,
+            Response::Stats(StoreStats {
+                live_records: 1,
+                live_bytes: 2,
+                file_bytes: 3,
+                runs: 4,
+                walks: 5,
+                programs: 6,
+            }),
+            Response::Gc(GcReport {
+                live_records: 9,
+                live_bytes: 100,
+                dead_bytes_dropped: 11,
+                evicted_age: 1,
+                evicted_size: 2,
+                shards_rewritten: 3,
+            }),
+            Response::Error {
+                message: "something broke".into(),
+            },
+        ];
+        for resp in responses {
+            assert_eq!(Response::decode(&resp.encode()).as_ref(), Ok(&resp));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for bad in [
+            "",
+            "get",
+            "get runs",
+            "get runs 5\nab",             // length mismatch
+            "get runs 2\nab extra\nline", // newline in key
+            "put runs 1 1\nk",
+            "put runs 1 1\nkXv",
+            "stats extra",
+            "gc 1",
+            "frobnicate",
+            "get r\u{a0}ns 1\nk", // non-ASCII whitespace in ns
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+        for bad in ["", "hit", "hit 5\nab", "stats 1 2 3", "gcdone 1", "frob"] {
+            assert!(Response::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn server_serves_get_put_stats_gc() {
+        let dir = temp_dir("serve");
+        let server = serve(
+            &dir,
+            ServerConfig {
+                gc_policy: GcPolicy::unbounded(),
+                gc_interval: None,
+            },
+        );
+        let client = RemoteStore::new(server.addr().to_string());
+        assert_eq!(client.load("runs", "k"), None, "cold daemon misses");
+        client.save("runs", "k", "value 1 2 3");
+        assert_eq!(client.load("runs", "k").as_deref(), Some("value 1 2 3"));
+        // Overwrite leaves dead bytes; GC compacts them; the value
+        // survives byte-for-byte.
+        client.save("runs", "k", "value 4 5 6");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.runs, 1);
+        assert!(stats.file_bytes > stats.live_bytes);
+        let report = client.gc().unwrap();
+        assert!(report.dead_bytes_dropped > 0);
+        assert_eq!(client.load("runs", "k").as_deref(), Some("value 4 5 6"));
+        assert_eq!(client.remote_hits(), 2);
+        assert_eq!(client.remote_misses(), 1);
+        assert_eq!(client.namespace_records("runs"), 1);
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_daemon_degrades_to_misses_with_backoff() {
+        // Nothing listens here (bind-then-drop reserves a dead port).
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let client = RemoteStore::new(format!("127.0.0.1:{port}"));
+        assert_eq!(client.load("runs", "k"), None);
+        client.save("runs", "k", "v"); // must not panic or block long
+        assert_eq!(client.load("runs", "k"), None);
+        assert!(client.write_errors() >= 1);
+        assert!(client.stats().is_none());
+        assert_eq!(client.namespace_records("runs"), 0);
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_daemon() {
+        let dir = temp_dir("shutdown");
+        let server = serve(&dir, ServerConfig::default());
+        let addr = server.addr().to_string();
+        let client = RemoteStore::new(addr.clone());
+        client.save("runs", "k", "v");
+        assert!(client.shutdown());
+        server.wait(); // returns because the client asked for shutdown
+                       // The daemon is gone; a fresh client degrades to misses.
+        let after = RemoteStore::new(addr);
+        assert_eq!(after.load("runs", "k"), None);
+        // ... but the record survives on disk for the next daemon.
+        let reopened = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap();
+        assert_eq!(
+            ArtifactStore::load(&reopened, "runs", "k").as_deref(),
+            Some("v")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_bytes_get_an_error_reply_and_the_daemon_survives() {
+        let dir = temp_dir("garbage");
+        let server = serve(
+            &dir,
+            ServerConfig {
+                gc_policy: GcPolicy::unbounded(),
+                gc_interval: None,
+            },
+        );
+        // Raw garbage: the reply must be an err frame, then disconnect.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = FrameReader::new();
+        let reply = reader.read_frame(&mut raw).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&reply),
+            Ok(Response::Error { .. })
+        ));
+        drop(raw);
+        // A malformed-but-framed request keeps the connection alive.
+        let mut framed = TcpStream::connect(server.addr()).unwrap();
+        framed
+            .write_all(&encode_frame("frobnicate the store"))
+            .unwrap();
+        let mut reader = FrameReader::new();
+        let reply = reader.read_frame(&mut framed).unwrap().unwrap();
+        assert!(matches!(
+            Response::decode(&reply),
+            Ok(Response::Error { .. })
+        ));
+        framed
+            .write_all(&encode_frame(&Request::Stats.encode()))
+            .unwrap();
+        let reply = reader.read_frame(&mut framed).unwrap().unwrap();
+        assert!(matches!(Response::decode(&reply), Ok(Response::Stats(_))));
+        // And the daemon still serves fresh connections.
+        let client = RemoteStore::new(server.addr().to_string());
+        client.save("runs", "k", "v");
+        assert_eq!(client.load("runs", "k").as_deref(), Some("v"));
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layered_store_prefers_remote_and_falls_back_to_local() {
+        let daemon_dir = temp_dir("layer-daemon");
+        let local_dir = temp_dir("layer-local");
+        let local = Arc::new(ArtifactStore::open(&local_dir, GcPolicy::unbounded()).unwrap());
+        ArtifactStore::save(&local, "runs", "legacy", "from the pre-daemon store");
+
+        let server = serve(&daemon_dir, ServerConfig::default());
+        let layered = LayeredStore::new(
+            RemoteStore::new(server.addr().to_string()),
+            Some(Arc::clone(&local)),
+        );
+        // Saves go to the daemon, not the local layer.
+        layered.save("runs", "fresh", "daemon copy");
+        assert_eq!(ArtifactStore::load(&local, "runs", "fresh"), None);
+        assert_eq!(
+            layered.load("runs", "fresh").as_deref(),
+            Some("daemon copy")
+        );
+        // A remote miss falls back to the local layer — and backfills
+        // nothing into the daemon.
+        assert_eq!(
+            layered.load("runs", "legacy").as_deref(),
+            Some("from the pre-daemon store")
+        );
+        assert_eq!(server.store().load("runs", "legacy"), None);
+        assert!(layered.describe().starts_with("tcp://"));
+
+        // Daemon gone: loads of daemon-only records miss, saves land in
+        // the local fallback, nothing panics.
+        server.shutdown();
+        assert_eq!(layered.load("runs", "fresh"), None, "daemon-only record");
+        layered.save("runs", "degraded", "local copy");
+        assert_eq!(
+            ArtifactStore::load(&local, "runs", "degraded").as_deref(),
+            Some("local copy")
+        );
+        assert_eq!(
+            layered.load("runs", "degraded").as_deref(),
+            Some("local copy")
+        );
+        let _ = fs::remove_dir_all(&daemon_dir);
+        let _ = fs::remove_dir_all(&local_dir);
+    }
+
+    #[test]
+    fn background_gc_compacts_without_dropping_fresh_appends() {
+        let dir = temp_dir("bg-gc");
+        let server = serve(
+            &dir,
+            ServerConfig {
+                gc_policy: GcPolicy::unbounded(),
+                gc_interval: Some(Duration::from_millis(1)),
+            },
+        );
+        let client = RemoteStore::new(server.addr().to_string());
+        // Constant overwrites generate dead bytes for the 1 ms GC to
+        // compact while we keep appending; nothing may be lost.
+        for i in 0..200 {
+            client.save("runs", "hot", &format!("version {i}"));
+            client.save("runs", &format!("cold-{i}"), "stable value");
+        }
+        assert_eq!(client.load("runs", "hot").as_deref(), Some("version 199"));
+        for i in 0..200 {
+            assert_eq!(
+                client.load("runs", &format!("cold-{i}")).as_deref(),
+                Some("stable value"),
+                "cold-{i} must survive background compaction"
+            );
+        }
+        server.shutdown();
+        // The records survive on disk for a fresh scan, too.
+        let reopened = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap();
+        assert_eq!(
+            ArtifactStore::load(&reopened, "runs", "hot").as_deref(),
+            Some("version 199")
+        );
+        assert_eq!(ArtifactStore::namespace_records(&reopened, "runs"), 201);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

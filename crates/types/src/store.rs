@@ -50,7 +50,12 @@
 //! **compacting** each dirty shard: surviving record bytes are copied
 //! verbatim into a temp file that is atomically renamed over the shard,
 //! so post-compaction reads are byte-identical and a crashed compaction
-//! leaves the old shard intact.
+//! leaves the old shard intact. Bytes another process appended past this
+//! process's last-known shard size are copied through (and indexed) too,
+//! so a compaction never erases appends it merely hadn't seen; only an
+//! append racing the rewrite itself remains best-effort — which is the
+//! window the store daemon (`cfr_types::net`) closes entirely by being
+//! the directory's sole writer.
 //!
 //! # Migration
 //!
@@ -117,6 +122,60 @@ fn now_secs() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs())
+}
+
+/// The namespaced `(namespace, key) → value` surface every persisted
+/// layer (run reports, walk measurements, generated programs) talks to.
+///
+/// Implemented by the on-disk [`ArtifactStore`], by the TCP
+/// [`RemoteStore`](crate::net::RemoteStore) client, and by the
+/// [`LayeredStore`](crate::net::LayeredStore) that stacks the two — so
+/// the engine, the typed run store, and the program cache select local
+/// vs. remote storage without any call-site changes.
+///
+/// The contract inherited from the store itself: **every failure is a
+/// miss**. A `load` that cannot produce the exact bytes that were saved
+/// (absent, torn, disconnected, stale) returns `None` and the caller
+/// recomputes; a `save` is best-effort and never propagates an error.
+pub trait StoreBackend: Send + Sync + std::fmt::Debug {
+    /// Looks `(ns, key)` up; any failure is a miss (`None`).
+    fn load(&self, ns: &str, key: &str) -> Option<String>;
+
+    /// Persists `(ns, key) → value`, best-effort.
+    fn save(&self, ns: &str, key: &str, value: &str);
+
+    /// Best-effort writes that failed (diagnostics only).
+    fn write_errors(&self) -> u64;
+
+    /// Live records in one namespace, as far as this backend can tell
+    /// (diagnostics/tests; a remote backend asks the daemon).
+    fn namespace_records(&self, ns: &str) -> usize;
+
+    /// Human-readable identity for the `store:` summary line — a
+    /// directory path, a `tcp://` address, or both.
+    fn describe(&self) -> String;
+}
+
+impl StoreBackend for ArtifactStore {
+    fn load(&self, ns: &str, key: &str) -> Option<String> {
+        ArtifactStore::load(self, ns, key)
+    }
+
+    fn save(&self, ns: &str, key: &str, value: &str) {
+        ArtifactStore::save(self, ns, key, value);
+    }
+
+    fn write_errors(&self) -> u64 {
+        ArtifactStore::write_errors(self)
+    }
+
+    fn namespace_records(&self, ns: &str) -> usize {
+        ArtifactStore::namespace_records(self, ns)
+    }
+
+    fn describe(&self) -> String {
+        self.dir().display().to_string()
+    }
 }
 
 /// Size/age bounds a store enforces at GC time.
@@ -408,23 +467,25 @@ impl ArtifactStore {
     /// Looks `(ns, key)` up. Any failure — absent, torn, compacted away
     /// underneath us, colliding bytes — is a miss (`None`); the caller
     /// recomputes and overwrites.
+    ///
+    /// The index lock is held across the file read, so loads serialize
+    /// with this process's saves and GC passes: a load can never observe
+    /// a compaction mid-rewrite. That linearizability is what lets the
+    /// store daemon (the sole shard owner) promise read-your-writes and
+    /// loss-free compaction to its clients; only an *external* process
+    /// rewriting the shards (no daemon, multi-process mode) can still
+    /// produce the stale-read miss the verification below degrades.
     #[must_use]
     pub fn load(&self, ns: &str, key: &str) -> Option<String> {
         let map_key = (ns.to_string(), key.to_string());
-        let slot = {
-            let index = self.index.lock().expect("store index poisoned");
-            index.map.get(&map_key).copied()
-        }?;
+        let mut index = self.index.lock().expect("store index poisoned");
+        let slot = index.map.get(&map_key).copied()?;
         let value = self.read_slot(ns, key, slot);
         if value.is_none() {
-            // The shard changed underneath the index (e.g. another
-            // process compacted it). Drop the stale entry so a later
-            // save can repair it.
-            self.index
-                .lock()
-                .expect("store index poisoned")
-                .map
-                .remove(&map_key);
+            // The shard changed underneath the index (another process
+            // compacted it). Drop the stale entry so a later save can
+            // repair it.
+            index.map.remove(&map_key);
         }
         value
     }
@@ -507,7 +568,7 @@ impl ArtifactStore {
         );
         if let Some(cap) = self.policy.max_bytes {
             if index.total_file_bytes() > cap {
-                self.gc_locked(&mut index);
+                self.gc_locked(&mut index, self.policy);
             }
         }
         Ok(())
@@ -518,17 +579,26 @@ impl ArtifactStore {
     /// the byte budget. Dirty shards are rewritten via atomic rename;
     /// surviving records keep their exact bytes.
     pub fn gc(&self) -> GcReport {
+        self.gc_with(self.policy)
+    }
+
+    /// [`ArtifactStore::gc`] under an explicit policy, independent of the
+    /// one the store was opened with. This is how the store daemon moves
+    /// GC **off the save path**: it opens the store unbounded (so saves
+    /// never compact inline) and applies the real age/size policy from a
+    /// background thread and the `GC` protocol command.
+    pub fn gc_with(&self, policy: GcPolicy) -> GcReport {
         let mut index = self.index.lock().expect("store index poisoned");
-        self.gc_locked(&mut index)
+        self.gc_locked(&mut index, policy)
     }
 
     #[allow(clippy::cast_possible_truncation)]
-    fn gc_locked(&self, index: &mut Index) -> GcReport {
+    fn gc_locked(&self, index: &mut Index, policy: GcPolicy) -> GcReport {
         let now = now_secs();
         let mut report = GcReport::default();
 
         // Age eviction.
-        if let Some(age) = self.policy.max_age_secs {
+        if let Some(age) = policy.max_age_secs {
             let expired: Vec<(String, String)> = index
                 .map
                 .iter()
@@ -542,7 +612,7 @@ impl ArtifactStore {
         }
 
         // Size eviction: oldest first (stamp, then shard file order).
-        if let Some(cap) = self.policy.max_bytes {
+        if let Some(cap) = policy.max_bytes {
             let mut live = index.live_bytes();
             if live > cap {
                 let mut order: Vec<((String, String), Slot)> =
@@ -601,6 +671,43 @@ impl ArtifactStore {
                     index.map.remove(&k);
                 }
             }
+            // Bytes beyond our last-known size were appended by another
+            // process (a degraded-mode daemon client, or a non-daemon
+            // binary sharing the directory) after we last looked. They
+            // are not ours to drop: copy them verbatim after the
+            // survivors and index whatever parses, so one process's
+            // compaction never erases another's fresh appends. (An
+            // append landing *during* the read-rename window below is
+            // still best-effort, as before — the daemon's value is that
+            // nothing else writes while it owns the directory.)
+            let mut foreign_tail_torn = false;
+            if data.len() as u64 > file_bytes {
+                let tail_start = out.len();
+                out.extend_from_slice(&data[file_bytes as usize..]);
+                let mut pos = tail_start;
+                while pos < out.len() {
+                    if let Some(rec) = parse_record_at(&out, pos) {
+                        moved.push((
+                            (rec.ns.to_string(), rec.key.to_string()),
+                            Slot {
+                                shard,
+                                offset: pos as u64,
+                                bytes: rec.bytes,
+                                stamp: rec.stamp,
+                            },
+                        ));
+                        pos += rec.bytes as usize;
+                    } else {
+                        match find_subsequence(&out[pos + 1..], b"\nrec ") {
+                            Some(i) => pos = pos + 1 + i + 1,
+                            None => {
+                                foreign_tail_torn = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
             let tmp = self.dir.join(format!(
                 "shard-{shard:02}.tmp.{}.{}",
                 std::process::id(),
@@ -616,7 +723,7 @@ impl ArtifactStore {
                 index.map.insert(k, s);
             }
             index.file_bytes[shard as usize] = out.len() as u64;
-            index.dirty_tail[shard as usize] = false;
+            index.dirty_tail[shard as usize] = foreign_tail_torn;
             report.shards_rewritten += 1;
         }
 
@@ -993,6 +1100,43 @@ mod tests {
     }
 
     #[test]
+    fn compaction_preserves_another_processes_fresh_appends() {
+        // The loss mode carried since PR 3: process A compacts a shard
+        // while process B's append (which A's index has never seen) sits
+        // at its tail — A's rewrite used to truncate B's record. The
+        // tail must survive the compaction verbatim and become visible
+        // to A immediately.
+        let dir = temp_dir("foreign");
+        let a = open(&dir);
+        a.save("runs", "mine", "v1");
+        a.save("runs", "mine", "v2"); // dead bytes so the shard compacts
+        let shard = a.shard_of("runs", "mine");
+        let foreign_key = (0..)
+            .map(|i| format!("foreign-{i}"))
+            .find(|k| a.shard_of("runs", k) == shard)
+            .expect("some key shares the shard");
+        // "Process B": a fresh handle appends after A last looked.
+        let b = open(&dir);
+        b.save("runs", &foreign_key, "foreign value");
+        let report = a.gc();
+        assert!(report.dead_bytes_dropped > 0, "the v1 record was dead");
+        assert_eq!(a.load("runs", "mine").as_deref(), Some("v2"));
+        assert_eq!(
+            a.load("runs", &foreign_key).as_deref(),
+            Some("foreign value"),
+            "B's fresh append survives A's compaction and is indexed"
+        );
+        // A fresh scan of the rewritten shard agrees byte-for-byte.
+        let c = open(&dir);
+        assert_eq!(c.load("runs", "mine").as_deref(), Some("v2"));
+        assert_eq!(
+            c.load("runs", &foreign_key).as_deref(),
+            Some("foreign value")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn size_cap_evicts_oldest_first() {
         let dir = temp_dir("evict");
         let payload = "x".repeat(200);
@@ -1127,6 +1271,39 @@ mod tests {
             occ.iter().map(|o| o.live_bytes).sum::<u64>(),
             store.live_bytes()
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_with_applies_an_external_policy() {
+        // A store opened *unbounded* (the daemon's configuration: saves
+        // never compact inline) still enforces an explicit policy when
+        // told to — the background-GC path.
+        let dir = temp_dir("gcwith");
+        let store = open(&dir);
+        store.save_stamped("runs", "ancient", "v", 12);
+        store.save("runs", "fresh", "v");
+        let report = store.gc_with(GcPolicy {
+            max_bytes: None,
+            max_age_secs: Some(3600),
+        });
+        assert_eq!(report.evicted_age, 1);
+        assert_eq!(store.load("runs", "ancient"), None);
+        assert_eq!(store.load("runs", "fresh").as_deref(), Some("v"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_store_implements_the_backend_trait() {
+        let dir = temp_dir("backend");
+        let store = open(&dir);
+        let backend: &dyn StoreBackend = &store;
+        assert_eq!(backend.load("runs", "k"), None);
+        backend.save("runs", "k", "v");
+        assert_eq!(backend.load("runs", "k").as_deref(), Some("v"));
+        assert_eq!(backend.namespace_records("runs"), 1);
+        assert_eq!(backend.write_errors(), 0);
+        assert_eq!(backend.describe(), dir.display().to_string());
         let _ = fs::remove_dir_all(&dir);
     }
 

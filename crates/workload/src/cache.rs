@@ -7,20 +7,24 @@
 //! each profile **once** and shares the result via [`Arc`], so concurrent
 //! simulations of the same benchmark borrow one immutable program.
 //!
-//! With an [`ArtifactStore`] attached ([`ProgramCache::attach_store`]),
+//! With a persistent store attached ([`ProgramCache::attach_store`]),
 //! the memoization extends **across processes**: a first-miss consults the
 //! store's `programs` namespace before generating, and a fresh generation
-//! is written back. Loaded programs are re-validated
-//! ([`Program::validate`]) before use, so a corrupt or stale record
-//! degrades to regeneration, never a bad program.
+//! is written back. The cache talks to the [`StoreBackend`] trait, so the
+//! store may be the machine-local sharded [`ArtifactStore`], a
+//! `RemoteStore` speaking to the `cfr-store-serve` daemon, or the layered
+//! stack of both — the cache neither knows nor cares. Loaded programs are
+//! re-validated ([`Program::validate`]) before use, so a corrupt or stale
+//! record degrades to regeneration, never a bad program.
 //!
+//! [`ArtifactStore`]: cfr_types::ArtifactStore
 //! [`GeneratorParams`]: crate::GeneratorParams
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cfr_types::{ArtifactStore, RecordReader, RecordWriter, NS_PROGRAMS};
+use cfr_types::{RecordReader, RecordWriter, StoreBackend, NS_PROGRAMS};
 
 use crate::codec::program_store_key;
 use crate::profiles::BenchmarkProfile;
@@ -39,7 +43,7 @@ use crate::program::Program;
 #[derive(Debug, Default)]
 pub struct ProgramCache {
     programs: Mutex<HashMap<&'static str, Arc<Program>>>,
-    store: Mutex<Option<Arc<ArtifactStore>>>,
+    store: Mutex<Option<Arc<dyn StoreBackend>>>,
     generated: AtomicU64,
     loaded: AtomicU64,
 }
@@ -51,10 +55,11 @@ impl ProgramCache {
         Self::default()
     }
 
-    /// Backs this cache with a persistent store: first requests consult
-    /// the store's `programs` namespace before generating, and fresh
+    /// Backs this cache with a persistent store (local, remote, or
+    /// layered — any [`StoreBackend`]): first requests consult the
+    /// store's `programs` namespace before generating, and fresh
     /// generations are written back.
-    pub fn attach_store(&self, store: Arc<ArtifactStore>) {
+    pub fn attach_store(&self, store: Arc<dyn StoreBackend>) {
         *self.store.lock().expect("program cache poisoned") = Some(store);
     }
 
@@ -96,7 +101,7 @@ impl ProgramCache {
 
     /// Loads and re-validates a stored program; any parse or validation
     /// failure is a miss (the caller regenerates and overwrites).
-    fn try_load(&self, store: &ArtifactStore, profile: &BenchmarkProfile) -> Option<Program> {
+    fn try_load(&self, store: &dyn StoreBackend, profile: &BenchmarkProfile) -> Option<Program> {
         let text = store.load(NS_PROGRAMS, &program_store_key(profile))?;
         let mut r = RecordReader::new(&text);
         let program = Program::from_record(&mut r).ok()?;
@@ -124,7 +129,7 @@ impl ProgramCache {
 mod tests {
     use super::*;
     use crate::profiles;
-    use cfr_types::GcPolicy;
+    use cfr_types::{ArtifactStore, GcPolicy};
     use std::path::PathBuf;
 
     #[test]
@@ -185,7 +190,8 @@ mod tests {
     fn corrupt_stored_program_regenerates() {
         let dir = temp_store("corrupt");
         let profile = profiles::mesa();
-        let store = Arc::new(ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap());
+        let store: Arc<dyn StoreBackend> =
+            Arc::new(ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap());
         // A parseable-but-invalid program (a function whose last block
         // has no terminator) and plain garbage both regenerate.
         for vandalism in [

@@ -330,3 +330,163 @@ proptest! {
         prop_assert_eq!(Store::key_record(&back), record);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Store-daemon protocol properties: the decoder is total over arbitrary
+// bytes (never panics, never mis-frames), and every frame/request/response
+// codec round-trips. See `cfr_types::net` and `tests/store_daemon.rs`.
+// ---------------------------------------------------------------------------
+
+use cfr_sim::types::net::{decode_frame, encode_frame, FrameDecode, Request, Response, StoreStats};
+use cfr_sim::types::GcReport;
+
+/// Builds a printable-ish string (spaces, punctuation, alphanumerics, an
+/// occasional multi-byte character) from generated code points.
+fn text_from(codes: &[u64]) -> String {
+    codes
+        .iter()
+        .map(|&c| {
+            let c = u32::try_from(c % 0x500).unwrap();
+            char::from_u32(c)
+                .filter(|ch| !ch.is_control())
+                .unwrap_or(' ')
+        })
+        .collect()
+}
+
+/// A single-line, non-empty key/value token stream.
+fn record_line_from(codes: &[u64]) -> String {
+    let line: String = text_from(codes).replace('\n', " ");
+    if line.is_empty() {
+        "k".to_string()
+    } else {
+        line
+    }
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics the frame decoder, at any
+    /// offset, and whatever it classifies as a frame must re-encode to
+    /// the exact bytes it consumed (no mis-framing).
+    #[test]
+    fn frame_decoder_is_total_over_garbage(bytes in proptest::collection::vec(0u64..256, 0..160)) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| u8::try_from(b).unwrap()).collect();
+        for start in 0..=bytes.len() {
+            match decode_frame(&bytes[start..]) {
+                FrameDecode::Frame { payload, consumed } => {
+                    let reencoded = encode_frame(&payload);
+                    prop_assert_eq!(reencoded.as_slice(), &bytes[start..start + consumed]);
+                }
+                FrameDecode::Incomplete | FrameDecode::Invalid => {}
+            }
+        }
+    }
+
+    /// Every payload round-trips through the frame codec, and every
+    /// strict prefix of the encoding reads as `Incomplete` — a truncated
+    /// frame asks for more bytes, it never yields a wrong payload or an
+    /// error.
+    #[test]
+    fn frame_codec_round_trips_and_prefixes_are_incomplete(
+        codes in proptest::collection::vec(0u64..0x3000, 0..120),
+        newline_every in 1u64..8,
+    ) {
+        // Payloads may contain newlines (framing is length-prefixed).
+        let mut payload = text_from(&codes);
+        let step = usize::try_from(newline_every).unwrap();
+        let keep: String = payload
+            .chars()
+            .enumerate()
+            .map(|(i, c)| if i % (step + 1) == step { '\n' } else { c })
+            .collect();
+        payload = keep;
+        let bytes = encode_frame(&payload);
+        match decode_frame(&bytes) {
+            FrameDecode::Frame { payload: got, consumed } => {
+                prop_assert_eq!(&got, &payload);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => prop_assert!(false, "round trip decoded to {other:?}"),
+        }
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(decode_frame(&bytes[..cut]), FrameDecode::Incomplete, "cut {cut}");
+        }
+    }
+
+    /// Request and response codecs round-trip for generated namespaces,
+    /// keys, values, and counter sets — every protocol frame codec.
+    #[test]
+    fn request_and_response_codecs_round_trip(
+        which in 0u64..6,
+        key_codes in proptest::collection::vec(0u64..0x500, 1..40),
+        value_codes in proptest::collection::vec(0u64..0x500, 0..60),
+        ns_pick in 0u64..3,
+        counters in proptest::collection::vec(0u64..1_000_000, 6..7),
+    ) {
+        let ns = ["runs", "walks", "programs"][usize::try_from(ns_pick).unwrap()].to_string();
+        let key = record_line_from(&key_codes);
+        let value = record_line_from(&value_codes);
+        let request = match which {
+            0 => Request::Get { ns: ns.clone(), key: key.clone() },
+            1 => Request::Put { ns, key, value: value.clone() },
+            2 => Request::Put {
+                ns: "runs".into(),
+                key: "k".into(),
+                value: String::new(),
+            },
+            3 => Request::Stats,
+            4 => Request::Gc,
+            _ => Request::Shutdown,
+        };
+        let decoded = Request::decode(&request.encode());
+        prop_assert_eq!(decoded, Ok(request));
+
+        let response = match which {
+            0 => Response::Hit { value },
+            1 => Response::Miss,
+            2 => Response::Done,
+            3 => Response::Stats(StoreStats {
+                live_records: counters[0],
+                live_bytes: counters[1],
+                file_bytes: counters[2],
+                runs: counters[3],
+                walks: counters[4],
+                programs: counters[5],
+            }),
+            4 => Response::Gc(GcReport {
+                live_records: counters[0],
+                live_bytes: counters[1],
+                dead_bytes_dropped: counters[2],
+                evicted_age: counters[3],
+                evicted_size: counters[4],
+                shards_rewritten: u32::try_from(counters[5] % 17).unwrap(),
+            }),
+            _ => Response::Error {
+                message: record_line_from(&value_codes),
+            },
+        };
+        let decoded = Response::decode(&response.encode());
+        prop_assert_eq!(decoded, Ok(response));
+    }
+
+    /// Arbitrary text fed to the request/response parsers never panics —
+    /// it decodes or errors cleanly (the server's "clean error reply"
+    /// path), and a decodable request re-encodes canonically.
+    #[test]
+    fn request_parser_is_total_over_garbage(codes in proptest::collection::vec(0u64..0x3000, 0..80)) {
+        let mut payload = text_from(&codes);
+        // Reintroduce structure sometimes so the parser's deeper
+        // branches get exercised, not just the verb dispatch.
+        if payload.len() > 6 {
+            payload = format!("get {payload}");
+        }
+        if let Ok(request) = Request::decode(&payload) {
+            let again = Request::decode(&request.encode());
+            prop_assert_eq!(again, Ok(request));
+        }
+        if let Ok(response) = Response::decode(&payload) {
+            let again = Response::decode(&response.encode());
+            prop_assert_eq!(again, Ok(response));
+        }
+    }
+}

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use cfr_sim::core::{Engine, ExperimentScale, GcPolicy, RunKey, Store, StrategyKind};
-use cfr_sim::types::{AddressingMode, ArtifactStore, NS_RUNS};
+use cfr_sim::types::{AddressingMode, ArtifactStore, StoreBackend, NS_RUNS};
 
 fn temp_store(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cfr-gc-it-{tag}-{}", std::process::id()));
@@ -146,12 +146,13 @@ fn capped_engine_store_is_correct_just_colder() {
     let reference = Engine::new();
     let expected = reference.run_many(&keys);
 
-    let capped = Engine::new().with_store(Store::open_with_policy(&dir, cap).unwrap());
+    let artifacts = Arc::new(ArtifactStore::open(&dir, cap).unwrap());
+    let backend: Arc<dyn StoreBackend> = artifacts.clone();
+    let capped = Engine::new().with_store(Store::over(backend));
     let got = capped.run_many(&keys);
     for (a, b) in expected.iter().zip(&got) {
         assert_eq!(**a, **b);
     }
-    let artifacts: Arc<ArtifactStore> = capped.store().unwrap().artifacts();
     assert!(
         artifacts.file_bytes() <= 3000,
         "budget held under engine traffic: {}",

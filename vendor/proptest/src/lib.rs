@@ -9,9 +9,12 @@
 //!   inputs drawn from its strategies,
 //! - generation is **deterministic**: the RNG is seeded from the test's
 //!   path and the case index, so failures reproduce exactly on re-run,
-//! - `prop_assert*` failures report the failing expression and abort the
-//!   case (upstream's shrinking is not implemented — the seed and case
-//!   index in the panic message serve as the reproducer instead).
+//! - `prop_assert*` failures report the failing expression **and the
+//!   case's generated input values** (every strategy value's `Debug`
+//!   rendering) and abort the case. Upstream's shrinking is not
+//!   implemented — the printed inputs plus the deterministic case index
+//!   serve as the reproducer instead. This requires generated values to
+//!   be `Debug`, which everything the built-in strategies produce is.
 //!
 //! Swapping in the real crate is the usual one-line edit in the root
 //! `Cargo.toml`; no test-source change is required for this subset.
@@ -224,15 +227,34 @@ macro_rules! proptest {
                         concat!(module_path!(), "::", stringify!($name)),
                         case,
                     );
-                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    // Record every generated input's Debug rendering up
+                    // front, so a failing case reports the actual values
+                    // (not just the reproducible case index). Upstream
+                    // shrinks instead; here readable inputs are the
+                    // reproducer.
+                    let mut __proptest_inputs = ::std::string::String::new();
+                    $(
+                        let __proptest_value = $crate::Strategy::generate(&($strategy), &mut rng);
+                        if !__proptest_inputs.is_empty() {
+                            __proptest_inputs.push_str(", ");
+                        }
+                        __proptest_inputs.push_str(&::std::format!(
+                            "{} = {:?}",
+                            stringify!($pat),
+                            &__proptest_value,
+                        ));
+                        let $pat = __proptest_value;
+                    )+
                     let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
                         $body
                         ::core::result::Result::Ok(())
                     })();
                     if let ::core::result::Result::Err(message) = outcome {
                         panic!(
-                            "property {} failed at case {case}/{cases}: {message}",
+                            "property {} failed at case {case}/{cases} \
+                             with inputs [{}]: {message}",
                             stringify!($name),
+                            __proptest_inputs,
                         );
                     }
                 }
@@ -328,5 +350,32 @@ mod tests {
             prop_assert!(a < 100, "a = {a}");
             prop_assert_eq!(u64::from(flag) + u64::from(!flag), 1);
         }
+    }
+
+    proptest! {
+        // Deliberately failing property (no #[test]: only invoked via
+        // catch_unwind below). The 5..6 range pins the generated value.
+        fn always_fails(doomed in 5u64..6, friend in 0u64..1) {
+            let _ = friend;
+            prop_assert!(doomed != 5, "the failing condition");
+        }
+    }
+
+    #[test]
+    fn failure_message_names_the_generated_values() {
+        let panic = std::panic::catch_unwind(always_fails).expect_err("must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(ToString::to_string))
+            .expect("panic payload is a string");
+        assert!(
+            message.contains("doomed = 5") && message.contains("friend = 0"),
+            "failure must print every generated value, got: {message}"
+        );
+        assert!(
+            message.contains("case 0/"),
+            "case index stays in the message: {message}"
+        );
     }
 }
