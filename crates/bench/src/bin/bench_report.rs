@@ -4,8 +4,12 @@
 //! mode over two representative benchmarks, no artifact store, fresh
 //! simulations only) and writes machine-readable results to
 //! `BENCH_pipeline.json`: simulated commits/sec per strategy×mode cell,
-//! total wall time, and the git revision — so each PR can leave a
-//! comparable breadcrumb of simulator throughput. See README
+//! the execution backend that ran (`$CFR_BACKEND`), total wall time, and
+//! the git revision — so each PR can leave a comparable breadcrumb of
+//! simulator throughput. At the default scale/seed every cell also
+//! carries `vs_reference`, its throughput normalized against a pinned
+//! reference revision's committed numbers, so reports taken on different
+//! machines compare as ratios rather than raw commits/sec. See README
 //! "Performance" for the file format and the measured trajectory.
 //!
 //! ```sh
@@ -21,14 +25,58 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cfr_bench::try_scale_from_args;
-use cfr_core::{compiler, RunReport, SimConfig, Simulator, StrategyKind};
+use cfr_core::{compiler, ExecBackend, RunReport, SimConfig, Simulator, StrategyKind};
 use cfr_types::AddressingMode;
-use cfr_workload::{profiles, LaidProgram};
+use cfr_workload::{compile_trace, profiles, CompiledTrace, LaidProgram};
 
 /// The benchmarks the matrix runs over: the least and the most
 /// TLB-intensive of the paper's six (Table 2), so the timing covers both
 /// behaviour extremes.
 const PROFILES: [&str; 2] = ["177.mesa", "254.gap"];
+
+/// Committed throughput of a pinned reference revision, measured at
+/// [`REFERENCE_COMMITS_PER_RUN`] commits/run with seed [`REFERENCE_SEED`]
+/// (the defaults). When a report runs at that same scale and seed, every
+/// cell also emits `vs_reference` — its commits/sec divided by the
+/// reference cell's — so reports from different machines normalize to a
+/// dimensionless ratio instead of comparing raw absolute throughput.
+/// At any other scale/seed the ratios are emitted as `null`.
+const REFERENCE_REV: &str = "d667ad7ee514";
+const REFERENCE_COMMITS_PER_RUN: u64 = 300_000;
+const REFERENCE_SEED: u64 = 24301;
+const REFERENCE_TOTAL_COMMITS_PER_SEC: f64 = 6_382_352.0;
+const REFERENCE_CELLS: [(&str, &str, f64); 18] = [
+    ("Base", "pipt", 6_664_049.0),
+    ("Base", "vipt", 5_818_417.0),
+    ("Base", "vivt", 4_473_807.0),
+    ("OPT", "pipt", 4_736_602.0),
+    ("OPT", "vipt", 6_449_228.0),
+    ("OPT", "vivt", 7_161_058.0),
+    ("HoA", "pipt", 6_425_961.0),
+    ("HoA", "vipt", 6_573_896.0),
+    ("HoA", "vivt", 7_297_496.0),
+    ("SoCA", "pipt", 6_797_995.0),
+    ("SoCA", "vipt", 6_721_879.0),
+    ("SoCA", "vivt", 7_353_801.0),
+    ("SoLA", "pipt", 6_818_297.0),
+    ("SoLA", "vipt", 5_964_690.0),
+    ("SoLA", "vivt", 7_232_045.0),
+    ("IA", "pipt", 6_832_815.0),
+    ("IA", "vipt", 6_576_021.0),
+    ("IA", "vivt", 7_270_810.0),
+];
+
+fn reference_cell(strategy: &str, mode: &str) -> Option<f64> {
+    REFERENCE_CELLS
+        .iter()
+        .find(|(s, m, _)| *s == strategy && *m == mode)
+        .map(|(_, _, cps)| *cps)
+}
+
+/// `x.xxx` or `null` — the JSON value for a normalization ratio.
+fn ratio_json(ratio: Option<f64>) -> String {
+    ratio.map_or_else(|| "null".to_string(), |r| format!("{r:.3}"))
+}
 
 /// One timed cell of the matrix.
 struct Cell {
@@ -106,25 +154,31 @@ fn main() {
         .collect();
     assert_eq!(profile_set.len(), PROFILES.len(), "profiles resolved");
 
-    // Generate + compile everything up front, outside the timed region.
+    // Generate + compile everything up front, outside the timed region:
+    // layout/instrumentation AND the pre-decoded trace, so the cells
+    // measure only the cycle-level pipeline under the selected backend.
     // Compilation classes are shared across strategies exactly as in the
     // engine (instrumented? marked?), so this mirrors warm-engine runs.
+    let backend = ExecBackend::from_env();
     let cfg: SimConfig = scale.config();
-    let mut compiled: Vec<(StrategyKind, Vec<LaidProgram>)> = Vec::new();
+    let mut compiled: Vec<(StrategyKind, Vec<(LaidProgram, CompiledTrace)>)> = Vec::new();
     for kind in StrategyKind::ALL {
         let mut per_profile = Vec::new();
         for p in &profile_set {
             let program = p.generate();
-            per_profile.push(compiler::compile_for(&program, cfg.cpu.geometry, kind));
+            let laid = compiler::compile_for(&program, cfg.cpu.geometry, kind);
+            let trace = compile_trace(&laid);
+            per_profile.push((laid, trace));
         }
         compiled.push((kind, per_profile));
     }
 
     eprintln!(
-        "bench_report: {} strategies x 3 modes x {} profiles at {} commits/run",
+        "bench_report: {} strategies x 3 modes x {} profiles at {} commits/run ({} backend)",
         StrategyKind::ALL.len(),
         profile_set.len(),
-        scale.max_commits
+        scale.max_commits,
+        backend.name()
     );
 
     let total_start = Instant::now();
@@ -137,8 +191,11 @@ fn main() {
         ] {
             let start = Instant::now();
             let mut commits = 0u64;
-            for laid in laid_programs {
-                let report: RunReport = Simulator::run_compiled(laid, &cfg, *kind, mode);
+            for (laid, trace) in laid_programs {
+                let report: RunReport = match backend {
+                    ExecBackend::Compiled => Simulator::run_traced(trace, &cfg, *kind, mode),
+                    ExecBackend::Interp => Simulator::run_interp(laid, &cfg, *kind, mode),
+                };
                 commits += report.committed;
             }
             let wall = start.elapsed().as_secs_f64();
@@ -167,6 +224,7 @@ fn main() {
     let _ = writeln!(json, "  \"git_rev\": \"{}\",", json_escape(&git_rev()));
     let _ = writeln!(json, "  \"commits_per_run\": {},", scale.max_commits);
     let _ = writeln!(json, "  \"seed\": {},", scale.seed);
+    let _ = writeln!(json, "  \"backend\": \"{}\",", backend.name());
     let _ = writeln!(
         json,
         "  \"profiles\": [{}],",
@@ -178,22 +236,42 @@ fn main() {
     );
     let _ = writeln!(json, "  \"total_commits\": {total_commits},");
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.3},");
+    let total_cps = total_commits as f64 / total_wall;
+    let _ = writeln!(json, "  \"total_commits_per_sec\": {total_cps:.0},");
+    // Ratios against the pinned reference are only meaningful when the
+    // workload is identical: same commits/run and same seed.
+    let comparable = scale.max_commits == REFERENCE_COMMITS_PER_RUN && scale.seed == REFERENCE_SEED;
     let _ = writeln!(
         json,
-        "  \"total_commits_per_sec\": {:.0},",
-        total_commits as f64 / total_wall
+        "  \"reference\": {{\"git_rev\": \"{REFERENCE_REV}\", \
+         \"commits_per_run\": {REFERENCE_COMMITS_PER_RUN}, \"seed\": {REFERENCE_SEED}, \
+         \"total_commits_per_sec\": {REFERENCE_TOTAL_COMMITS_PER_SEC:.0}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"total_vs_reference\": {},",
+        ratio_json(comparable.then(|| total_cps / REFERENCE_TOTAL_COMMITS_PER_SEC))
     );
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
+        let cps = c.commits as f64 / c.wall_seconds;
+        let vs_reference = if comparable {
+            reference_cell(c.strategy.name(), mode_name(c.mode)).map(|r| cps / r)
+        } else {
+            None
+        };
         let _ = write!(
             json,
-            "    {{\"strategy\": \"{}\", \"mode\": \"{}\", \"commits\": {}, \
-             \"wall_seconds\": {:.3}, \"commits_per_sec\": {:.0}}}",
+            "    {{\"strategy\": \"{}\", \"mode\": \"{}\", \"backend\": \"{}\", \
+             \"commits\": {}, \"wall_seconds\": {:.3}, \"commits_per_sec\": {:.0}, \
+             \"vs_reference\": {}}}",
             c.strategy.name(),
             mode_name(c.mode),
+            backend.name(),
             c.commits,
             c.wall_seconds,
-            c.commits as f64 / c.wall_seconds
+            cps,
+            ratio_json(vs_reference)
         );
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }

@@ -34,14 +34,14 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use cfr_types::{AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter, NS_WALKS};
 use cfr_workload::{
-    measure_walk, walk_store_key, BenchmarkProfile, LaidProgram, Program, ProgramCache,
-    WalkMeasurement,
+    measure_walk, walk_store_key, BenchmarkProfile, CompiledTrace, LaidProgram, Program,
+    ProgramCache, TraceCache, WalkMeasurement,
 };
 use rayon::prelude::*;
 
 use crate::compiler;
 use crate::experiment::ExperimentScale;
-use crate::simulator::{ItlbChoice, RunReport, SimConfig, Simulator};
+use crate::simulator::{ExecBackend, ItlbChoice, RunReport, SimConfig, Simulator};
 use crate::store::Store;
 use crate::strategy::StrategyKind;
 
@@ -217,6 +217,9 @@ pub struct Engine {
     /// one compilation per [`LaidKey`] no matter how many (strategy,
     /// mode, iTLB) runs execute it.
     laid: Mutex<HashMap<LaidKey, Arc<LaidProgram>>>,
+    /// Memoized pre-decoded traces for the compiled execution backend
+    /// (`traces` store namespace; warm across processes like `programs`).
+    traces: TraceCache,
     state: Mutex<EngineState>,
     /// Signalled whenever results land or in-flight claims are released,
     /// so concurrent `run_many` callers waiting on another batch's keys
@@ -252,6 +255,9 @@ pub struct StoreSummary {
     pub walks: NamespaceTraffic,
     /// Generated programs (`programs`).
     pub programs: NamespaceTraffic,
+    /// Pre-decoded execution traces (`traces`). Cold = compiled in this
+    /// process; all zero under the interpreter backend.
+    pub traces: NamespaceTraffic,
 }
 
 /// Result cache plus the set of keys some `run_many` call is currently
@@ -305,6 +311,7 @@ impl Engine {
             profiles,
             programs: ProgramCache::new(),
             laid: Mutex::new(HashMap::new()),
+            traces: TraceCache::new(),
             state: Mutex::new(EngineState::default()),
             resolved: Condvar::new(),
             simulated: AtomicU64::new(0),
@@ -324,6 +331,7 @@ impl Engine {
     #[must_use]
     pub fn with_store(mut self, store: Store) -> Self {
         self.programs.attach_store(store.backend());
+        self.traces.attach_store(store.backend());
         self.store = Some(store);
         self
     }
@@ -429,6 +437,10 @@ impl Engine {
                 warm: self.programs.loaded(),
                 cold: self.programs.generated(),
             },
+            traces: NamespaceTraffic {
+                warm: self.traces.loaded(),
+                cold: self.traces.compiled(),
+            },
         }
     }
 
@@ -442,19 +454,21 @@ impl Engine {
         match &self.store {
             Some(store) => format!(
                 "store: runs {} warm / {} cold; walks {} warm / {} cold; \
-                 programs {} warm / {} cold ({})",
+                 programs {} warm / {} cold; traces {} warm / {} cold ({})",
                 s.runs.warm,
                 s.runs.cold,
                 s.walks.warm,
                 s.walks.cold,
                 s.programs.warm,
                 s.programs.cold,
+                s.traces.warm,
+                s.traces.cold,
                 store.describe(),
             ),
             None => format!(
                 "store: disabled ({} runs simulated, {} walks measured, \
-                 {} programs generated in-process)",
-                s.runs.cold, s.walks.cold, s.programs.cold,
+                 {} programs generated, {} traces compiled in-process)",
+                s.runs.cold, s.walks.cold, s.programs.cold, s.traces.cold,
             ),
         }
     }
@@ -499,6 +513,19 @@ impl Engine {
         let laid = Arc::new(compiler::compile_for(&program, geom, key.strategy));
         let mut cache = self.laid.lock().expect("laid cache poisoned");
         Arc::clone(cache.entry(laid_key).or_insert(laid))
+    }
+
+    /// The pre-decoded trace for a run key's compiled binary, memoized
+    /// per compilation class (and warm across processes through the
+    /// store's `traces` namespace).
+    fn trace_for(&self, key: &RunKey, laid: &LaidProgram) -> Arc<CompiledTrace> {
+        let profile = self
+            .profiles
+            .iter()
+            .find(|p| p.name == key.profile)
+            .unwrap_or_else(|| panic!("unknown benchmark profile {:?}", key.profile));
+        self.traces
+            .get(profile, laid, key.strategy == StrategyKind::SoLA)
     }
 
     /// The generated program for a registered profile, memoized.
@@ -584,13 +611,20 @@ impl Engine {
                         (*key, warm)
                     })
                     .collect();
-                // Resolve compiled binaries for the cold keys up front
-                // (serially, memoized) so parallel workers share one
-                // immutable Arc per compilation class.
-                let jobs: Vec<(RunKey, Arc<LaidProgram>)> = resolved
+                // Resolve compiled binaries — and, under the compiled
+                // backend, their pre-decoded traces — for the cold keys
+                // up front (serially, memoized) so parallel workers share
+                // one immutable Arc per compilation class.
+                let backend = ExecBackend::from_env();
+                let jobs: Vec<(RunKey, Arc<LaidProgram>, Option<Arc<CompiledTrace>>)> = resolved
                     .iter()
                     .filter(|(_, warm)| warm.is_none())
-                    .map(|(k, _)| (*k, self.compiled(k)))
+                    .map(|(k, _)| {
+                        let laid = self.compiled(k);
+                        let trace =
+                            (backend == ExecBackend::Compiled).then(|| self.trace_for(k, &laid));
+                        (*k, laid, trace)
+                    })
                     .collect();
                 // Simulate the cold keys in parallel and write each result
                 // back (a single append per record; concurrent binaries
@@ -598,9 +632,15 @@ impl Engine {
                 // them as misses, never as torn reports).
                 let fresh: Vec<RunReport> = jobs
                     .par_iter()
-                    .map(|(key, laid)| {
-                        let report =
-                            Simulator::run_compiled(laid, &key.config(), key.strategy, key.mode);
+                    .map(|(key, laid, trace)| {
+                        let report = match trace {
+                            Some(trace) => {
+                                Simulator::run_traced(trace, &key.config(), key.strategy, key.mode)
+                            }
+                            None => {
+                                Simulator::run_interp(laid, &key.config(), key.strategy, key.mode)
+                            }
+                        };
                         if let Some(store) = &self.store {
                             store.save(key, &report);
                         }

@@ -1,14 +1,54 @@
 //! End-to-end simulation: program → compiler → pipeline → report.
 
-use cfr_cpu::{CpuConfig, CpuStats, Pipeline};
+use cfr_cpu::{CpuConfig, CpuStats, ExecutionBackend, Pipeline};
 use cfr_energy::{EnergyMeter, EnergyModel};
 use cfr_mem::{TlbConfig, TlbStats, TwoLevelTlb};
 use cfr_types::{AddressingMode, RecordError, RecordReader, RecordWriter, TlbOrganization};
-use cfr_workload::{BenchmarkProfile, Program, ProgramCache};
+use cfr_workload::{compile_trace, BenchmarkProfile, CompiledTrace, Program, ProgramCache};
 use serde::{Deserialize, Serialize};
 
 use crate::compiler;
 use crate::strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};
+
+/// Environment variable selecting the execution backend (`compiled`,
+/// the default, or `interp`).
+pub const BACKEND_ENV: &str = "CFR_BACKEND";
+
+/// Which execution backend drives the pipeline.
+///
+/// Both backends are byte-identical by construction (the compiled trace
+/// is a pure representation change; the golden tests and the
+/// backend-equivalence property test enforce it), so this is purely a
+/// performance/diagnostics switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// Pre-decoded compiled-trace backend (the default fast path).
+    Compiled,
+    /// Reference interpreter over the laid-out program.
+    Interp,
+}
+
+impl ExecBackend {
+    /// Reads `$CFR_BACKEND`: `interp` selects the reference interpreter;
+    /// `compiled`, unset, or anything else selects the compiled-trace
+    /// backend.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(BACKEND_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("interp") => ExecBackend::Interp,
+            _ => ExecBackend::Compiled,
+        }
+    }
+
+    /// Stable lower-case name (`compiled` / `interp`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecBackend::Compiled => "compiled",
+            ExecBackend::Interp => "interp",
+        }
+    }
+}
 
 /// Which iTLB structure a run models.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -213,15 +253,64 @@ impl Simulator {
         Self::run_compiled(&laid, cfg, kind, mode)
     }
 
-    /// Runs an already-compiled (laid-out, instrumented, marked) program.
+    /// Runs an already-compiled (laid-out, instrumented, marked) program
+    /// under the environment-selected [`ExecBackend`].
     ///
     /// `laid` must be the [`compiler::compile_for`] output for this
     /// `kind` and `cfg.cpu.geometry` — the [`crate::Engine`] memoizes
     /// those compilations across runs, since every strategy of a
-    /// compilation class shares the same binary.
+    /// compilation class shares the same binary. When the compiled-trace
+    /// backend is selected the trace is compiled here ad hoc; callers
+    /// holding a memoized trace should use [`Simulator::run_traced`]
+    /// directly.
     #[must_use]
     pub fn run_compiled(
         laid: &cfr_workload::LaidProgram,
+        cfg: &SimConfig,
+        kind: StrategyKind,
+        mode: AddressingMode,
+    ) -> RunReport {
+        match ExecBackend::from_env() {
+            ExecBackend::Compiled => {
+                let trace = compile_trace(laid);
+                Self::run_traced(&trace, cfg, kind, mode)
+            }
+            ExecBackend::Interp => Self::run_interp(laid, cfg, kind, mode),
+        }
+    }
+
+    /// Runs a compiled program on the reference interpreter backend,
+    /// regardless of `$CFR_BACKEND`.
+    #[must_use]
+    pub fn run_interp(
+        laid: &cfr_workload::LaidProgram,
+        cfg: &SimConfig,
+        kind: StrategyKind,
+        mode: AddressingMode,
+    ) -> RunReport {
+        Self::run_pipeline(Pipeline::new(laid, cfg.cpu, cfg.seed), cfg, kind, mode)
+    }
+
+    /// Runs a pre-decoded trace on the compiled-trace backend, regardless
+    /// of `$CFR_BACKEND`. `trace` must be [`compile_trace`]'s output for
+    /// the binary this `kind` and `cfg.cpu.geometry` denote.
+    #[must_use]
+    pub fn run_traced(
+        trace: &CompiledTrace,
+        cfg: &SimConfig,
+        kind: StrategyKind,
+        mode: AddressingMode,
+    ) -> RunReport {
+        Self::run_pipeline(
+            Pipeline::compiled(trace, cfg.cpu, cfg.seed),
+            cfg,
+            kind,
+            mode,
+        )
+    }
+
+    fn run_pipeline<B: ExecutionBackend>(
+        mut pipe: Pipeline<B>,
         cfg: &SimConfig,
         kind: StrategyKind,
         mode: AddressingMode,
@@ -233,7 +322,6 @@ impl Simulator {
             cfg.itlb.build(cfg.itlb_miss_penalty),
             EnergyModel::default(),
         );
-        let mut pipe = Pipeline::new(laid, cfg.cpu, cfg.seed);
         pipe.run(&mut strategy, cfg.max_commits);
         let stats = *pipe.stats();
         RunReport {

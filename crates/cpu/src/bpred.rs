@@ -2,7 +2,7 @@
 //! return-address stack (Table 1: bimodal, 1024-entry 2-way BTB).
 
 use cfr_types::VirtAddr;
-use cfr_workload::{BranchKind, BranchSpec};
+use cfr_workload::BranchKind;
 use serde::{Deserialize, Serialize};
 
 /// Predictor configuration.
@@ -225,13 +225,8 @@ impl BranchPredictor {
     /// calls). Mutates the RAS speculatively; the fetch engine only calls
     /// this on the paths it actually follows.
     #[inline]
-    pub fn predict(
-        &mut self,
-        pc: VirtAddr,
-        spec: &BranchSpec,
-        fallthrough: VirtAddr,
-    ) -> Prediction {
-        match spec.kind {
+    pub fn predict(&mut self, pc: VirtAddr, kind: BranchKind, fallthrough: VirtAddr) -> Prediction {
+        match kind {
             BranchKind::Conditional { .. } => {
                 let taken = self.bimodal.predict(pc);
                 let target = self.btb.lookup(pc);
@@ -289,11 +284,11 @@ impl BranchPredictor {
 
     /// Trains the predictor with a resolved (right-path) branch.
     #[inline]
-    pub fn update(&mut self, pc: VirtAddr, spec: &BranchSpec, taken: bool, target: VirtAddr) {
-        if spec.kind.conditional() {
+    pub fn update(&mut self, pc: VirtAddr, kind: BranchKind, taken: bool, target: VirtAddr) {
+        if kind.conditional() {
             self.bimodal.update(pc, taken);
         }
-        if taken && spec.kind != BranchKind::Return {
+        if taken && kind != BranchKind::Return {
             self.btb.update(pc, target);
         }
     }
@@ -302,14 +297,9 @@ impl BranchPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cfr_workload::BlockId;
 
-    fn jump_spec() -> BranchSpec {
-        BranchSpec::jump(BlockId(0))
-    }
-
-    fn cond_spec() -> BranchSpec {
-        BranchSpec::conditional(BlockId(0), 0.9)
+    fn cond_kind() -> BranchKind {
+        BranchKind::Conditional { taken_bias: 0.9 }
     }
 
     #[test]
@@ -362,10 +352,10 @@ mod tests {
         let pc = VirtAddr::new(0x400);
         let fall = VirtAddr::new(0x404);
         // Cold: BTB miss -> treated as not taken.
-        let pred = p.predict(pc, &jump_spec(), fall);
+        let pred = p.predict(pc, BranchKind::Jump, fall);
         assert!(!pred.taken);
-        p.update(pc, &jump_spec(), true, VirtAddr::new(0x900));
-        let pred = p.predict(pc, &jump_spec(), fall);
+        p.update(pc, BranchKind::Jump, true, VirtAddr::new(0x900));
+        let pred = p.predict(pc, BranchKind::Jump, fall);
         assert!(pred.taken);
         assert_eq!(pred.target, Some(VirtAddr::new(0x900)));
     }
@@ -375,15 +365,15 @@ mod tests {
         let mut p = BranchPredictor::new(PredictorConfig::default());
         let pc = VirtAddr::new(0x800);
         let fall = VirtAddr::new(0x804);
-        p.update(pc, &cond_spec(), true, VirtAddr::new(0x1000));
+        p.update(pc, cond_kind(), true, VirtAddr::new(0x1000));
         for _ in 0..3 {
-            p.update(pc, &cond_spec(), false, VirtAddr::new(0x1000));
+            p.update(pc, cond_kind(), false, VirtAddr::new(0x1000));
         }
-        assert!(!p.predict(pc, &cond_spec(), fall).taken);
+        assert!(!p.predict(pc, cond_kind(), fall).taken);
         for _ in 0..3 {
-            p.update(pc, &cond_spec(), true, VirtAddr::new(0x1000));
+            p.update(pc, cond_kind(), true, VirtAddr::new(0x1000));
         }
-        assert!(p.predict(pc, &cond_spec(), fall).taken);
+        assert!(p.predict(pc, cond_kind(), fall).taken);
     }
 
     #[test]
@@ -392,12 +382,12 @@ mod tests {
         let call_pc = VirtAddr::new(0x100);
         let fall = VirtAddr::new(0x104);
         let callee = VirtAddr::new(0x4000);
-        p.update(call_pc, &BranchSpec::call(BlockId(0)), true, callee);
-        let _ = p.predict(call_pc, &BranchSpec::call(BlockId(0)), fall);
+        p.update(call_pc, BranchKind::Call, true, callee);
+        let _ = p.predict(call_pc, BranchKind::Call, fall);
         // The return should now predict the call fall-through via the RAS.
         let ret_pred = p.predict(
             VirtAddr::new(0x4010),
-            &BranchSpec::ret(),
+            BranchKind::Return,
             VirtAddr::new(0x4014),
         );
         assert_eq!(ret_pred.target, Some(fall));

@@ -32,12 +32,14 @@
 //! assert!(pipe.stats().cycles > 2_500, "IPC can't exceed the 4-wide core");
 //! ```
 
+mod backend;
 mod bpred;
 mod config;
 mod pipeline;
 mod stats;
 mod translate;
 
+pub use backend::{CompiledBackend, ExecutionBackend, InterpBackend};
 pub use bpred::{BranchPredictor, Btb, Prediction, PredictorConfig, ReturnAddressStack};
 pub use config::CpuConfig;
 pub use pipeline::Pipeline;

@@ -23,8 +23,9 @@ use std::collections::VecDeque;
 
 use cfr_mem::{AccessKind, Cache, Dram, PageTable, Tlb};
 use cfr_types::{PageGeometry, Protection, VirtAddr, INSTRUCTION_BYTES};
-use cfr_workload::{LaidProgram, OpClass, RegId, Walker};
+use cfr_workload::{BranchKind, CompiledTrace, LaidProgram, OpClass, RegId};
 
+use crate::backend::{CompiledBackend, ExecutionBackend, InterpBackend};
 use crate::bpred::BranchPredictor;
 use crate::config::CpuConfig;
 use crate::stats::CpuStats;
@@ -43,6 +44,9 @@ struct FetchedBranch {
     recovery_slot: usize,
     taken: bool,
     target: VirtAddr,
+    /// Branch kind, carried from fetch so predictor training at
+    /// resolution never re-reads the instruction slot.
+    kind: BranchKind,
 }
 
 /// One fetched instruction, carrying the decode-time metadata (class,
@@ -51,7 +55,6 @@ struct FetchedBranch {
 /// and issue never have to index the slot array again.
 #[derive(Clone, Copy, Debug)]
 struct FetchedInstr {
-    slot: usize,
     pc: VirtAddr,
     class: OpClass,
     srcs: [Option<RegId>; 2],
@@ -96,7 +99,6 @@ struct PendingIssue {
 /// decoded, issued, resolved, or committed — never by the per-cycle scans.
 #[derive(Clone, Copy, Debug)]
 struct RuuEntry {
-    slot: usize,
     pc: VirtAddr,
     class: OpClass,
     dst: Option<RegId>,
@@ -117,12 +119,13 @@ enum PendingKind {
     Recovery,
 }
 
-/// The out-of-order core.
-pub struct Pipeline<'p> {
-    prog: &'p LaidProgram,
+/// The out-of-order core, generic over its [`ExecutionBackend`] — the
+/// per-fetch decode and architectural-step calls are direct (and
+/// inlinable) per backend, never virtual.
+pub struct Pipeline<B: ExecutionBackend> {
+    backend: B,
     cfg: CpuConfig,
     geom: PageGeometry,
-    walker: Walker<'p>,
     predictor: BranchPredictor,
     il1: Cache,
     dl1: Cache,
@@ -170,24 +173,43 @@ pub struct Pipeline<'p> {
     wrong_path: bool,
     fetch_stall_until: u64,
     pending_kind: PendingKind,
-    last_fetch_pc: VirtAddr,
+    /// Virtual page number of the most recently fetched PC.
+    last_fetch_page: u64,
 
     cycle: u64,
     stats: CpuStats,
 }
 
-impl<'p> Pipeline<'p> {
-    /// Builds a pipeline over a laid-out program. `seed` drives the
-    /// architectural walker (branch outcomes, data addresses) — the same
-    /// seed across strategies compares them on the identical instruction
-    /// stream.
+impl<'p> Pipeline<InterpBackend<'p>> {
+    /// Builds a pipeline over a laid-out program (the reference
+    /// interpreter backend). `seed` drives the architectural walker
+    /// (branch outcomes, data addresses) — the same seed across
+    /// strategies compares them on the identical instruction stream.
     #[must_use]
     pub fn new(prog: &'p LaidProgram, cfg: CpuConfig, seed: u64) -> Self {
-        let entry = prog.entry_slot();
+        Self::with_backend(InterpBackend::new(prog, seed), cfg)
+    }
+}
+
+impl<'t> Pipeline<CompiledBackend<'t>> {
+    /// Builds a pipeline over a pre-decoded compiled trace. Byte-identical
+    /// to [`Pipeline::new`] over the trace's source program with the same
+    /// seed and config.
+    #[must_use]
+    pub fn compiled(trace: &'t CompiledTrace, cfg: CpuConfig, seed: u64) -> Self {
+        Self::with_backend(CompiledBackend::new(trace, seed), cfg)
+    }
+}
+
+impl<B: ExecutionBackend> Pipeline<B> {
+    /// Builds a pipeline over an arbitrary execution backend.
+    #[must_use]
+    pub fn with_backend(backend: B, cfg: CpuConfig) -> Self {
+        let entry = backend.entry_slot();
+        let entry_page = backend.page_of(entry);
         Self {
-            prog,
+            backend,
             geom: cfg.geometry,
-            walker: Walker::new(prog, seed),
             predictor: BranchPredictor::new(cfg.predictor),
             il1: Cache::new(cfg.il1),
             dl1: Cache::new(cfg.dl1),
@@ -209,7 +231,7 @@ impl<'p> Pipeline<'p> {
             wrong_path: false,
             fetch_stall_until: 0,
             pending_kind: PendingKind::Sequential,
-            last_fetch_pc: prog.addr_of(entry),
+            last_fetch_page: entry_page,
             cycle: 0,
             cfg,
             stats: CpuStats::default(),
@@ -337,12 +359,7 @@ impl<'p> Pipeline<'p> {
                 let e = &self.ruu[i];
                 let b = e.branch.expect("resolving entry carries its branch");
                 // Train the predictor at resolution.
-                let spec = self.prog.slots[e.slot]
-                    .instr
-                    .branch
-                    .as_ref()
-                    .expect("branch entry has spec");
-                self.predictor.update(e.pc, spec, b.taken, b.target);
+                self.predictor.update(e.pc, b.kind, b.taken, b.target);
                 if b.mispredicted && resolve_at.is_none() {
                     resolve_at = Some(i);
                 }
@@ -580,7 +597,6 @@ impl<'p> Pipeline<'p> {
                 class: f.class,
             });
             self.ruu.push_back(RuuEntry {
-                slot: f.slot,
                 pc: f.pc,
                 class: f.class,
                 dst: f.dst,
@@ -605,20 +621,20 @@ impl<'p> Pipeline<'p> {
         if self.cycle < self.fetch_stall_until {
             return;
         }
-        let prog = self.prog;
         let mut group_stall: u32 = 0;
         let mut fetched_any = false;
         for _ in 0..self.cfg.fetch_width {
             if self.fetch_q.len() >= self.cfg.fetch_queue {
                 break;
             }
-            let slot = self.fetch_slot % self.prog.slots.len();
-            let pc = self.prog.addr_of(slot);
+            let slot = self.fetch_slot % self.backend.slot_count();
+            let pc = self.backend.addr_of(slot);
+            let d = self.backend.decoded(slot);
 
             // Translation event for this fetch.
             let kind = match self.pending_kind {
                 PendingKind::Sequential => FetchKind::Sequential {
-                    page_crossed: !self.geom.same_page(self.last_fetch_pc, pc),
+                    page_crossed: d.page != self.last_fetch_page,
                 },
                 PendingKind::BranchTarget {
                     in_page_marked,
@@ -654,45 +670,41 @@ impl<'p> Pipeline<'p> {
                 group_stall = group_stall.max(miss_stall);
             }
 
-            // Instruction + prediction + oracle. Borrow the branch spec
-            // from the program (alive for `'p`) instead of cloning it —
-            // the old per-fetch clone heap-allocated for every indirect
-            // branch's target set.
+            // Instruction + prediction + oracle. Everything decode needs
+            // came from the backend's pre-extracted metadata — the hot
+            // loop never touches an `Instruction` (whose branch spec
+            // carries a heap-allocated target set).
             self.pending_kind = PendingKind::Sequential;
-            self.last_fetch_pc = pc;
-            let instr = &prog.slots[slot].instr;
-            let instr_branch = instr.branch.as_ref();
-            let is_boundary = instr_branch.is_some_and(|b| b.boundary);
+            self.last_fetch_page = d.page;
 
             let mut fetched = FetchedInstr {
-                slot,
                 pc,
-                class: instr.class,
-                srcs: instr.srcs,
-                dst: instr.dst,
-                latency: instr.latency(),
+                class: d.class,
+                srcs: d.srcs,
+                dst: d.dst,
+                latency: d.latency,
                 wrong_path: self.wrong_path,
                 mem_addr: None,
                 branch: None,
-                is_boundary,
+                is_boundary: d.boundary,
             };
             let mut break_after = il1_missed;
 
             if self.wrong_path {
                 self.stats.wrong_path_fetched += 1;
                 // Follow predictions blindly; nothing here resolves.
-                if let Some(spec) = instr_branch {
-                    let pred = self.predictor.predict(pc, spec, pc.add(INSTRUCTION_BYTES));
+                if let Some(bk) = d.branch {
+                    let pred = self.predictor.predict(pc, bk, pc.add(INSTRUCTION_BYTES));
                     translator.on_branch_predicted(pc, pred.target);
                     if pred.taken {
                         if let Some(t) = pred.target {
                             self.fetch_slot = self
-                                .prog
+                                .backend
                                 .slot_of(t)
-                                .unwrap_or((slot + 1) % self.prog.slots.len());
+                                .unwrap_or((slot + 1) % self.backend.slot_count());
                             self.pending_kind = PendingKind::BranchTarget {
-                                in_page_marked: spec.in_page_hint,
-                                from_boundary: spec.boundary,
+                                in_page_marked: d.in_page_hint,
+                                from_boundary: d.boundary,
                             };
                             break_after = true;
                         } else {
@@ -707,17 +719,16 @@ impl<'p> Pipeline<'p> {
             } else {
                 self.stats.fetched += 1;
                 debug_assert_eq!(
-                    self.walker.current_slot(),
+                    self.backend.current_slot(),
                     slot,
                     "fetch engine diverged from the architectural walker"
                 );
-                let step = self.walker.step();
+                let step = self.backend.step();
                 fetched.mem_addr = step.mem_addr;
 
                 // Page-crossing statistics (Table 2), on the architectural
                 // stream.
-                let next_pc = self.prog.addr_of(step.next_slot);
-                if !self.geom.same_page(step.addr, next_pc) {
+                if d.page != self.backend.page_of(step.next_slot) {
                     match step.branch {
                         Some(b) if b.taken && !step.is_boundary => {
                             self.stats.crossings_branch += 1;
@@ -728,13 +739,13 @@ impl<'p> Pipeline<'p> {
 
                 if let Some(exec) = step.branch {
                     self.stats.branches += 1;
-                    let spec = instr_branch.expect("branch step has spec");
-                    let pred = self.predictor.predict(pc, spec, pc.add(INSTRUCTION_BYTES));
+                    let bk = d.branch.expect("branch step has decoded kind");
+                    let pred = self.predictor.predict(pc, bk, pc.add(INSTRUCTION_BYTES));
                     translator.on_branch_predicted(pc, pred.target);
 
                     let predicted_next = if pred.taken {
                         pred.target
-                            .and_then(|t| self.prog.slot_of(t))
+                            .and_then(|t| self.backend.slot_of(t))
                             .unwrap_or(slot + 1)
                     } else {
                         slot + 1
@@ -749,12 +760,13 @@ impl<'p> Pipeline<'p> {
                         recovery_slot: step.next_slot,
                         taken: exec.taken,
                         target: exec.next_addr,
+                        kind: bk,
                     });
                     self.fetch_slot = predicted_next;
                     if pred.taken && pred.target.is_some() {
                         self.pending_kind = PendingKind::BranchTarget {
-                            in_page_marked: spec.in_page_hint,
-                            from_boundary: spec.boundary,
+                            in_page_marked: d.in_page_hint,
+                            from_boundary: d.boundary,
                         };
                         // Fetch breaks on predicted-taken branches.
                         break_after = true;
@@ -792,6 +804,30 @@ mod tests {
         let mut t = NullTranslator::default();
         pipe.run(&mut t, n);
         *pipe.stats()
+    }
+
+    #[test]
+    fn compiled_backend_matches_interpreter_exactly() {
+        // The tentpole invariant: the pre-decoded trace backend is a pure
+        // representation change — every statistic the interpreter backend
+        // produces must match bit-for-bit, plain and instrumented alike.
+        for instrumented in [false, true] {
+            let prog = generate(&GeneratorParams::small_test());
+            let p = LaidProgram::lay_out(&prog, PageGeometry::default_4k(), instrumented);
+            let trace = cfr_workload::compile_trace(&p);
+            let mut interp = Pipeline::new(&p, CpuConfig::default_config(), 42);
+            let mut ti = NullTranslator::default();
+            interp.run(&mut ti, 30_000);
+            let mut compiled = Pipeline::compiled(&trace, CpuConfig::default_config(), 42);
+            let mut tc = NullTranslator::default();
+            compiled.run(&mut tc, 30_000);
+            assert_eq!(
+                interp.stats(),
+                compiled.stats(),
+                "backends diverged (instrumented = {instrumented})"
+            );
+            assert_eq!(interp.cycle(), compiled.cycle());
+        }
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //! inline; the age/size policy (`CFR_STORE_MAX_BYTES` /
 //! `CFR_STORE_MAX_AGE`) is applied by a background GC thread (cadence
 //! `--gc-interval`, default 60 s) and by the `GC` protocol command.
-//! While the daemon runs, no other process should open the directory —
-//! the daemon being the sole shard owner is what makes its compaction
-//! loss-free.
+//! While the daemon runs, no other process can open the directory: the
+//! daemon holds an exclusive advisory lock on it (`daemon.lock`), and
+//! local `ArtifactStore` opens are refused with an error pointing at
+//! `CFR_STORE_ADDR`. The daemon being the sole shard owner is what makes
+//! its compaction loss-free.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -106,9 +108,15 @@ fn maintenance(command: &str, addr: &str) -> ExitCode {
         "stats" => match client.stats() {
             Some(s) => {
                 println!(
-                    "stats: {} live records ({} runs / {} walks / {} programs), \
+                    "stats: {} live records ({} runs / {} walks / {} programs / {} traces), \
                      {} live bytes in {} file bytes",
-                    s.live_records, s.runs, s.walks, s.programs, s.live_bytes, s.file_bytes,
+                    s.live_records,
+                    s.runs,
+                    s.walks,
+                    s.programs,
+                    s.traces,
+                    s.live_bytes,
+                    s.file_bytes,
                 );
                 ExitCode::SUCCESS
             }
@@ -160,9 +168,13 @@ fn main() -> ExitCode {
     });
     // The daemon's store is opened UNBOUNDED: saves never compact
     // inline. The environment's policy is enforced by the background GC
-    // thread and the GC command instead — GC off the save path.
-    let store = match ArtifactStore::open(&dir, GcPolicy::unbounded()) {
-        Ok(store) => Arc::new(store),
+    // thread and the GC command instead — GC off the save path. The
+    // exclusive directory lock (held until exit) is what turns "no other
+    // process should open the directory" from a convention into an
+    // enforced invariant: local ArtifactStore opens are refused while
+    // the daemon runs.
+    let (store, lock) = match ArtifactStore::open_exclusive(&dir, GcPolicy::unbounded()) {
+        Ok((store, lock)) => (Arc::new(store), lock),
         Err(err) => {
             eprintln!("error: cannot open the artifact store at {dir}: {err}");
             return ExitCode::FAILURE;
@@ -204,6 +216,7 @@ fn main() -> ExitCode {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     server.wait(); // until a client sends SHUTDOWN
+    drop(lock); // hold the exclusive directory lock until the very end
     println!("cfr-store-serve: shutdown requested, exiting");
     ExitCode::SUCCESS
 }

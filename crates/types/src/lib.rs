@@ -40,9 +40,9 @@ pub use page::{PageGeometry, PageGeometryError};
 pub use protection::Protection;
 pub use record::{fnv1a64, RecordError, RecordReader, RecordWriter};
 pub use store::{
-    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, StoreBackend, DEFAULT_STORE_DIR,
-    NS_PROGRAMS, NS_RUNS, NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION,
-    STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
+    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, StoreBackend, StoreLock, DEFAULT_STORE_DIR,
+    LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS, SHARD_COUNT, STORE_DIR_ENV,
+    STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
 };
 
 /// Number of bytes every instruction occupies in the synthetic ISA.

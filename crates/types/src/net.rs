@@ -56,7 +56,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::store::{
-    ArtifactStore, GcPolicy, GcReport, StoreBackend, NS_PROGRAMS, NS_RUNS, NS_WALKS,
+    ArtifactStore, GcPolicy, GcReport, StoreBackend, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS,
 };
 
 /// Environment variable naming the store daemon (`host:port`). When set,
@@ -382,6 +382,8 @@ pub struct StoreStats {
     pub walks: u64,
     /// Live records in the `programs` namespace.
     pub programs: u64,
+    /// Live records in the `traces` namespace.
+    pub traces: u64,
 }
 
 /// One server reply.
@@ -417,8 +419,8 @@ impl Response {
             Self::Miss => "miss".to_string(),
             Self::Done => "ok".to_string(),
             Self::Stats(s) => format!(
-                "stats {} {} {} {} {} {}",
-                s.live_records, s.live_bytes, s.file_bytes, s.runs, s.walks, s.programs
+                "stats {} {} {} {} {} {} {}",
+                s.live_records, s.live_bytes, s.file_bytes, s.runs, s.walks, s.programs, s.traces
             ),
             Self::Gc(r) => format!(
                 "gcdone {} {} {} {} {} {}",
@@ -477,7 +479,7 @@ impl Response {
             "miss" if body.is_none() && tokens.next().is_none() => Ok(Self::Miss),
             "ok" if body.is_none() && tokens.next().is_none() => Ok(Self::Done),
             "stats" if body.is_none() => {
-                let v = numbers(&mut tokens, 6, verb)?;
+                let v = numbers(&mut tokens, 7, verb)?;
                 Ok(Self::Stats(StoreStats {
                     live_records: v[0],
                     live_bytes: v[1],
@@ -485,6 +487,7 @@ impl Response {
                     runs: v[3],
                     walks: v[4],
                     programs: v[5],
+                    traces: v[6],
                 }))
             }
             "gcdone" if body.is_none() => {
@@ -742,6 +745,7 @@ impl StoreBackend for RemoteStore {
             NS_RUNS => stats.runs,
             NS_WALKS => stats.walks,
             NS_PROGRAMS => stats.programs,
+            NS_TRACES => stats.traces,
             _ => 0,
         };
         usize::try_from(count).unwrap_or(usize::MAX)
@@ -1026,6 +1030,7 @@ fn stats_of(store: &ArtifactStore) -> StoreStats {
         runs: store.namespace_records(NS_RUNS) as u64,
         walks: store.namespace_records(NS_WALKS) as u64,
         programs: store.namespace_records(NS_PROGRAMS) as u64,
+        traces: store.namespace_records(NS_TRACES) as u64,
     }
 }
 
@@ -1191,6 +1196,7 @@ mod tests {
                 runs: 4,
                 walks: 5,
                 programs: 6,
+                traces: 7,
             }),
             Response::Gc(GcReport {
                 live_records: 9,

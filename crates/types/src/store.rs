@@ -118,6 +118,9 @@ pub const NS_WALKS: &str = "walks";
 /// Namespace holding generated benchmark programs.
 pub const NS_PROGRAMS: &str = "programs";
 
+/// Namespace holding pre-decoded compiled traces.
+pub const NS_TRACES: &str = "traces";
+
 fn now_secs() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -356,6 +359,41 @@ pub struct ArtifactStore {
     migrated: u64,
 }
 
+/// Name of the advisory lock file a serving daemon holds exclusively
+/// inside its store directory.
+pub const LOCK_FILE_NAME: &str = "daemon.lock";
+
+/// The exclusive advisory lock a store-serving daemon holds on its
+/// directory (see [`ArtifactStore::open_exclusive`]). Dropping it
+/// releases the lock.
+#[derive(Debug)]
+pub struct StoreLock {
+    _file: fs::File,
+}
+
+/// The error returned when a store directory is held by a daemon.
+fn daemon_locked_error(dir: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::WouldBlock,
+        format!(
+            "store directory {} is exclusively locked by a cfr-store-serve daemon; \
+             go through it by setting {} (or stop the daemon first)",
+            dir.display(),
+            crate::net::STORE_ADDR_ENV,
+        ),
+    )
+}
+
+/// Opens (creating if missing) the directory's lock file.
+fn open_lock_file(dir: &Path) -> io::Result<fs::File> {
+    OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .truncate(false)
+        .open(dir.join(LOCK_FILE_NAME))
+}
+
 impl ArtifactStore {
     /// Opens (creating if needed) a store rooted at `dir`, migrating any
     /// v1 one-file-per-key layout found there and applying `policy`'s
@@ -363,11 +401,52 @@ impl ArtifactStore {
     ///
     /// # Errors
     ///
-    /// Errors if the directory cannot be created. Unreadable shard files
-    /// or v1 records are not errors — they read as empty/cold.
+    /// Errors if the directory cannot be created, or if a
+    /// `cfr-store-serve` daemon holds the directory's exclusive lock —
+    /// the daemon must be the sole shard owner for its compaction to be
+    /// loss-free, so local opens are refused while it runs (clients go
+    /// through `$CFR_STORE_ADDR` instead). Unreadable shard files or v1
+    /// records are not errors — they read as empty/cold.
     pub fn open(dir: impl Into<PathBuf>, policy: GcPolicy) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        // Probe the daemon lock without holding it: a held probe would
+        // in turn refuse the daemon.
+        let probe = open_lock_file(&dir)?;
+        match probe.try_lock() {
+            Ok(()) => drop(probe), // releases the probe lock
+            Err(fs::TryLockError::WouldBlock) => return Err(daemon_locked_error(&dir)),
+            Err(fs::TryLockError::Error(e)) => return Err(e),
+        }
+        Self::open_scanned(dir, policy)
+    }
+
+    /// Opens the store while taking the directory's **exclusive advisory
+    /// lock** — the daemon entry point. Concurrent [`ArtifactStore::open`]
+    /// calls (and other daemons) are refused for as long as the returned
+    /// [`StoreLock`] lives.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the directory cannot be created or another process
+    /// already holds the lock.
+    pub fn open_exclusive(
+        dir: impl Into<PathBuf>,
+        policy: GcPolicy,
+    ) -> io::Result<(Self, StoreLock)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let file = open_lock_file(&dir)?;
+        match file.try_lock() {
+            Ok(()) => {}
+            Err(fs::TryLockError::WouldBlock) => return Err(daemon_locked_error(&dir)),
+            Err(fs::TryLockError::Error(e)) => return Err(e),
+        }
+        let store = Self::open_scanned(dir, policy)?;
+        Ok((store, StoreLock { _file: file }))
+    }
+
+    fn open_scanned(dir: PathBuf, policy: GcPolicy) -> io::Result<Self> {
         let v1 = collect_v1_records(&dir);
         let mut index = Index::new();
         for shard in 0..SHARD_COUNT {
@@ -897,6 +976,42 @@ mod tests {
     }
 
     #[test]
+    fn exclusive_lock_refuses_concurrent_opens() {
+        let dir = temp_dir("lock");
+        let (store, lock) = ArtifactStore::open_exclusive(&dir, GcPolicy::unbounded()).unwrap();
+        store.save("runs", "k", "v 1");
+        // While the daemon holds the lock, a local open is refused with
+        // an error that names the daemon and the way around it.
+        let err = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap_err();
+        assert!(err.to_string().contains("cfr-store-serve"), "{err}");
+        assert!(
+            err.to_string().contains(crate::net::STORE_ADDR_ENV),
+            "{err}"
+        );
+        // A second daemon over the same directory is refused too.
+        assert!(ArtifactStore::open_exclusive(&dir, GcPolicy::unbounded()).is_err());
+        drop(lock);
+        // Releasing the lock re-admits local opens, data intact.
+        let reopened = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap();
+        assert_eq!(reopened.load("runs", "k").as_deref(), Some("v 1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_opens_do_not_exclude_each_other() {
+        // The probe must not leave the lock held: two sequential opens
+        // and a daemon start after a plain open all succeed.
+        let dir = temp_dir("lock-probe");
+        let a = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap();
+        a.save("runs", "k", "v 1");
+        let b = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap();
+        assert_eq!(b.load("runs", "k").as_deref(), Some("v 1"));
+        let daemon = ArtifactStore::open_exclusive(&dir, GcPolicy::unbounded());
+        assert!(daemon.is_ok(), "probe must release the advisory lock");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn save_then_load_round_trips() {
         let dir = temp_dir("roundtrip");
         let store = open(&dir);
@@ -951,7 +1066,11 @@ mod tests {
         for i in 0..200 {
             store.save("runs", &format!("key-{i}"), "v");
         }
-        let files = fs::read_dir(&dir).unwrap().count();
+        let files = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name() != LOCK_FILE_NAME)
+            .count();
         assert!(
             files <= SHARD_COUNT as usize,
             "200 records must not mean 200 files: {files}"
@@ -1236,7 +1355,7 @@ mod tests {
             .unwrap()
             .filter_map(Result::ok)
             .map(|e| e.file_name().to_string_lossy().into_owned())
-            .filter(|n| !n.starts_with("shard-"))
+            .filter(|n| !n.starts_with("shard-") && n != LOCK_FILE_NAME)
             .collect();
         assert!(leftovers.is_empty(), "v1 files consumed: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);

@@ -69,6 +69,27 @@ pub fn walk_store_key(
     )
 }
 
+/// The artifact-store key of a compiled trace of `profile`'s program:
+/// the program identity (name + params fingerprint) plus everything the
+/// trace depends on — page geometry, layout instrumentation, and whether
+/// the SoLA in-page marking pass ran over the layout first.
+#[must_use]
+pub fn trace_store_key(
+    profile: &BenchmarkProfile,
+    geom: PageGeometry,
+    instrumented: bool,
+    sola_marked: bool,
+) -> String {
+    format!(
+        "trace {} {:016x} {} {} {}",
+        profile.name,
+        params_fingerprint(&profile.params),
+        geom.page_bytes(),
+        if instrumented { "instr" } else { "plain" },
+        if sola_marked { "marked" } else { "unmarked" },
+    )
+}
+
 // ------------------------------------------------------ GeneratorParams
 
 impl GeneratorParams {
@@ -126,14 +147,14 @@ impl GeneratorParams {
 
 // -------------------------------------------------------------- Program
 
-fn opt_reg_to_record(reg: Option<RegId>, w: &mut RecordWriter) {
+pub(crate) fn opt_reg_to_record(reg: Option<RegId>, w: &mut RecordWriter) {
     match reg {
         Some(r) => w.u64(u64::from(r.0)),
         None => w.token("-"),
     }
 }
 
-fn opt_reg_from_record(r: &mut RecordReader<'_>) -> Result<Option<RegId>, RecordError> {
+pub(crate) fn opt_reg_from_record(r: &mut RecordReader<'_>) -> Result<Option<RegId>, RecordError> {
     let token = r.token()?;
     if token == "-" {
         return Ok(None);
@@ -259,7 +280,7 @@ impl BranchSpec {
     }
 }
 
-fn record_bool(r: &mut RecordReader<'_>) -> Result<bool, RecordError> {
+pub(crate) fn record_bool(r: &mut RecordReader<'_>) -> Result<bool, RecordError> {
     match r.u64()? {
         0 => Ok(false),
         1 => Ok(true),

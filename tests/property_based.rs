@@ -224,6 +224,31 @@ proptest! {
         prop_assert!(r.cpu.ipc() > 0.05 && r.cpu.ipc() <= 4.0);
     }
 
+    /// The compiled-trace backend is a *reference-identical* replacement
+    /// for the interpreter: every strategy × addressing-mode cell produces
+    /// a field-identical `RunReport` (stats, cycles, and exact energy
+    /// bits) under both backends, on arbitrary small random programs.
+    #[test]
+    fn execution_backends_are_report_identical(seed in 0u64..500) {
+        use cfr_sim::core::{compiler, SimConfig, Simulator};
+        use cfr_sim::workload::compile_trace;
+        let mut params = GeneratorParams::small_test();
+        params.seed = seed;
+        let program = generate(&params);
+        let mut cfg = SimConfig::default_config();
+        cfg.max_commits = 1_000;
+        cfg.seed = seed ^ 0x5EED;
+        for kind in StrategyKind::ALL {
+            let laid = compiler::compile_for(&program, cfg.cpu.geometry, kind);
+            let trace = compile_trace(&laid);
+            for mode in [AddressingMode::PiPt, AddressingMode::ViPt, AddressingMode::ViVt] {
+                let interp = Simulator::run_interp(&laid, &cfg, kind, mode);
+                let traced = Simulator::run_traced(&trace, &cfg, kind, mode);
+                prop_assert_eq!(&interp, &traced, "{:?} under {:?}", kind, mode);
+            }
+        }
+    }
+
     /// Store codec: TLB and cache stat counters round-trip exactly for
     /// arbitrary values.
     #[test]
@@ -420,10 +445,10 @@ proptest! {
         which in 0u64..6,
         key_codes in proptest::collection::vec(0u64..0x500, 1..40),
         value_codes in proptest::collection::vec(0u64..0x500, 0..60),
-        ns_pick in 0u64..3,
-        counters in proptest::collection::vec(0u64..1_000_000, 6..7),
+        ns_pick in 0u64..4,
+        counters in proptest::collection::vec(0u64..1_000_000, 7..8),
     ) {
-        let ns = ["runs", "walks", "programs"][usize::try_from(ns_pick).unwrap()].to_string();
+        let ns = ["runs", "walks", "programs", "traces"][usize::try_from(ns_pick).unwrap()].to_string();
         let key = record_line_from(&key_codes);
         let value = record_line_from(&value_codes);
         let request = match which {
@@ -452,6 +477,7 @@ proptest! {
                 runs: counters[3],
                 walks: counters[4],
                 programs: counters[5],
+                traces: counters[6],
             }),
             4 => Response::Gc(GcReport {
                 live_records: counters[0],

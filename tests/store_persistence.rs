@@ -264,9 +264,14 @@ fn v1_store_layout_migrates_transparently() {
     for (a, b) in reports.iter().zip(&served) {
         assert_eq!(**a, **b, "migration preserves bits");
     }
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| !n.starts_with("shard-") && n != cfr_sim::types::LOCK_FILE_NAME)
+        .collect();
     assert!(
-        shard_files(&dir).len() == fs::read_dir(&dir).unwrap().count(),
-        "only shard files remain after migration"
+        leftovers.is_empty(),
+        "only shard files (and the lock probe) remain after migration: {leftovers:?}"
     );
     let _ = fs::remove_dir_all(&dir);
 }
