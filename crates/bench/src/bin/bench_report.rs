@@ -34,6 +34,31 @@ use cfr_workload::{compile_trace, profiles, CompiledTrace, LaidProgram};
 /// behaviour extremes.
 const PROFILES: [&str; 2] = ["177.mesa", "254.gap"];
 
+/// Name of the extra L2-pressure cell (not part of the strategy × mode
+/// matrix): a large-footprint variant of 254.gap whose data working set
+/// (4 MB of heap arrays) thrashes the modeled 1 MB L2, so most data
+/// references walk the dTLB + dL1 + L2 (+DRAM) metadata end to end. This
+/// is the cell most sensitive to the memory-model data layout — the
+/// matrix cells are fetch-dominated and mostly exercise the iL1/iTLB fast
+/// paths.
+const L2_PRESSURE_WORKLOAD: &str = "l2-pressure";
+
+/// Generator parameters of the L2-pressure workload: 254.gap's control
+/// flow with the data knobs turned to streaming-heavy. 32 arrays × 32
+/// pages × 4 KB = 4 MB of heap, 4x the modeled L2; most data references
+/// go to the heap (stack/global fractions cut down), and the load/store
+/// fractions are raised so data references dominate.
+fn l2_pressure_params(base: &cfr_workload::GeneratorParams) -> cfr_workload::GeneratorParams {
+    let mut p = base.clone();
+    p.heap_arrays = 32;
+    p.heap_array_pages = 32;
+    p.load_frac = 0.34;
+    p.store_frac = 0.14;
+    p.region_stack = 0.10;
+    p.region_global = 0.08;
+    p
+}
+
 /// Committed throughput of a pinned reference revision, measured at
 /// [`REFERENCE_COMMITS_PER_RUN`] commits/run with seed [`REFERENCE_SEED`]
 /// (the defaults). When a report runs at that same scale and seed, every
@@ -66,7 +91,17 @@ const REFERENCE_CELLS: [(&str, &str, f64); 18] = [
     ("IA", "vivt", 7_270_810.0),
 ];
 
-fn reference_cell(strategy: &str, mode: &str) -> Option<f64> {
+/// Reference throughput of the L2-pressure cell, measured at revision
+/// 8082cee (the last pre-SoA-layout revision) on the same host class as
+/// the committed trajectory — the cell did not exist at [`REFERENCE_REV`],
+/// so it pins to the newest revision that predates the data-layout work
+/// its ratio is meant to expose.
+const REFERENCE_L2_PRESSURE_CPS: f64 = 4_001_489.0;
+
+fn reference_cell(strategy: &str, mode: &str, workload: Option<&str>) -> Option<f64> {
+    if workload == Some(L2_PRESSURE_WORKLOAD) {
+        return Some(REFERENCE_L2_PRESSURE_CPS);
+    }
     REFERENCE_CELLS
         .iter()
         .find(|(s, m, _)| *s == strategy && *m == mode)
@@ -78,10 +113,12 @@ fn ratio_json(ratio: Option<f64>) -> String {
     ratio.map_or_else(|| "null".to_string(), |r| format!("{r:.3}"))
 }
 
-/// One timed cell of the matrix.
+/// One timed cell: a matrix cell (`workload == None`) or the extra
+/// L2-pressure cell.
 struct Cell {
     strategy: StrategyKind,
     mode: AddressingMode,
+    workload: Option<&'static str>,
     commits: u64,
     wall_seconds: f64,
 }
@@ -210,14 +247,63 @@ fn main() {
             cells.push(Cell {
                 strategy: *kind,
                 mode,
+                workload: None,
                 commits,
                 wall_seconds: wall,
             });
         }
     }
+    // Sampled before the L2-pressure cell runs: the totals describe the
+    // matrix, which is what the reference trajectory pins.
     let total_wall = total_start.elapsed().as_secs_f64();
 
-    let total_commits: u64 = cells.iter().map(|c| c.commits).sum();
+    // The L2-pressure cell: one strategy × mode (Base/pipt — the plain
+    // hardware-TLB configuration, so the timing isolates the memory
+    // hierarchy rather than a translation strategy) over the
+    // large-footprint workload.
+    {
+        let base = profile_set
+            .iter()
+            .find(|p| p.name == "254.gap")
+            .expect("254.gap resolved above");
+        let params = l2_pressure_params(&base.params);
+        let program = cfr_workload::generate(&params);
+        let kind = StrategyKind::Base;
+        let mode = AddressingMode::PiPt;
+        let laid = compiler::compile_for(&program, cfg.cpu.geometry, kind);
+        let trace = compile_trace(&laid);
+        let start = Instant::now();
+        let report: RunReport = match backend {
+            ExecBackend::Compiled => Simulator::run_traced(&trace, &cfg, kind, mode),
+            ExecBackend::Interp => Simulator::run_interp(&laid, &cfg, kind, mode),
+        };
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "  {:>5} {} [{}]: {:>9} commits in {:.3}s ({:.0} commits/sec)",
+            kind.name(),
+            mode_name(mode),
+            L2_PRESSURE_WORKLOAD,
+            report.committed,
+            wall,
+            report.committed as f64 / wall
+        );
+        cells.push(Cell {
+            strategy: kind,
+            mode,
+            workload: Some(L2_PRESSURE_WORKLOAD),
+            commits: report.committed,
+            wall_seconds: wall,
+        });
+    }
+
+    // Totals cover the strategy × mode matrix only: the L2-pressure cell
+    // is reported per-cell so the total stays comparable with the
+    // pre-existing reference trajectory.
+    let total_commits: u64 = cells
+        .iter()
+        .filter(|c| c.workload.is_none())
+        .map(|c| c.commits)
+        .sum();
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema\": \"bench_pipeline/v1\",");
@@ -256,17 +342,21 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let cps = c.commits as f64 / c.wall_seconds;
         let vs_reference = if comparable {
-            reference_cell(c.strategy.name(), mode_name(c.mode)).map(|r| cps / r)
+            reference_cell(c.strategy.name(), mode_name(c.mode), c.workload).map(|r| cps / r)
         } else {
             None
         };
+        let workload_field = c
+            .workload
+            .map_or_else(String::new, |w| format!("\"workload\": \"{w}\", "));
         let _ = write!(
             json,
-            "    {{\"strategy\": \"{}\", \"mode\": \"{}\", \"backend\": \"{}\", \
+            "    {{\"strategy\": \"{}\", \"mode\": \"{}\", {}\"backend\": \"{}\", \
              \"commits\": {}, \"wall_seconds\": {:.3}, \"commits_per_sec\": {:.0}, \
              \"vs_reference\": {}}}",
             c.strategy.name(),
             mode_name(c.mode),
+            workload_field,
             backend.name(),
             c.commits,
             c.wall_seconds,

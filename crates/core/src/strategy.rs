@@ -117,6 +117,11 @@ impl core::fmt::Display for StrategyKind {
 
 /// The iTLB the strategy consults on a lookup: monolithic or two-level
 /// serial (§4.3.2).
+// Deliberately unboxed: the variant is matched on every instruction
+// fetch, and one `Strategy` exists per run — the size gap costs a few
+// hundred bytes once, where a `Box` would cost a pointer chase per
+// lookup.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ItlbModel {
     /// One TLB structure.
@@ -139,6 +144,46 @@ struct MeterSlots {
     itlb_l2_refill: MeterSlot,
 }
 
+/// Per-event iTLB energies, precomputed once at construction: the CACTI
+/// formulas are pure functions of the (fixed) organization, so
+/// re-evaluating the f64 arithmetic on every fetch only burned time on
+/// the hottest path. Values are bit-identical to what the formulas
+/// produce inline.
+#[derive(Clone, Copy, Debug, Default)]
+struct ItlbEnergies {
+    /// L1 (or monolithic) access / refill.
+    access_pj: f64,
+    refill_pj: f64,
+    /// Second level, two-level models only.
+    l2_access_pj: f64,
+    l2_refill_pj: f64,
+}
+
+impl ItlbEnergies {
+    fn of(itlb: &ItlbModel, model: &EnergyModel) -> Self {
+        match itlb {
+            ItlbModel::Mono(tlb) => {
+                let org = tlb.organization();
+                Self {
+                    access_pj: model.tlb_access_pj(&org),
+                    refill_pj: model.tlb_refill_pj(&org),
+                    ..Self::default()
+                }
+            }
+            ItlbModel::TwoLevel(two) => {
+                let l1 = two.l1().organization();
+                let l2 = two.l2().organization();
+                Self {
+                    access_pj: model.tlb_access_pj(&l1),
+                    refill_pj: model.tlb_refill_pj(&l1),
+                    l2_access_pj: model.tlb_access_pj(&l2),
+                    l2_refill_pj: model.tlb_refill_pj(&l2),
+                }
+            }
+        }
+    }
+}
+
 impl ItlbModel {
     fn lookup(
         &mut self,
@@ -146,51 +191,40 @@ impl ItlbModel {
         pt: &mut PageTable,
         meter: &mut EnergyMeter,
         slots: &mut MeterSlots,
-        model: &EnergyModel,
+        energies: ItlbEnergies,
     ) -> (Pfn, Protection, u32) {
         match self {
             ItlbModel::Mono(tlb) => {
-                let org = tlb.organization();
-                meter.charge_cached(
-                    &mut slots.itlb_access,
-                    "itlb_access",
-                    model.tlb_access_pj(&org),
-                );
+                meter.charge_cached(&mut slots.itlb_access, "itlb_access", energies.access_pj);
                 let r = tlb.lookup(vpn, pt, Protection::code());
                 if !r.hit {
-                    meter.charge_cached(
-                        &mut slots.itlb_refill,
-                        "itlb_refill",
-                        model.tlb_refill_pj(&org),
-                    );
+                    meter.charge_cached(&mut slots.itlb_refill, "itlb_refill", energies.refill_pj);
                 }
                 (r.pfn, r.prot, r.penalty)
             }
             ItlbModel::TwoLevel(two) => {
-                let l1_org = two.l1().organization();
-                let l2_org = two.l2().organization();
                 meter.charge_cached(
                     &mut slots.itlb_l1_access,
                     "itlb_l1_access",
-                    model.tlb_access_pj(&l1_org),
+                    energies.access_pj,
                 );
                 let r = two.lookup(vpn, pt, Protection::code());
                 if !r.l1_hit {
                     meter.charge_cached(
                         &mut slots.itlb_l2_access,
                         "itlb_l2_access",
-                        model.tlb_access_pj(&l2_org),
+                        energies.l2_access_pj,
                     );
                     meter.charge_cached(
                         &mut slots.itlb_l1_refill,
                         "itlb_l1_refill",
-                        model.tlb_refill_pj(&l1_org),
+                        energies.refill_pj,
                     );
                     if r.l2_hit == Some(false) {
                         meter.charge_cached(
                             &mut slots.itlb_l2_refill,
                             "itlb_l2_refill",
-                            model.tlb_refill_pj(&l2_org),
+                            energies.l2_refill_pj,
                         );
                     }
                 }
@@ -279,6 +313,8 @@ pub struct Strategy {
     last_pfn: Option<Pfn>,
     breakdown: LookupBreakdown,
     slots: MeterSlots,
+    /// Precomputed per-event iTLB energies (see [`ItlbEnergies`]).
+    energies: ItlbEnergies,
     context_switches: u64,
 }
 
@@ -305,6 +341,7 @@ impl Strategy {
         itlb: ItlbModel,
         model: EnergyModel,
     ) -> Self {
+        let energies = ItlbEnergies::of(&itlb, &model);
         Self {
             kind,
             mode,
@@ -316,6 +353,7 @@ impl Strategy {
             last_pfn: None,
             breakdown: LookupBreakdown::default(),
             slots: MeterSlots::default(),
+            energies,
             context_switches: 0,
         }
     }
@@ -393,7 +431,7 @@ impl Strategy {
         let mut meter = std::mem::take(&mut self.meter);
         let (pfn, prot, penalty) =
             self.itlb
-                .lookup(vpn, pt, &mut meter, &mut self.slots, &self.model);
+                .lookup(vpn, pt, &mut meter, &mut self.slots, self.energies);
         self.meter = meter;
         self.cfr.load(vpn, pfn, prot);
         (pfn, penalty)
@@ -534,6 +572,18 @@ impl FetchTranslator for Strategy {
         TranslationOutcome {
             pfn: Some(served.pfn),
             stall,
+        }
+    }
+
+    fn prefetch_translation(&self, pc: VirtAddr) {
+        // Host-side hint only: pull the iTLB's key/LRU rows for this page
+        // toward the host caches so the pipeline's fetch batch overlaps
+        // this probe's host miss with the iL1 tag probe. Reads nothing
+        // architecturally visible and charges no energy.
+        let vpn = self.geom.vpn(pc);
+        match &self.itlb {
+            ItlbModel::Mono(t) => t.prefetch(vpn),
+            ItlbModel::TwoLevel(t) => t.prefetch(vpn),
         }
     }
 

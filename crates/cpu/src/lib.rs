@@ -36,10 +36,11 @@ mod backend;
 mod bpred;
 mod config;
 mod pipeline;
+mod ring;
 mod stats;
 mod translate;
 
-pub use backend::{CompiledBackend, ExecutionBackend, InterpBackend};
+pub use backend::{CompiledBackend, ExecutionBackend, InterpBackend, LookupBatch};
 pub use bpred::{BranchPredictor, Btb, Prediction, PredictorConfig, ReturnAddressStack};
 pub use config::CpuConfig;
 pub use pipeline::Pipeline;

@@ -19,15 +19,16 @@
 //! - Two memory ports (sim-outorder's default; the paper's Table 1 lists
 //!   only the ALU mix).
 
-use std::collections::VecDeque;
-
 use cfr_mem::{AccessKind, Cache, Dram, PageTable, Tlb};
+
+use crate::backend::LookupBatch;
 use cfr_types::{PageGeometry, Protection, VirtAddr, INSTRUCTION_BYTES};
 use cfr_workload::{BranchKind, CompiledTrace, LaidProgram, OpClass, RegId};
 
 use crate::backend::{CompiledBackend, ExecutionBackend, InterpBackend};
 use crate::bpred::BranchPredictor;
 use crate::config::CpuConfig;
+use crate::ring::Ring;
 use crate::stats::CpuStats;
 use crate::translate::{FetchEvent, FetchKind, FetchTranslator, TranslationOutcome};
 
@@ -49,10 +50,21 @@ struct FetchedBranch {
     kind: BranchKind,
 }
 
+/// Sentinel for [`FetchedInstr::mem_addr`] / [`RuuEntry::mem_addr`]: no
+/// data address travels with this instruction. Real addresses stay below
+/// the region bases (`< 2^60`), so the all-ones value never collides —
+/// and the raw `u64` keeps the record 8 bytes slimmer than an
+/// `Option<VirtAddr>`.
+const NO_MEM_ADDR: u64 = u64::MAX;
+
 /// One fetched instruction, carrying the decode-time metadata (class,
 /// operands, latency) read from the instruction slot *at fetch* — the
 /// fetch engine touches the slot anyway for the branch spec, so decode
-/// and issue never have to index the slot array again.
+/// and issue never have to index the slot array again. The fat
+/// [`FetchedBranch`] payload of a right-path branch rides in a parallel
+/// side ring ([`Pipeline::fq_branches`]) instead of padding every
+/// record: ~80% of instructions are not branches, and the per-cycle
+/// queue traffic only needs the flag.
 #[derive(Clone, Copy, Debug)]
 struct FetchedInstr {
     pc: VirtAddr,
@@ -61,10 +73,38 @@ struct FetchedInstr {
     dst: Option<RegId>,
     latency: u32,
     wrong_path: bool,
-    mem_addr: Option<VirtAddr>,
-    branch: Option<FetchedBranch>,
+    /// Data address of a right-path load/store, or [`NO_MEM_ADDR`].
+    mem_addr: u64,
+    /// Right-path branch: a [`FetchedBranch`] record travels in lockstep
+    /// through [`Pipeline::fq_branches`]. (Wrong-path branches are
+    /// predicted but never recorded — they can never resolve.)
+    has_branch: bool,
     is_boundary: bool,
 }
+
+/// [`Ring`] fill placeholder for the fetch queue (and, field-wise, the
+/// RUU rings) — an arbitrary dead value, never observable through the
+/// ring API.
+const NO_INSTR: FetchedInstr = FetchedInstr {
+    pc: VirtAddr::new(0),
+    class: OpClass::IntAlu,
+    srcs: [None, None],
+    dst: None,
+    latency: 0,
+    wrong_path: false,
+    mem_addr: NO_MEM_ADDR,
+    has_branch: false,
+    is_boundary: false,
+};
+
+/// [`Ring`] fill placeholder for the branch side rings.
+const NO_BRANCH: FetchedBranch = FetchedBranch {
+    mispredicted: false,
+    recovery_slot: 0,
+    taken: false,
+    target: VirtAddr::new(0),
+    kind: BranchKind::Jump,
+};
 
 /// The commit/completion-facing slice of an RUU entry, kept in a compact
 /// parallel array (see [`Pipeline::ruu_hot`]) so the commit head check
@@ -80,6 +120,17 @@ struct RuuHot {
     resolves_branch: bool,
 }
 
+/// Packed source-operand index for [`PendingIssue`]: a register number,
+/// or [`NO_SRC`] for an absent operand. `NO_SRC` indexes the permanently
+/// zero sentinel slot of [`Pipeline::reg_ready`], so the readiness check
+/// is two unconditional loads and a `max` — no `Option` branching.
+const NO_SRC: u8 = RegId::COUNT as u8;
+
+#[inline]
+fn pack_src(r: Option<RegId>) -> u8 {
+    r.map_or(NO_SRC, |r| r.0)
+}
+
 /// One unissued entry in the issue pass's pending list — self-contained
 /// (operands and class travel with the wake time), so scanning candidates
 /// touches only this dense array until an entry actually issues.
@@ -89,23 +140,24 @@ struct PendingIssue {
     wake_at: u64,
     /// Decode-order sequence number (see [`Pipeline::head_seq`]).
     seq: u64,
-    /// Source operands (readiness check).
-    srcs: [Option<RegId>; 2],
+    /// Source operands as [`pack_src`] indices (readiness check).
+    srcs: [u8; 2],
     /// Functional class (unit check).
     class: OpClass,
 }
 
 /// The cold remainder of an RUU entry: read only when a specific entry is
 /// decoded, issued, resolved, or committed — never by the per-cycle scans.
+/// Branch payloads live in [`Pipeline::ruu_branches`], keyed by seq.
 #[derive(Clone, Copy, Debug)]
 struct RuuEntry {
     pc: VirtAddr,
     class: OpClass,
     dst: Option<RegId>,
     latency: u32,
-    mem_addr: Option<VirtAddr>,
+    /// Data address of a right-path load/store, or [`NO_MEM_ADDR`].
+    mem_addr: u64,
     wrong_path: bool,
-    branch: Option<FetchedBranch>,
     is_boundary: bool,
 }
 
@@ -134,11 +186,20 @@ pub struct Pipeline<B: ExecutionBackend> {
     dtlb: Tlb,
     page_table: PageTable,
 
-    fetch_q: VecDeque<FetchedInstr>,
+    fetch_q: Ring<FetchedInstr>,
+    /// Branch payloads of fetch-queue entries with
+    /// [`FetchedInstr::has_branch`], in fetch (FIFO) order — decode
+    /// consumes the front record when it dequeues a branch-carrying
+    /// instruction. Cleared together with `fetch_q` on flush.
+    fq_branches: Ring<FetchedBranch>,
     /// Cold per-entry data, in lockstep with [`Pipeline::ruu_hot`].
-    ruu: VecDeque<RuuEntry>,
+    ruu: Ring<RuuEntry>,
     /// Hot per-entry data the per-cycle scans stream over.
-    ruu_hot: VecDeque<RuuHot>,
+    ruu_hot: Ring<RuuHot>,
+    /// Branch payloads of RUU entries whose [`RuuHot::resolves_branch`] is
+    /// set, tagged with the entry's seq, in seq order. Front records drain
+    /// at commit; back records are popped on mispredict flush.
+    ruu_branches: Ring<(u64, FetchedBranch)>,
     /// `(done_at, seq)` of every issued-but-incomplete entry. Sequence
     /// numbers are decode order: the RUU front holds `head_seq`, so an
     /// entry's index is `seq - head_seq` — stable across front pops,
@@ -167,7 +228,10 @@ pub struct Pipeline<B: ExecutionBackend> {
     /// pass observed. Newly decoded entries re-arm the gate.
     next_issue_at: u64,
     lsq_used: usize,
-    reg_ready: [u64; RegId::COUNT],
+    /// Ready cycle per architectural register, plus one extra sentinel
+    /// slot (index [`NO_SRC`]) that stays 0 forever — absent operands
+    /// read it, keeping the issue scan's readiness check branchless.
+    reg_ready: [u64; RegId::COUNT + 1],
 
     fetch_slot: usize,
     wrong_path: bool,
@@ -217,16 +281,37 @@ impl<B: ExecutionBackend> Pipeline<B> {
             dram: Dram::new(cfg.dram),
             dtlb: Tlb::new(cfg.dtlb),
             page_table: PageTable::new(),
-            fetch_q: VecDeque::with_capacity(cfg.fetch_queue),
-            ruu: VecDeque::with_capacity(cfg.ruu_size),
-            ruu_hot: VecDeque::with_capacity(cfg.ruu_size),
+            fetch_q: Ring::with_capacity(cfg.fetch_queue, NO_INSTR),
+            fq_branches: Ring::with_capacity(cfg.fetch_queue, NO_BRANCH),
+            ruu: Ring::with_capacity(
+                cfg.ruu_size,
+                RuuEntry {
+                    pc: NO_INSTR.pc,
+                    class: NO_INSTR.class,
+                    dst: None,
+                    latency: 0,
+                    mem_addr: NO_MEM_ADDR,
+                    wrong_path: false,
+                    is_boundary: false,
+                },
+            ),
+            ruu_hot: Ring::with_capacity(
+                cfg.ruu_size,
+                RuuHot {
+                    done_at: 0,
+                    issued: false,
+                    done: false,
+                    resolves_branch: false,
+                },
+            ),
+            ruu_branches: Ring::with_capacity(cfg.ruu_size, (0, NO_BRANCH)),
             inflight: Vec::with_capacity(cfg.ruu_size),
             head_seq: 0,
             next_done_at: u64::MAX,
             pending: Vec::with_capacity(cfg.ruu_size),
             next_issue_at: 0,
             lsq_used: 0,
-            reg_ready: [0; RegId::COUNT],
+            reg_ready: [0; RegId::COUNT + 1],
             fetch_slot: entry,
             wrong_path: false,
             fetch_stall_until: 0,
@@ -265,15 +350,46 @@ impl<B: ExecutionBackend> Pipeline<B> {
     pub fn run<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T, max_commits: u64) {
         let cycle_cap = max_commits.saturating_mul(MAX_CPI) + 1_000_000;
         while self.stats.committed < max_commits {
-            self.commit(max_commits);
+            let did_commit = self.commit(max_commits);
             if self.stats.committed >= max_commits {
                 break;
             }
-            self.resolve_completions(translator);
-            self.issue();
-            self.decode();
-            self.fetch(translator);
-            self.cycle += 1;
+            let did_resolve = self.resolve_completions(translator);
+            let did_issue = self.issue();
+            let did_decode = self.decode();
+            let did_fetch = self.fetch(translator);
+            if did_commit || did_resolve || did_issue || did_decode || did_fetch {
+                self.cycle += 1;
+            } else {
+                // Nothing moved this cycle, and by induction nothing can
+                // move until one of the stage wake times arrives: commit
+                // waits on the head's completion, resolution on
+                // `next_done_at`, issue on its gate, fetch on its stall —
+                // and decode only ever becomes able after one of those
+                // acts. Jump straight there; every subsequent action lands
+                // on the same cycle number it would have, so statistics
+                // (including `cycles`) are byte-identical. Stall-heavy
+                // runs (DRAM waits, 50-cycle TLB walks) skip the idle
+                // cycles entirely instead of re-checking five gates each.
+                let mut wake = u64::MAX;
+                if let Some(h) = self.ruu_hot.front() {
+                    if h.done {
+                        wake = wake.min(h.done_at);
+                    }
+                }
+                if !self.inflight.is_empty() {
+                    wake = wake.min(self.next_done_at);
+                }
+                if !self.pending.is_empty() {
+                    wake = wake.min(self.next_issue_at);
+                }
+                if self.fetch_q.len() < self.cfg.fetch_queue {
+                    wake = wake.min(self.fetch_stall_until);
+                }
+                // `wake == u64::MAX` means a wedged pipeline; fall back to
+                // single-stepping so the cycle-cap assert below reports it.
+                self.cycle = wake.max(self.cycle + 1).min(self.cycle + MAX_CPI);
+            }
             assert!(
                 self.cycle < cycle_cap,
                 "pipeline wedged: {} commits in {} cycles",
@@ -296,20 +412,32 @@ impl<B: ExecutionBackend> Pipeline<B> {
 
     // ---- commit ------------------------------------------------------
 
-    fn commit(&mut self, max_commits: u64) {
+    /// Returns whether anything committed this cycle.
+    fn commit(&mut self, max_commits: u64) -> bool {
+        let before = self.stats.committed;
         for _ in 0..self.cfg.commit_width {
             if self.stats.committed >= max_commits {
                 break;
             }
-            let Some(head) = self.ruu_hot.front() else {
+            let Some(&hot) = self.ruu_hot.front() else {
                 break;
             };
-            if !head.done || head.done_at > self.cycle {
+            if !hot.done || hot.done_at > self.cycle {
                 break;
             }
-            let hot = self.ruu_hot.pop_front().expect("checked front");
-            let entry = self.ruu.pop_front().expect("hot and cold in lockstep");
+            self.ruu_hot.drop_front();
+            let entry = self.ruu.front().expect("hot and cold in lockstep");
+            let (class, is_boundary) = (entry.class, entry.is_boundary);
             debug_assert!(!entry.wrong_path, "wrong-path instruction at commit");
+            self.ruu.drop_front();
+            if hot.resolves_branch {
+                // Retire this entry's branch payload from the side ring.
+                debug_assert_eq!(
+                    self.ruu_branches.front().map(|&(s, _)| s),
+                    Some(self.head_seq)
+                );
+                self.ruu_branches.drop_front();
+            }
             if !hot.issued {
                 // A decode-complete branch placeholder committing before
                 // ever issuing: it is the oldest entry, hence the pending
@@ -318,27 +446,31 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 self.pending.remove(0);
             }
             self.head_seq += 1;
-            if matches!(entry.class, OpClass::Load | OpClass::Store) {
+            if matches!(class, OpClass::Load | OpClass::Store) {
                 self.lsq_used -= 1;
             }
-            if entry.is_boundary {
+            if is_boundary {
                 self.stats.boundary_branches += 1;
             }
             self.stats.committed += 1;
         }
+        self.stats.committed != before
     }
 
     // ---- execute completion & branch resolution ----------------------
 
-    fn resolve_completions<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T) {
+    /// Returns whether the completion pass ran (conservatively `true`
+    /// whenever the quiet-cycle gate opened, even if a stale-low
+    /// `next_done_at` meant nothing actually completed).
+    fn resolve_completions<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T) -> bool {
         // Quiet-cycle gate: nothing in flight can complete before
         // `next_done_at`, so most cycles return here in O(1).
         if self.next_done_at > self.cycle || self.inflight.is_empty() {
-            return;
+            return false;
         }
         let cycle = self.cycle;
         let mut next_done = u64::MAX;
-        let mut resolve_at: Option<usize> = None;
+        let mut resolve_at: Option<(usize, usize)> = None;
         // Process completions oldest-first (predictor training order is
         // architectural state); the in-flight list is kept seq-sorted by
         // the ordered insert in `issue`.
@@ -356,18 +488,17 @@ impl<B: ExecutionBackend> Pipeline<B> {
             let h = &mut self.ruu_hot[i];
             h.done = true;
             if h.resolves_branch {
-                let e = &self.ruu[i];
-                let b = e.branch.expect("resolving entry carries its branch");
+                let pc = self.ruu[i].pc;
+                let b = self.branch_of(seq);
                 // Train the predictor at resolution.
-                self.predictor.update(e.pc, b.kind, b.taken, b.target);
+                self.predictor.update(pc, b.kind, b.taken, b.target);
                 if b.mispredicted && resolve_at.is_none() {
-                    resolve_at = Some(i);
+                    resolve_at = Some((i, b.recovery_slot));
                 }
             }
         }
         self.next_done_at = next_done;
-        if let Some(i) = resolve_at {
-            let recovery = self.ruu[i].branch.expect("resolved branch").recovery_slot;
+        if let Some((i, recovery)) = resolve_at {
             let done_at = self.ruu_hot[i].done_at;
             // Flush everything younger: by construction it is wrong-path.
             let keep_below = self.head_seq + i as u64 + 1;
@@ -380,7 +511,15 @@ impl<B: ExecutionBackend> Pipeline<B> {
                     self.lsq_used -= 1;
                 }
             }
+            while self
+                .ruu_branches
+                .back()
+                .is_some_and(|&(s, _)| s >= keep_below)
+            {
+                self.ruu_branches.pop_back();
+            }
             self.fetch_q.clear();
+            self.fq_branches.clear();
             self.wrong_path = false;
             self.fetch_slot = recovery;
             self.pending_kind = PendingKind::Recovery;
@@ -389,15 +528,31 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 .max(done_at + u64::from(self.cfg.mispredict_penalty));
             translator.on_mispredict();
         }
+        true
+    }
+
+    /// Branch payload of the RUU entry with the given seq. The side ring
+    /// holds one record per un-committed resolving branch in seq order —
+    /// a handful of entries at most — so a front-to-back scan beats any
+    /// indexed structure.
+    fn branch_of(&self, seq: u64) -> FetchedBranch {
+        for i in 0..self.ruu_branches.len() {
+            let (s, b) = self.ruu_branches[i];
+            if s == seq {
+                return b;
+            }
+        }
+        unreachable!("resolving entry carries its branch (seq {seq})");
     }
 
     // ---- issue -------------------------------------------------------
 
-    fn issue(&mut self) {
+    /// Returns whether anything issued this cycle.
+    fn issue(&mut self) -> bool {
         // Event gate: a previous pass proved nothing can issue before
         // `next_issue_at` (see the field's invariant).
         if self.cycle < self.next_issue_at {
-            return;
+            return false;
         }
         let mut issued = 0usize;
         let mut hit_width_limit = false;
@@ -423,14 +578,16 @@ impl<B: ExecutionBackend> Pipeline<B> {
             j += 1;
             if p.wake_at > cycle {
                 next_wake = next_wake.min(p.wake_at);
-                self.pending[k] = p;
+                // Retained in place (k == j-1) unless an earlier entry
+                // issued; skip the self-copy in the common sleeping case.
+                if k < j - 1 {
+                    self.pending[k] = p;
+                }
                 k += 1;
                 continue;
             }
-            let mut ready_at = 0u64;
-            for r in p.srcs.iter().flatten() {
-                ready_at = ready_at.max(self.reg_ready[r.0 as usize]);
-            }
+            let ready_at =
+                self.reg_ready[p.srcs[0] as usize].max(self.reg_ready[p.srcs[1] as usize]);
             if ready_at > cycle {
                 next_wake = next_wake.min(ready_at);
                 self.pending[k] = PendingIssue {
@@ -467,15 +624,15 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 let e = &self.ruu[idx];
                 (e.mem_addr, e.latency, e.dst)
             };
-            let latency = match (class, mem_addr) {
-                (OpClass::Load, Some(addr)) => {
-                    base_latency + self.data_access(addr, AccessKind::Read)
+            let latency = match class {
+                OpClass::Load if mem_addr != NO_MEM_ADDR => {
+                    base_latency + self.data_access(VirtAddr::new(mem_addr), AccessKind::Read)
                 }
-                (OpClass::Store, Some(addr)) => {
+                OpClass::Store if mem_addr != NO_MEM_ADDR => {
                     // Stores retire through a write buffer: the dL1/dTLB are
                     // exercised (energy/behaviour) but the store does not
                     // stall the pipeline beyond address generation.
-                    let _ = self.data_access(addr, AccessKind::Write);
+                    let _ = self.data_access(VirtAddr::new(mem_addr), AccessKind::Write);
                     base_latency
                 }
                 _ => base_latency,
@@ -537,12 +694,18 @@ impl<B: ExecutionBackend> Pipeline<B> {
         } else {
             next_wake
         };
+        issued > 0
     }
 
     /// dTLB + dL1 (+L2, +DRAM) access for a data reference; returns the
     /// added latency in cycles.
     fn data_access(&mut self, addr: VirtAddr, kind: AccessKind) -> u32 {
         let vpn = self.geom.vpn(addr);
+        // The dTLB and dL1 probes are independent (the dL1 is virtually
+        // indexed); overlap their host-memory misses before either runs.
+        LookupBatch::begin()
+            .tlb(&self.dtlb, vpn)
+            .cache(&self.dl1, addr.raw());
         let t = self
             .dtlb
             .lookup(vpn, &mut self.page_table, Protection::data());
@@ -573,27 +736,44 @@ impl<B: ExecutionBackend> Pipeline<B> {
 
     // ---- decode ------------------------------------------------------
 
-    fn decode(&mut self) {
+    /// Returns whether anything decoded this cycle.
+    fn decode(&mut self) -> bool {
+        let mut decoded = false;
         for _ in 0..self.cfg.decode_width {
             if self.ruu.len() >= self.cfg.ruu_size {
                 break;
             }
-            let Some(f) = self.fetch_q.front() else { break };
+            let Some(&f) = self.fetch_q.front() else {
+                break;
+            };
             let is_mem = matches!(f.class, OpClass::Load | OpClass::Store);
             if is_mem && self.lsq_used >= self.cfg.lsq_size {
                 break;
             }
-            let f = self.fetch_q.pop_front().expect("checked front");
+            self.fetch_q.drop_front();
             if is_mem {
                 self.lsq_used += 1;
             }
-            let resolves_branch = f.branch.is_some() && !f.wrong_path;
+            // Wrong-path branches never record a payload (they can never
+            // resolve), so the flag alone decides resolution duty.
+            debug_assert!(!(f.has_branch && f.wrong_path));
+            let seq = self.head_seq + self.ruu.len() as u64;
+            if f.has_branch {
+                // Move the payload from the fetch-side ring to the
+                // RUU-side ring, tagged with this entry's seq.
+                let rec = *self
+                    .fq_branches
+                    .front()
+                    .expect("branch payload in lockstep");
+                self.fq_branches.drop_front();
+                self.ruu_branches.push_back((seq, rec));
+            }
             // A fresh entry is an issue candidate from the next cycle on.
             self.next_issue_at = self.next_issue_at.min(self.cycle + 1);
             self.pending.push(PendingIssue {
                 wake_at: self.cycle + 1,
-                seq: self.head_seq + self.ruu.len() as u64,
-                srcs: f.srcs,
+                seq,
+                srcs: [pack_src(f.srcs[0]), pack_src(f.srcs[1])],
                 class: f.class,
             });
             self.ruu.push_back(RuuEntry {
@@ -603,23 +783,25 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 latency: f.latency,
                 mem_addr: f.mem_addr,
                 wrong_path: f.wrong_path,
-                branch: f.branch,
                 is_boundary: f.is_boundary,
             });
             self.ruu_hot.push_back(RuuHot {
                 done_at: self.cycle,
                 issued: false,
-                done: matches!(f.class, OpClass::Branch) && f.branch.is_none(),
-                resolves_branch,
+                done: matches!(f.class, OpClass::Branch) && !f.has_branch,
+                resolves_branch: f.has_branch,
             });
+            decoded = true;
         }
+        decoded
     }
 
     // ---- fetch -------------------------------------------------------
 
-    fn fetch<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T) {
+    /// Returns whether anything was fetched this cycle.
+    fn fetch<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T) -> bool {
         if self.cycle < self.fetch_stall_until {
-            return;
+            return false;
         }
         let mut group_stall: u32 = 0;
         let mut fetched_any = false;
@@ -627,7 +809,15 @@ impl<B: ExecutionBackend> Pipeline<B> {
             if self.fetch_q.len() >= self.cfg.fetch_queue {
                 break;
             }
-            let slot = self.fetch_slot % self.backend.slot_count();
+            // `fetch_slot` only leaves [0, slot_count) by running
+            // sequentially off the end, so the wrap is almost never
+            // taken — guard the hardware divide instead of paying it on
+            // every fetch.
+            let slot = if self.fetch_slot >= self.backend.slot_count() {
+                self.fetch_slot % self.backend.slot_count()
+            } else {
+                self.fetch_slot
+            };
             let pc = self.backend.addr_of(slot);
             let d = self.backend.decoded(slot);
 
@@ -650,6 +840,11 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 kind,
                 wrong_path: self.wrong_path,
             };
+            // The strategy's iTLB probe and the iL1 tag probe below are
+            // independent; overlap their host-memory misses up front.
+            LookupBatch::begin()
+                .translation(translator, pc)
+                .cache(&self.il1, pc.raw());
             let out = translator.on_fetch(&ev, &mut self.page_table);
             group_stall = group_stall.max(out.stall);
 
@@ -684,8 +879,8 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 dst: d.dst,
                 latency: d.latency,
                 wrong_path: self.wrong_path,
-                mem_addr: None,
-                branch: None,
+                mem_addr: NO_MEM_ADDR,
+                has_branch: false,
                 is_boundary: d.boundary,
             };
             let mut break_after = il1_missed;
@@ -724,7 +919,7 @@ impl<B: ExecutionBackend> Pipeline<B> {
                     "fetch engine diverged from the architectural walker"
                 );
                 let step = self.backend.step();
-                fetched.mem_addr = step.mem_addr;
+                fetched.mem_addr = step.mem_addr.map_or(NO_MEM_ADDR, |a| a.raw());
 
                 // Page-crossing statistics (Table 2), on the architectural
                 // stream.
@@ -755,7 +950,8 @@ impl<B: ExecutionBackend> Pipeline<B> {
                         self.stats.mispredicts += 1;
                         self.wrong_path = true;
                     }
-                    fetched.branch = Some(FetchedBranch {
+                    fetched.has_branch = true;
+                    self.fq_branches.push_back(FetchedBranch {
                         mispredicted,
                         recovery_slot: step.next_slot,
                         taken: exec.taken,
@@ -785,6 +981,7 @@ impl<B: ExecutionBackend> Pipeline<B> {
         if fetched_any {
             self.fetch_stall_until = self.cycle + 1 + u64::from(group_stall);
         }
+        fetched_any
     }
 }
 

@@ -1,0 +1,183 @@
+//! Fixed-capacity ring buffer for the pipeline's queues.
+
+/// A bounded deque over a power-of-two buffer.
+///
+/// The pipeline's queues (fetch queue, RUU hot/cold arrays) are bounded
+/// by configuration and indexed on every cycle, which makes `VecDeque` a
+/// poor fit: its capacity is not guaranteed to be a power of two, so each
+/// element access pays a wrap *branch* rather than a mask. `Ring` fixes
+/// the capacity at construction (rounded up to a power of two) so every
+/// logical→physical index translation is a single AND.
+///
+/// `T: Copy` keeps the implementation entirely safe Rust: the buffer is
+/// pre-filled with a caller-supplied fill value and popped slots simply
+/// hold stale copies — nothing is ever dropped or uninitialized.
+#[derive(Clone, Debug)]
+pub(crate) struct Ring<T> {
+    buf: Box<[T]>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    /// Physical index of the logical front element.
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// A ring holding at least `cap` elements, pre-filled with `fill`
+    /// (an arbitrary placeholder — never observable through the API).
+    pub fn with_capacity(cap: usize, fill: T) -> Self {
+        let size = cap.max(1).next_power_of_two();
+        Self {
+            buf: vec![fill; size].into_boxed_slice(),
+            mask: size - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    /// Appends to the tail. The caller keeps `len()` under the configured
+    /// queue limit (always ≤ capacity); overflowing is a logic error.
+    #[inline]
+    pub fn push_back(&mut self, value: T) {
+        debug_assert!(self.len <= self.mask, "ring overflow");
+        self.buf[(self.head + self.len) & self.mask] = value;
+        self.len += 1;
+    }
+
+    /// Removes the front element without copying it out — for callers
+    /// that already read what they need through [`Ring::front`].
+    #[inline]
+    pub fn drop_front(&mut self) {
+        debug_assert!(self.len > 0, "drop_front on empty ring");
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    #[cfg(test)]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.buf[self.head];
+        self.drop_front();
+        Some(value)
+    }
+
+    #[inline]
+    pub fn back(&self) -> Option<&T> {
+        (self.len > 0).then(|| &self.buf[(self.head + self.len - 1) & self.mask])
+    }
+
+    #[inline]
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.buf[(self.head + self.len) & self.mask])
+    }
+
+    #[inline]
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+impl<T: Copy> std::ops::Index<usize> for Ring<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        debug_assert!(
+            i < self.len,
+            "ring index {i} out of bounds (len {})",
+            self.len
+        );
+        &self.buf[(self.head + i) & self.mask]
+    }
+}
+
+impl<T: Copy> std::ops::IndexMut<usize> for Ring<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        debug_assert!(
+            i < self.len,
+            "ring index {i} out of bounds (len {})",
+            self.len
+        );
+        &mut self.buf[(self.head + i) & self.mask]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_wraparound() {
+        let mut r = Ring::with_capacity(3, 0u32); // rounds up to 4
+        assert!(r.is_empty());
+        assert_eq!(r.front(), None);
+        // Cycle enough values through to wrap the physical buffer twice.
+        let mut next_in = 0u32;
+        let mut next_out = 0u32;
+        for _ in 0..5 {
+            while r.len() < 3 {
+                r.push_back(next_in);
+                next_in += 1;
+            }
+            assert_eq!(r.front(), Some(&next_out));
+            while let Some(v) = r.pop_front() {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+        }
+        assert_eq!(next_in, next_out);
+    }
+
+    #[test]
+    fn pop_back_and_indexing() {
+        let mut r = Ring::with_capacity(4, 0u32);
+        // Offset the head so logical and physical indices differ.
+        r.push_back(99);
+        r.pop_front();
+        for v in [10, 20, 30] {
+            r.push_back(v);
+        }
+        assert_eq!(r[0], 10);
+        assert_eq!(r[2], 30);
+        assert_eq!(r.back(), Some(&30));
+        r[1] = 21;
+        assert_eq!(r.pop_back(), Some(30));
+        assert_eq!(r.pop_back(), Some(21));
+        assert_eq!(r.pop_back(), Some(10));
+        assert_eq!(r.pop_back(), None);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut r = Ring::with_capacity(2, 7u8);
+        r.push_back(1);
+        r.push_back(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.pop_front(), None);
+        r.push_back(3);
+        assert_eq!(r.front(), Some(&3));
+    }
+}

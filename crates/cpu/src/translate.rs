@@ -95,6 +95,15 @@ pub trait FetchTranslator {
     /// [`FetchKind::Recovery`].
     fn on_mispredict(&mut self) {}
 
+    /// Host-side hint that `pc` is about to be translated: pull the iTLB
+    /// metadata for it toward the host's caches. Architecturally a no-op —
+    /// implementations must read only `&self` and charge nothing — so the
+    /// default empty body is always correct; strategies with an iTLB
+    /// override it to join the fetch group's [`crate::LookupBatch`].
+    fn prefetch_translation(&self, pc: VirtAddr) {
+        let _ = pc;
+    }
+
     /// Energy accounting for the translation path.
     fn meter(&self) -> &EnergyMeter;
 

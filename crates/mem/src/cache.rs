@@ -130,20 +130,112 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
-
 /// Sentinel for [`Cache::mru_block`]: no last-hit block to fast-path
 /// through. Real block addresses are `addr >> block_bits < 2^60`, so the
 /// all-ones value can never collide with one.
 const NO_MRU_BLOCK: u64 = u64::MAX;
 
+/// Key-mirror value for an invalid way. Real tags are block addresses
+/// divided by the set count (`< 2^60`, see [`NO_MRU_BLOCK`]), so the
+/// all-ones value can never collide with one — a single dense scan of
+/// the key row therefore answers "valid way holding this tag" with no
+/// separate validity check.
+const NO_TAG: u64 = u64::MAX;
+
+/// Sentinel for [`SetState::lru_way`]: the set's LRU way is not cached
+/// and the next victim choice must scan the stamp row.
+const UNKNOWN_LRU: u8 = u8::MAX;
+
+/// Packed per-set hot state: everything a lookup touches besides the key
+/// and stamp rows, in one ≤ 64-byte record (pinned by a size test) so a
+/// set probe pulls a single host cache line of bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SetState {
+    /// Bitmask of valid ways (bit `w` = way `w`; associativity ≤ 16, so
+    /// the whole record is 6 bytes and a 1 MB L2's per-set array fits in
+    /// ~48 KB of host memory instead of ~200 KB).
+    valid: u16,
+    /// Bitmask of dirty ways.
+    dirty: u16,
+    /// MRU hint: the way most recently touched in this set. The way scan
+    /// probes it first — a cross-set access pattern defeats the global
+    /// last-block fast path but usually re-lands on the same way per set.
+    /// Purely an ordering hint; never affects results.
+    mru_way: u8,
+    /// LRU summary: the way the victim rule would evict from a full set,
+    /// or [`UNKNOWN_LRU`]. Maintained exactly: a scan caches the
+    /// runner-up stamp's way (which becomes LRU once the victim is
+    /// restamped), and any touch of the cached way invalidates it — so a
+    /// full-set miss streak pays for every *other* stamp-row scan.
+    lru_way: u8,
+}
+
+impl Default for SetState {
+    fn default() -> Self {
+        Self {
+            valid: 0,
+            dirty: 0,
+            mru_way: 0,
+            lru_way: UNKNOWN_LRU,
+        }
+    }
+}
+
+impl SetState {
+    /// Picks the replacement victim: the first invalid way if any, else
+    /// the true-LRU way (the pinned preference order; the old
+    /// `min_by_key(lru + 1)` encoding wrapped if `lru == u64::MAX`).
+    ///
+    /// Stamps are unique — each is a distinct tick — so the minimum is
+    /// unambiguous. A full-set scan also caches the runner-up in
+    /// [`SetState::lru_way`]: once the caller restamps the victim, the
+    /// runner-up *is* the set's LRU, so the next miss (absent an
+    /// intervening touch of that way) skips the scan.
+    #[inline]
+    fn victim(&mut self, assoc: usize, lru_row: &[u64]) -> usize {
+        debug_assert_eq!(self.valid, full_mask(assoc), "caller handles invalid ways");
+        if self.lru_way != UNKNOWN_LRU {
+            let way = self.lru_way as usize;
+            // The victim is about to become MRU and the runner-up is
+            // unknown without a scan; re-arm lazily.
+            self.lru_way = UNKNOWN_LRU;
+            return way;
+        }
+        let mut min = 0;
+        for (i, &stamp) in lru_row.iter().enumerate().skip(1) {
+            if stamp < lru_row[min] {
+                min = i;
+            }
+        }
+        let mut second = usize::from(min == 0);
+        for (i, &stamp) in lru_row.iter().enumerate() {
+            if i != min && stamp < lru_row[second] {
+                second = i;
+            }
+        }
+        self.lru_way = second as u8;
+        min
+    }
+}
+
+/// Valid-mask value of a fully-populated set.
+#[inline]
+fn full_mask(assoc: usize) -> u16 {
+    match assoc {
+        16 => u16::MAX,
+        _ => (1u16 << assoc) - 1,
+    }
+}
+
 /// A blocking, set-associative, true-LRU, write-back/write-allocate cache.
+///
+/// Metadata is laid out **structure-of-arrays**: a dense tag-key row per
+/// set (`u64` each, [`NO_TAG`] = invalid — the same key-mirror pattern the
+/// TLB proved), a dense LRU-stamp row, and one packed [`SetState`] record
+/// of per-set hot state. A tag walk or victim scan streams one or two
+/// host cache lines instead of striding over 32-byte way structs — on the
+/// modeled 1 MB L2, whose way metadata is larger than the host L1, that
+/// is the difference between one host miss per probe and several.
 ///
 /// Accesses check the **last-hit block first** (an MRU fast path):
 /// with a 32-byte block, eight consecutive instruction fetches land on
@@ -155,7 +247,18 @@ const NO_MRU_BLOCK: u64 = u64::MAX;
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    ways: Vec<Way>, // sets * associativity, row-major by set
+    /// Tag per way ([`NO_TAG`] = invalid), `sets * associativity`,
+    /// row-major by set.
+    keys: Vec<u64>,
+    /// LRU stamp per way, parallel to `keys`. Compared only between valid
+    /// ways, whose stamps are distinct ticks. **Empty for associativity
+    /// ≤ 2**: a direct-mapped set has one victim candidate, and a 2-way
+    /// set's true-LRU way is always the one [`SetState::mru_way`] does
+    /// *not* name — so the paper's entire Table 1 hierarchy (DM iL1,
+    /// 2-way dL1, 2-way L2) runs with zero stamp traffic.
+    lru: Vec<u64>,
+    /// One packed hot-state record per set.
+    set_state: Vec<SetState>,
     assoc: usize,
     sets: u64,
     /// `(sets - 1, log2(sets))` when the set count is a power of two (the
@@ -165,7 +268,9 @@ pub struct Cache {
     /// Block address (`addr >> block_bits`) of the most recently hit or
     /// refilled block; [`NO_MRU_BLOCK`] when invalid.
     mru_block: u64,
-    /// Index into `ways` of that block's way (valid iff `mru_block` is).
+    /// Set and way (within the set) of that block (valid iff `mru_block`
+    /// is).
+    mru_set: usize,
     mru_way: usize,
     block_bits: u32,
     tick: u64,
@@ -183,15 +288,27 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.organization.sets();
         let assoc = cfg.organization.associativity as usize;
+        assert!(
+            (1..=16).contains(&assoc),
+            "associativity {assoc} exceeds the 16-way per-set bitmasks \
+             (wide CAM-style structures belong in `Tlb`)"
+        );
         Self {
             cfg,
-            ways: vec![Way::default(); sets as usize * assoc],
+            keys: vec![NO_TAG; sets as usize * assoc],
+            lru: if assoc > 2 {
+                vec![0; sets as usize * assoc]
+            } else {
+                Vec::new()
+            },
+            set_state: vec![SetState::default(); sets as usize],
             assoc,
             sets,
             set_mask_shift: sets
                 .is_power_of_two()
                 .then(|| (sets - 1, sets.trailing_zeros())),
             mru_block: NO_MRU_BLOCK,
+            mru_set: 0,
             mru_way: 0,
             block_bits: cfg.organization.block_bytes.trailing_zeros(),
             tick: 0,
@@ -226,6 +343,46 @@ impl Cache {
         }
     }
 
+    /// The one place hit-path and refill LRU bookkeeping lives: records
+    /// `way` as the set's MRU and — only for associativity > 2, where
+    /// stamps exist — stamps it at the current tick, dropping the cached
+    /// LRU summary if this touch outdated it. For associativity ≤ 2 the
+    /// MRU hint alone determines replacement, so a touch is one `u16`
+    /// store into the packed set record.
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize) {
+        self.set_state[set].mru_way = way as u8;
+        if self.assoc > 2 {
+            self.lru[set * self.assoc + way] = self.tick;
+            let st = &mut self.set_state[set];
+            if st.lru_way == way as u8 {
+                st.lru_way = UNKNOWN_LRU;
+            }
+        }
+    }
+
+    /// Picks the replacement victim for `set` (the pinned preference
+    /// order: first invalid way by index, else the true-LRU way).
+    #[inline]
+    fn pick_victim(&mut self, set: usize) -> usize {
+        let valid = self.set_state[set].valid;
+        if valid != full_mask(self.assoc) {
+            return (!valid).trailing_zeros() as usize;
+        }
+        match self.assoc {
+            // Direct-mapped: the only way.
+            1 => 0,
+            // 2-way true LRU: the way not touched most recently. Exactly
+            // the stamp argmin — within a full set both stamps are
+            // distinct ticks and `mru_way` holds the later one.
+            2 => 1 - self.set_state[set].mru_way as usize,
+            _ => {
+                let base = set * self.assoc;
+                self.set_state[set].victim(self.assoc, &self.lru[base..base + self.assoc])
+            }
+        }
+    }
+
     /// Accesses `addr`, allocating on a miss. Returns hit/miss and any dirty
     /// eviction the caller must write back.
     #[inline]
@@ -236,10 +393,9 @@ impl Cache {
         // MRU fast path: same block as the last hit — no set/tag split,
         // no way scan.
         if block == self.mru_block {
-            let way = &mut self.ways[self.mru_way];
-            way.lru = self.tick;
+            self.touch(self.mru_set, self.mru_way);
             if kind == AccessKind::Write {
-                way.dirty = true;
+                self.set_state[self.mru_set].dirty |= 1 << self.mru_way;
             }
             self.stats.hits += 1;
             return AccessResult {
@@ -248,58 +404,77 @@ impl Cache {
             };
         }
         let (set, tag) = self.set_and_tag(addr);
+        debug_assert!(tag < NO_TAG, "tag collides with the invalid sentinel");
         let base = set * self.assoc;
 
-        for i in base..base + self.assoc {
-            let way = &mut self.ways[i];
-            if way.valid && way.tag == tag {
-                way.lru = self.tick;
-                if kind == AccessKind::Write {
-                    way.dirty = true;
-                }
-                self.mru_block = block;
-                self.mru_way = i;
-                self.stats.hits += 1;
-                return AccessResult {
-                    hit: true,
-                    writeback: None,
-                };
+        // Way lookup: the set's MRU-hint way first, then the dense key
+        // row (at most one way can hold the tag, so order never changes
+        // the result).
+        let keys_row = &self.keys[base..base + self.assoc];
+        let hint = self.set_state[set].mru_way as usize;
+        let found = if hint < self.assoc && keys_row[hint] == tag {
+            Some(hint)
+        } else {
+            keys_row.iter().position(|&k| k == tag)
+        };
+        if let Some(way) = found {
+            self.touch(set, way);
+            if kind == AccessKind::Write {
+                self.set_state[set].dirty |= 1 << way;
             }
+            self.mru_block = block;
+            self.mru_set = set;
+            self.mru_way = way;
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
         }
 
         self.stats.misses += 1;
-        let sets = self.sets;
-        let block_bits = self.block_bits;
-        // Victim: the first invalid way if any, else the first true-LRU
-        // way. Invalid-way preference is explicit (the old
-        // `min_by_key(lru + 1)` encoding wrapped if `lru == u64::MAX`).
-        let ways = &mut self.ways[base..base + self.assoc];
-        let victim_idx = ways.iter().position(|w| !w.valid).unwrap_or_else(|| {
-            let mut min = 0;
-            for (i, w) in ways.iter().enumerate().skip(1) {
-                if w.lru < ways[min].lru {
-                    min = i;
-                }
-            }
-            min
-        });
-        let victim = &mut ways[victim_idx];
-        let writeback = if victim.valid && victim.dirty {
+        let victim = self.pick_victim(set);
+        let vbit = 1u16 << victim;
+        let st = &mut self.set_state[set];
+        let writeback = if st.valid & st.dirty & vbit != 0 {
             self.stats.writebacks += 1;
-            Some(((victim.tag * sets) + set as u64) << block_bits)
+            Some(((self.keys[base + victim] * self.sets) + set as u64) << self.block_bits)
         } else {
             None
         };
-        victim.tag = tag;
-        victim.valid = true;
-        victim.dirty = kind == AccessKind::Write;
-        victim.lru = self.tick;
+        st.valid |= vbit;
+        if kind == AccessKind::Write {
+            st.dirty |= vbit;
+        } else {
+            st.dirty &= !vbit;
+        }
+        self.touch(set, victim);
+        self.keys[base + victim] = tag;
         self.mru_block = block;
-        self.mru_way = base + victim_idx;
+        self.mru_set = set;
+        self.mru_way = victim;
         AccessResult {
             hit: false,
             writeback,
         }
+    }
+
+    /// Begins pulling `addr`'s set metadata (key row, stamp row, packed
+    /// set record) toward the host caches without touching any simulator
+    /// state. Issued ahead of an *independent* companion lookup (the iTLB
+    /// probe of the same fetch, the dTLB probe of the same data access),
+    /// the two host-memory misses overlap instead of serializing.
+    /// Architecturally a no-op: results, counters, and replacement state
+    /// are untouched.
+    #[inline]
+    pub fn prefetch(&self, addr: u64) {
+        let (set, _) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+        crate::prefetch_read(&self.keys[base]);
+        if self.assoc > 2 {
+            crate::prefetch_read(&self.lru[base]);
+        }
+        crate::prefetch_read(&self.set_state[set]);
     }
 
     /// Whether `addr` is resident, without touching LRU state or stats.
@@ -307,25 +482,24 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.assoc;
-        self.ways[base..base + self.assoc]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.keys[base..base + self.assoc].contains(&tag)
     }
 
     /// Invalidates everything (e.g., on an address-space switch for a
     /// virtually-tagged cache without ASIDs).
     pub fn invalidate_all(&mut self) {
         self.mru_block = NO_MRU_BLOCK;
-        for w in &mut self.ways {
-            w.valid = false;
-            w.dirty = false;
-        }
+        self.keys.fill(NO_TAG);
+        self.set_state.fill(SetState::default());
     }
 
     /// Number of resident blocks.
     #[must_use]
     pub fn resident_blocks(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.set_state
+            .iter()
+            .map(|s| s.valid.count_ones() as usize)
+            .sum()
     }
 }
 

@@ -28,26 +28,34 @@ const HASH_SCRAMBLE: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Initial slot-array size; always a power of two.
 const INITIAL_CAPACITY: usize = 64;
 
-/// One open-addressed slot.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Slot {
-    /// Never used: a probe chain may stop here.
-    Empty,
-    /// Deleted: a probe chain must continue past, but inserts may reuse.
-    Tombstone,
-    /// A live translation.
-    Full(Vpn, Pfn, Protection),
-}
+/// Key of a never-used slot: a probe chain may stop here. Real VPNs stay
+/// below both sentinels (page numbers are addresses shifted right by the
+/// page bits, so `< 2^52` for any page size the simulator models).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Key of a deleted slot: a probe chain must continue past, but inserts
+/// may reuse it.
+const TOMBSTONE_KEY: u64 = u64::MAX - 1;
 
 /// The OS page table: allocates and remembers translations, and supports the
 /// eviction/remap hooks the paper's §3.2 OS support needs.
+///
+/// Layout is structure-of-arrays: probe chains walk a dense `u64` key
+/// array (8 bytes per slot, with [`EMPTY_KEY`]/[`TOMBSTONE_KEY`] encoding
+/// slot state in the key itself — the same key-mirror pattern as the TLB
+/// and cache), and the frame/protection payload lives in a parallel array
+/// read only on a key match. A chain over the old `enum Slot` walked
+/// 32-byte variants; here it streams one host cache line per eight slots.
 #[derive(Clone, Debug, Default)]
 pub struct PageTable {
-    /// Power-of-two slot array (empty until the first insert).
-    slots: Vec<Slot>,
-    /// Live (`Full`) slots.
+    /// Power-of-two key array (empty until the first insert).
+    keys: Vec<u64>,
+    /// Payload per slot, parallel to `keys`; meaningful iff the key is a
+    /// real VPN.
+    frames: Vec<(Pfn, Protection)>,
+    /// Live (VPN-keyed) slots.
     live: usize,
-    /// Occupied (`Full` + `Tombstone`) slots — what load factor is
+    /// Occupied (live + tombstone) slots — what load factor is
     /// measured against, so long tombstone chains trigger a rebuild.
     used: usize,
     allocations: u64,
@@ -75,18 +83,23 @@ impl PageTable {
         (vpn.raw().wrapping_mul(HASH_SCRAMBLE) >> (64 - cap.trailing_zeros())) as usize
     }
 
-    /// Grows (or initially allocates) the slot array and rehashes every
+    /// Grows (or initially allocates) the slot arrays and rehashes every
     /// live entry. Tombstones are dropped, so `used == live` afterwards.
     fn grow(&mut self) {
-        let new_cap = (self.slots.len() * 2).max(INITIAL_CAPACITY);
-        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
+        let new_cap = (self.keys.len() * 2).max(INITIAL_CAPACITY);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+        let old_frames = std::mem::replace(
+            &mut self.frames,
+            vec![(Pfn::default(), Protection::default()); new_cap],
+        );
         self.used = self.live;
-        for slot in old {
-            if let Slot::Full(vpn, ..) = slot {
-                let mut i = Self::home(vpn, new_cap);
+        for (key, payload) in old_keys.into_iter().zip(old_frames) {
+            if key < TOMBSTONE_KEY {
+                let mut i = Self::home(Vpn::new(key), new_cap);
                 loop {
-                    if matches!(self.slots[i], Slot::Empty) {
-                        self.slots[i] = slot;
+                    if self.keys[i] == EMPTY_KEY {
+                        self.keys[i] = key;
+                        self.frames[i] = payload;
                         break;
                     }
                     i = (i + 1) & (new_cap - 1);
@@ -95,20 +108,24 @@ impl PageTable {
         }
     }
 
-    /// Index of the `Full` slot holding `vpn`, if any.
+    /// Index of the live slot holding `vpn`, if any.
     #[inline]
     fn find(&self, vpn: Vpn) -> Option<usize> {
-        if self.slots.is_empty() {
+        if self.keys.is_empty() {
             return None;
         }
-        let mask = self.slots.len() - 1;
-        let mut i = Self::home(vpn, self.slots.len());
+        let key = vpn.raw();
+        let mask = self.keys.len() - 1;
+        let mut i = Self::home(vpn, self.keys.len());
         loop {
-            match self.slots[i] {
-                Slot::Empty => return None,
-                Slot::Full(v, _, _) if v == vpn => return Some(i),
-                _ => i = (i + 1) & mask,
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
             }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
         }
     }
 
@@ -117,33 +134,39 @@ impl PageTable {
     /// [`remap`](Self::remap)).
     #[inline]
     pub fn translate(&mut self, vpn: Vpn, prot: Protection) -> (Pfn, Protection) {
+        debug_assert!(vpn.raw() < TOMBSTONE_KEY, "VPN collides with sentinels");
         // Keep at least one `Empty` slot per probe chain: grow at 7/8
         // occupancy (tombstones included, so deletions cannot degrade
         // probing indefinitely).
-        if self.slots.is_empty() || (self.used + 1) * 8 > self.slots.len() * 7 {
+        if self.keys.is_empty() || (self.used + 1) * 8 > self.keys.len() * 7 {
             self.grow();
         }
-        let mask = self.slots.len() - 1;
-        let mut i = Self::home(vpn, self.slots.len());
+        let key = vpn.raw();
+        let mask = self.keys.len() - 1;
+        let mut i = Self::home(vpn, self.keys.len());
         let mut reuse: Option<usize> = None;
         loop {
-            match self.slots[i] {
-                Slot::Full(v, pfn, p) if v == vpn => return (pfn, p),
-                Slot::Tombstone => {
-                    if reuse.is_none() {
-                        reuse = Some(i);
-                    }
-                }
-                Slot::Empty => break,
-                Slot::Full(..) => {}
+            let k = self.keys[i];
+            if k == key {
+                return self.frames[i];
+            }
+            if k == EMPTY_KEY {
+                break;
+            }
+            if k == TOMBSTONE_KEY && reuse.is_none() {
+                reuse = Some(i);
             }
             i = (i + 1) & mask;
         }
         let pfn = self.fresh_pfn();
         match reuse {
-            Some(t) => self.slots[t] = Slot::Full(vpn, pfn, prot),
+            Some(t) => {
+                self.keys[t] = key;
+                self.frames[t] = (pfn, prot);
+            }
             None => {
-                self.slots[i] = Slot::Full(vpn, pfn, prot);
+                self.keys[i] = key;
+                self.frames[i] = (pfn, prot);
                 self.used += 1;
             }
         }
@@ -154,10 +177,7 @@ impl PageTable {
     /// Looks up an existing translation without allocating.
     #[must_use]
     pub fn probe(&self, vpn: Vpn) -> Option<(Pfn, Protection)> {
-        self.find(vpn).map(|i| match self.slots[i] {
-            Slot::Full(_, pfn, prot) => (pfn, prot),
-            _ => unreachable!("find returns Full slots"),
-        })
+        self.find(vpn).map(|i| self.frames[i])
     }
 
     /// Moves `vpn` to a fresh frame (page migration / swap-in at a new
@@ -167,20 +187,15 @@ impl PageTable {
     pub fn remap(&mut self, vpn: Vpn) -> Option<Pfn> {
         let i = self.find(vpn)?;
         let pfn = self.fresh_pfn();
-        match &mut self.slots[i] {
-            Slot::Full(_, old, _) => *old = pfn,
-            _ => unreachable!("find returns Full slots"),
-        }
+        self.frames[i].0 = pfn;
         Some(pfn)
     }
 
     /// Removes the mapping for `vpn` (page evicted to backing store).
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pfn> {
         let i = self.find(vpn)?;
-        let Slot::Full(_, pfn, _) = self.slots[i] else {
-            unreachable!("find returns Full slots")
-        };
-        self.slots[i] = Slot::Tombstone;
+        let pfn = self.frames[i].0;
+        self.keys[i] = TOMBSTONE_KEY;
         self.live -= 1;
         Some(pfn)
     }

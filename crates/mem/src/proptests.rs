@@ -1,13 +1,17 @@
 //! Property-based cross-checks of the hot-path fast paths against
 //! straightforward reference models.
 //!
-//! The optimized structures — the MRU-fast-pathed [`Tlb`] and [`Cache`],
-//! and the open-addressed [`PageTable`] — must be *observationally
-//! identical* to the pre-optimization implementations: a plain linear way
-//! scan with no memoized last-hit entry, and a `HashMap`-backed page
-//! table. Each property drives an optimized instance and its reference
+//! The optimized structures — the SoA, MRU-fast-pathed [`Tlb`] and
+//! [`Cache`] (bitmask [`SetState`](crate::cache::SetState) per set), and
+//! the open-addressed [`PageTable`] — must be *observationally identical*
+//! to the pre-optimization implementations. [`RefTlb`] and [`RefCache`]
+//! below are deliberately **retained AoS models**: one struct per
+//! way/entry, a plain linear scan, explicit invalid-then-LRU victim
+//! choice, no memoized last-hit entry — the layout the SoA refactor
+//! replaced. Each property drives an optimized instance and its reference
 //! through the same randomized operation sequence and asserts every
-//! result and every counter agrees at every step.
+//! result (hit/miss, translation, writeback address — which pins the
+//! victim choice) and every counter agrees at every step.
 //!
 //! Runs on the vendored `proptest` shim (seeded, deterministic; see
 //! `vendor/README.md`).
@@ -235,14 +239,19 @@ proptest! {
     #[test]
     fn tlb_fast_path_matches_reference(
         shape in 0u64..4,
-        ops in proptest::collection::vec((0u64..4, 0u64..12), 1..300),
+        ops in proptest::collection::vec((0u64..4, 0u64..12, proptest::bool::ANY), 1..300),
     ) {
         let org = tlb_org(shape);
         let mut fast = Tlb::new(TlbConfig { organization: org, miss_penalty: 50 });
         let mut reference = RefTlb::new(org);
         let mut pt = PageTable::new();
-        for &(op, page) in &ops {
+        for &(op, page, prefetch) in &ops {
             let vpn = Vpn::new(page);
+            if prefetch {
+                // The batched-probe warm-up is architecturally a no-op:
+                // interleaving it anywhere must not perturb parity.
+                fast.prefetch(vpn);
+            }
             match op {
                 0 | 1 => {
                     // lookup == access + refill-on-miss, against the same
@@ -287,13 +296,18 @@ proptest! {
 
     /// The MRU-fast-pathed cache agrees with the divide-and-scan
     /// reference on every hit/miss, every writeback address, and every
-    /// counter, for direct-mapped and set-associative shapes.
+    /// counter, for direct-mapped and set-associative shapes — including
+    /// 16 ways, the widest the packed per-set bitmasks admit (the
+    /// `full_mask` all-ones edge case).
     #[test]
     fn cache_fast_path_matches_reference(
-        assoc_sel in 0u64..3,
-        ops in proptest::collection::vec((0u64..0x400, proptest::bool::ANY), 1..400),
+        assoc_sel in 0u64..4,
+        ops in proptest::collection::vec(
+            (0u64..0x400, proptest::bool::ANY, proptest::bool::ANY),
+            1..400,
+        ),
     ) {
-        let assoc = [1u32, 2, 4][assoc_sel as usize];
+        let assoc = [1u32, 2, 4, 16][assoc_sel as usize];
         let org = CacheOrganization {
             size_bytes: u64::from(64 * assoc), // 4 sets x 16-byte blocks
             associativity: assoc,
@@ -301,8 +315,12 @@ proptest! {
         };
         let mut fast = Cache::new(CacheConfig { organization: org, hit_latency: 1 });
         let mut reference = RefCache::new(org);
-        for &(addr, write) in &ops {
+        for &(addr, write, prefetch) in &ops {
             let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            if prefetch {
+                // Architecturally a no-op (host-cache warm-up only).
+                fast.prefetch(addr);
+            }
             let got = fast.access(addr, kind);
             let (hit, writeback) = reference.access(addr, kind);
             prop_assert_eq!(got.hit, hit, "addr {:#x}", addr);
@@ -347,4 +365,14 @@ proptest! {
             prop_assert_eq!(fast.probe(vpn), reference.probe(vpn));
         }
     }
+}
+
+/// The packed per-set record is the unit the hot loop streams over — one
+/// per set, adjacent in a dense array. Growing it past a cache line (64
+/// bytes) would defeat the point of packing it; today it is 6 bytes
+/// (valid/dirty 16-way bitmasks + MRU/LRU way bytes).
+#[test]
+fn per_set_record_stays_within_a_cache_line() {
+    let size = std::mem::size_of::<crate::cache::SetState>();
+    assert!(size <= 64, "SetState grew to {size} bytes");
 }

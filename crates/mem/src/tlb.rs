@@ -124,15 +124,6 @@ impl TlbStats {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct TlbEntry {
-    vpn: Vpn,
-    pfn: Pfn,
-    prot: Protection,
-    valid: bool,
-    lru: u64,
-}
-
 /// Sentinel for [`Tlb::mru`] slots: no last-hit entry to fast-path through.
 const NO_MRU: usize = usize::MAX;
 
@@ -156,12 +147,22 @@ const NO_KEY: u64 = u64::MAX;
 #[derive(Clone, Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    entries: Vec<TlbEntry>, // sets * ways, row-major by set
-    /// VPN-key mirror of `entries` ([`NO_KEY`] for invalid ways): the way
-    /// scan streams over this dense `u64` array — which the compiler can
-    /// vectorize — instead of the wide entry structs. `entries` remains
-    /// the source of truth; every mutation updates both.
+    /// VPN per way ([`NO_KEY`] = invalid), `sets * ways`, row-major by
+    /// set: the way scan streams over this dense `u64` array — which the
+    /// compiler can vectorize — and validity is the key itself. This is
+    /// the structure-of-arrays layout the cache adopted from here: the
+    /// old `TlbEntry { vpn, pfn, prot, valid, lru }` structs are gone,
+    /// replaced by these parallel rows, so a scan touches only the bytes
+    /// it compares.
     keys: Vec<u64>,
+    /// LRU stamp per way, parallel to `keys`. (A dTLB is 128-way fully
+    /// associative — too wide for the cache's packed per-set masks, so
+    /// stamps stay the replacement mechanism here.)
+    lru: Vec<u64>,
+    /// Translation payload per way, parallel to `keys`; read only after a
+    /// key matches.
+    pfns: Vec<Pfn>,
+    prots: Vec<Protection>,
     ways: usize,
     sets: u64,
     /// `sets - 1` when the set count is a power of two (the common case),
@@ -182,8 +183,10 @@ impl Tlb {
         let sets = u64::from(cfg.organization.sets());
         Self {
             cfg,
-            entries: vec![TlbEntry::default(); ways * sets as usize],
             keys: vec![NO_KEY; ways * sets as usize],
+            lru: vec![0; ways * sets as usize],
+            pfns: vec![Pfn::default(); ways * sets as usize],
+            prots: vec![Protection::default(); ways * sets as usize],
             ways,
             sets,
             set_mask: sets.is_power_of_two().then(|| sets - 1),
@@ -278,19 +281,19 @@ impl Tlb {
         self.stats.accesses += 1;
         // MRU fast path: a matching VPN is always in its own set, so
         // checking the recently-hit entries directly is sound for any
-        // geometry.
+        // geometry. An invalid way's key is `NO_KEY`, which no real VPN
+        // equals, so one key compare covers validity too (and the `get`
+        // bounds check covers unused `NO_MRU` slots).
         for pi in 0..MRU_SLOTS {
             let cand = self.mru[pi];
-            if let Some(e) = self.entries.get_mut(cand) {
-                if e.valid && e.vpn == vpn {
-                    e.lru = self.tick;
-                    let hit = (e.pfn, e.prot);
-                    if pi != 0 {
-                        self.mru[..=pi].rotate_right(1);
-                    }
-                    self.stats.hits += 1;
-                    return Some(hit);
+            if self.keys.get(cand) == Some(&vpn.raw()) {
+                self.lru[cand] = self.tick;
+                let hit = (self.pfns[cand], self.prots[cand]);
+                if pi != 0 {
+                    self.mru[..=pi].rotate_right(1);
                 }
+                self.stats.hits += 1;
+                return Some(hit);
             }
         }
         let set = self.set_of(vpn);
@@ -300,15 +303,25 @@ impl Tlb {
             .position(|&k| k == vpn.raw())
         {
             let i = base + off;
-            let e = &mut self.entries[i];
-            e.lru = self.tick;
-            let hit = (e.pfn, e.prot);
+            self.lru[i] = self.tick;
+            let hit = (self.pfns[i], self.prots[i]);
             self.promote_mru(i);
             self.stats.hits += 1;
             return Some(hit);
         }
         self.stats.misses += 1;
         None
+    }
+
+    /// Begins pulling `vpn`'s set metadata (key row and stamp row) toward
+    /// the host caches without touching any simulator state — the TLB half
+    /// of the batched-probe pattern (see [`crate::Cache::prefetch`]).
+    /// Architecturally a no-op.
+    #[inline]
+    pub fn prefetch(&self, vpn: Vpn) {
+        let base = self.set_of(vpn) * self.ways;
+        crate::prefetch_read(&self.keys[base]);
+        crate::prefetch_read(&self.lru[base]);
     }
 
     /// Moves entry index `i` to the front of the MRU list (inserting it
@@ -334,40 +347,37 @@ impl Tlb {
         let set = self.set_of(vpn);
         let base = set * self.ways;
         let tick = self.tick;
-        if let Some(off) = self.keys[base..base + self.ways]
-            .iter()
-            .position(|&k| k == vpn.raw())
-        {
+        let keys_row = &self.keys[base..base + self.ways];
+        if let Some(off) = keys_row.iter().position(|&k| k == vpn.raw()) {
             let i = base + off;
-            let e = &mut self.entries[i];
-            e.pfn = pfn;
-            e.prot = prot;
-            e.lru = tick;
+            self.pfns[i] = pfn;
+            self.prots[i] = prot;
+            self.lru[i] = tick;
             self.promote_mru(i);
             return;
         }
         // Victim: the first invalid way if any, else the first true-LRU
         // way. Invalid-way preference is explicit (the old
         // `min_by_key(lru + 1)` encoding wrapped if `lru == u64::MAX`).
-        let ways = &self.entries[base..base + self.ways];
-        let victim = ways.iter().position(|e| !e.valid).unwrap_or_else(|| {
-            let mut min = 0;
-            for (i, e) in ways.iter().enumerate().skip(1) {
-                if e.lru < ways[min].lru {
-                    min = i;
+        let victim = keys_row
+            .iter()
+            .position(|&k| k == NO_KEY)
+            .unwrap_or_else(|| {
+                let lru_row = &self.lru[base..base + self.ways];
+                let mut min = 0;
+                for (i, &stamp) in lru_row.iter().enumerate().skip(1) {
+                    if stamp < lru_row[min] {
+                        min = i;
+                    }
                 }
-            }
-            min
-        });
-        self.entries[base + victim] = TlbEntry {
-            vpn,
-            pfn,
-            prot,
-            valid: true,
-            lru: tick,
-        };
-        self.keys[base + victim] = vpn.raw();
-        self.promote_mru(base + victim);
+                min
+            });
+        let i = base + victim;
+        self.keys[i] = vpn.raw();
+        self.pfns[i] = pfn;
+        self.prots[i] = prot;
+        self.lru[i] = tick;
+        self.promote_mru(i);
     }
 
     /// Refills an entry without counting an access (used by a two-level TLB
@@ -382,10 +392,10 @@ impl Tlb {
     pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
         let set = self.set_of(vpn);
         let base = set * self.ways;
-        self.entries[base..base + self.ways]
+        self.keys[base..base + self.ways]
             .iter()
-            .find(|e| e.valid && e.vpn == vpn)
-            .map(|e| e.pfn)
+            .position(|&k| k == vpn.raw())
+            .map(|off| self.pfns[base + off])
     }
 
     /// Invalidates the entry for `vpn`, if resident — the OS hook the paper
@@ -398,7 +408,6 @@ impl Tlb {
             .position(|&k| k == vpn.raw())
         {
             let i = base + off;
-            self.entries[i].valid = false;
             self.keys[i] = NO_KEY;
             for slot in &mut self.mru {
                 if *slot == i {
@@ -415,9 +424,8 @@ impl Tlb {
     /// Invalidates every entry (address-space switch without ASIDs).
     pub fn invalidate_all(&mut self) {
         self.mru = [NO_MRU; MRU_SLOTS];
-        for (e, k) in self.entries.iter_mut().zip(&mut self.keys) {
-            if e.valid {
-                e.valid = false;
+        for k in &mut self.keys {
+            if *k != NO_KEY {
                 *k = NO_KEY;
                 self.stats.invalidations += 1;
             }
@@ -427,7 +435,7 @@ impl Tlb {
     /// Number of valid entries.
     #[must_use]
     pub fn resident_entries(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.keys.iter().filter(|&&k| k != NO_KEY).count()
     }
 }
 
@@ -572,6 +580,14 @@ impl TwoLevelTlb {
             penalty: self.l2_latency + self.l2.cfg.miss_penalty,
             fault,
         }
+    }
+
+    /// Begins pulling the L1 set's metadata toward the host caches (see
+    /// [`Tlb::prefetch`]); L2 is consulted only on an L1 miss, so its rows
+    /// are left to demand. Architecturally a no-op.
+    #[inline]
+    pub fn prefetch(&self, vpn: Vpn) {
+        self.l1.prefetch(vpn);
     }
 
     /// Invalidates a page in both levels.

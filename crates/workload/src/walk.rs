@@ -210,7 +210,13 @@ impl<'p> Walker<'p> {
                 let h = usize::from(h) % self.heap_cursor.len().max(1);
                 let array_bytes = u64::from(self.prog.heap_array_pages) * page;
                 let cur = &mut self.heap_cursor[h];
-                *cur = (*cur + 64) % array_bytes.max(64);
+                // Wrap-by-subtract; identical to the old `% size` because
+                // the cursor stays below the size and strides by 64.
+                let wrap = array_bytes.max(64);
+                *cur += 64;
+                if *cur >= wrap {
+                    *cur -= wrap;
+                }
                 VirtAddr::new(HEAP_BASE + h as u64 * array_bytes + *cur)
             }
         }

@@ -11,10 +11,16 @@
 //!   path and the case index, so failures reproduce exactly on re-run,
 //! - `prop_assert*` failures report the failing expression **and the
 //!   case's generated input values** (every strategy value's `Debug`
-//!   rendering) and abort the case. Upstream's shrinking is not
-//!   implemented — the printed inputs plus the deterministic case index
-//!   serve as the reproducer instead. This requires generated values to
-//!   be `Debug`, which everything the built-in strategies produce is.
+//!   rendering), then **greedily shrink** the failing input before
+//!   aborting the case: integers halve toward the range start and
+//!   decrement, vectors try prefix truncation, element removal, and
+//!   element-wise shrinking, sets drop elements, booleans flip to
+//!   `false` — the panic message carries both the original and the
+//!   minimized inputs. Shrinking is budgeted ([`shrink_failure`]) and
+//!   re-runs are wrapped in `catch_unwind`, so a candidate that panics
+//!   outright (not just `prop_assert`-fails) still counts as failing.
+//!   This requires generated values to be `Debug + Clone`, which
+//!   everything the built-in strategies produce is.
 //!
 //! Swapping in the real crate is the usual one-line edit in the root
 //! `Cargo.toml`; no test-source change is required for this subset.
@@ -69,52 +75,167 @@ impl TestRng {
     }
 }
 
-/// A value generator. The upstream trait is much richer (shrinking,
-/// `prop_map`, …); the subset here is exactly what the suite consumes.
+/// A value generator. The upstream trait is much richer (`prop_map`,
+/// rejection, …); the subset here is exactly what the suite consumes:
+/// drawing values and proposing shrunk candidates for a failing one.
 pub trait Strategy {
     /// The generated value type.
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
-}
-
-impl Strategy for Range<u64> {
-    type Value = u64;
-    fn generate(&self, rng: &mut TestRng) -> u64 {
-        self.start + rng.below(self.end - self.start)
+    /// Proposes strictly "simpler" candidates derived from a failing
+    /// `value`, most aggressive first, all within the strategy's domain.
+    /// The default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
     }
 }
 
-impl Strategy for Range<u32> {
-    type Value = u32;
-    fn generate(&self, rng: &mut TestRng) -> u32 {
-        self.start + u32::try_from(rng.below(u64::from(self.end - self.start))).expect("in range")
-    }
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start
+                    + <$t>::try_from(rng.below((self.end - self.start) as u64))
+                        .expect("in range")
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v > self.start {
+                    // Jump to the floor, halve the distance, decrement:
+                    // the greedy loop binary-searches to the smallest
+                    // failing value and the decrement proves minimality.
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != self.start {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )+};
 }
 
-impl Strategy for Range<usize> {
-    type Value = usize;
-    fn generate(&self, rng: &mut TestRng) -> usize {
-        self.start + usize::try_from(rng.below((self.end - self.start) as u64)).expect("in range")
-    }
+impl_range_strategy!(u64, u32, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
 }
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng))
-    }
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-        )
+/// `Debug`-renders each component of an input tuple separately, so the
+/// `proptest!` macro can label a shrunk tuple's parts with the property's
+/// parameter names.
+pub trait DebugParts {
+    /// One `Debug` rendering per tuple component, in order.
+    fn debug_parts(&self) -> Vec<String>;
+}
+
+macro_rules! impl_debug_parts {
+    ($(($($t:ident . $idx:tt),+);)+) => {$(
+        impl<$($t: core::fmt::Debug),+> DebugParts for ($($t,)+) {
+            fn debug_parts(&self) -> Vec<String> {
+                vec![$(format!("{:?}", &self.$idx)),+]
+            }
+        }
+    )+};
+}
+
+impl_debug_parts! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+}
+
+/// Pins a property-body closure's argument type to the value type of the
+/// strategy tuple it will be fed from — `proptest!` uses this so the
+/// closure's destructuring patterns type-check at the definition site
+/// (closure parameter types don't flow backwards from later calls).
+pub fn bind_check<S, F>(_strategy: &S, check: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    check
+}
+
+/// Total candidate re-evaluations one failing case may spend shrinking.
+const SHRINK_EVALS: usize = 2000;
+
+/// Greedy minimization: starting from a known-failing input, repeatedly
+/// adopt the first shrink candidate that still fails, until no candidate
+/// fails or the [`SHRINK_EVALS`] budget runs out. Returns the most-shrunk
+/// failing input (possibly the original).
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    failing: S::Value,
+    mut still_fails: impl FnMut(&S::Value) -> bool,
+) -> S::Value
+where
+    S::Value: Clone,
+{
+    let mut current = failing;
+    let mut evals = 0usize;
+    'outer: while evals < SHRINK_EVALS {
+        for cand in strategy.shrink(&current) {
+            if evals >= SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        break;
     }
+    current
 }
 
 /// Boolean strategies (`proptest::bool::ANY`).
@@ -130,6 +251,14 @@ pub mod bool {
         type Value = bool;
         fn generate(&self, rng: &mut super::TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            // `false` is the minimal boolean, as upstream.
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -163,11 +292,41 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = self.size.generate(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.size.start;
+            let mut out = Vec::new();
+            if value.len() > min {
+                // Shorter first: minimal-length prefix, half-length
+                // prefix, then dropping each element individually.
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half != min && half != value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Element-wise, once the length cannot shrink further.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -181,7 +340,7 @@ pub mod collection {
     impl<S> Strategy for HashSetStrategy<S>
     where
         S: Strategy,
-        S::Value: Hash + Eq,
+        S::Value: Hash + Eq + Clone,
     {
         type Value = std::collections::HashSet<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
@@ -193,6 +352,17 @@ pub mod collection {
                 attempts += 1;
             }
             set
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            if value.len() > self.size.start {
+                for e in value {
+                    let mut next = value.clone();
+                    next.remove(e);
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -229,12 +399,14 @@ macro_rules! proptest {
                     );
                     // Record every generated input's Debug rendering up
                     // front, so a failing case reports the actual values
-                    // (not just the reproducible case index). Upstream
-                    // shrinks instead; here readable inputs are the
-                    // reproducer.
+                    // (not just the reproducible case index). The tuple
+                    // elements evaluate left to right, preserving the
+                    // per-strategy RNG draw order.
+                    let __proptest_strategies = ( $( ($strategy), )+ );
                     let mut __proptest_inputs = ::std::string::String::new();
-                    $(
-                        let __proptest_value = $crate::Strategy::generate(&($strategy), &mut rng);
+                    let __proptest_values = ( $( {
+                        let __proptest_value =
+                            $crate::Strategy::generate(&($strategy), &mut rng);
                         if !__proptest_inputs.is_empty() {
                             __proptest_inputs.push_str(", ");
                         }
@@ -243,18 +415,63 @@ macro_rules! proptest {
                             stringify!($pat),
                             &__proptest_value,
                         ));
-                        let $pat = __proptest_value;
-                    )+
-                    let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
+                        __proptest_value
+                    }, )+ );
+                    // The property body as a re-runnable check over a
+                    // candidate input tuple (cloned per run) — the shrink
+                    // loop replays it against smaller candidates.
+                    let __proptest_check =
+                        $crate::bind_check(&__proptest_strategies, |($($pat,)+)| {
+                            let __proptest_result: ::core::result::Result<
+                                (),
+                                ::std::string::String,
+                            > = {
+                                $body
+                                ::core::result::Result::Ok(())
+                            };
+                            __proptest_result
+                        });
+                    let outcome =
+                        __proptest_check(::core::clone::Clone::clone(&__proptest_values));
                     if let ::core::result::Result::Err(message) = outcome {
+                        // Greedily minimize before reporting. Candidate
+                        // re-runs are unwind-caught: a candidate that
+                        // panics (rather than `prop_assert`-failing)
+                        // still counts as a failing input.
+                        let __proptest_minimal = $crate::shrink_failure(
+                            &__proptest_strategies,
+                            __proptest_values,
+                            |__proptest_candidate| {
+                                ::std::panic::catch_unwind(
+                                    ::std::panic::AssertUnwindSafe(|| {
+                                        __proptest_check(::core::clone::Clone::clone(
+                                            __proptest_candidate,
+                                        ))
+                                    }),
+                                )
+                                .map_or(true, |r| r.is_err())
+                            },
+                        );
+                        let __proptest_names = [ $( stringify!($pat) ),+ ];
+                        let mut __proptest_shrunk = ::std::string::String::new();
+                        for (name, part) in __proptest_names
+                            .iter()
+                            .zip($crate::DebugParts::debug_parts(&__proptest_minimal))
+                        {
+                            if !__proptest_shrunk.is_empty() {
+                                __proptest_shrunk.push_str(", ");
+                            }
+                            __proptest_shrunk.push_str(name);
+                            __proptest_shrunk.push_str(" = ");
+                            __proptest_shrunk.push_str(&part);
+                        }
                         panic!(
                             "property {} failed at case {case}/{cases} \
-                             with inputs [{}]: {message}",
+                             with inputs [{}], shrunk to minimal inputs \
+                             [{}]: {message}",
                             stringify!($name),
                             __proptest_inputs,
+                            __proptest_shrunk,
                         );
                     }
                 }
@@ -343,6 +560,39 @@ mod tests {
         }
     }
 
+    #[test]
+    fn integer_shrink_candidates_move_toward_the_start() {
+        // At the floor: nothing to propose.
+        assert!((5u64..100).shrink(&5).is_empty());
+        // Above it: floor first, then the midpoint, then the decrement.
+        assert_eq!((5u64..100).shrink(&50), vec![5, 27, 49]);
+        // Adjacent to the floor: just the floor (no duplicates).
+        assert_eq!((5u64..100).shrink(&6), vec![5]);
+    }
+
+    #[test]
+    fn bool_and_tuple_shrink_candidates() {
+        assert_eq!(bool::ANY.shrink(&true), vec![false]);
+        assert!(bool::ANY.shrink(&false).is_empty());
+        // Tuples shrink one component at a time, earlier components
+        // first.
+        let cands = (0u64..10, bool::ANY).shrink(&(4, true));
+        assert_eq!(cands, vec![(0, true), (2, true), (3, true), (4, false)]);
+    }
+
+    #[test]
+    fn vec_shrink_prefers_shorter_vectors() {
+        let strat = collection::vec(0u64..100, 1..8);
+        let cands = strat.shrink(&vec![3, 87]);
+        // Minimal-length prefix first, then per-index removals, then
+        // element-wise shrinks.
+        assert_eq!(cands[0], vec![3]);
+        assert!(cands.contains(&vec![87]));
+        assert!(cands.contains(&vec![3, 43]));
+        // At the minimal length only element-wise candidates remain.
+        assert!(strat.shrink(&vec![5]).iter().all(|c| c.len() == 1));
+    }
+
     proptest! {
         /// The macro itself: patterns, multiple strategies, trailing comma.
         #[test]
@@ -361,14 +611,34 @@ mod tests {
         }
     }
 
-    #[test]
-    fn failure_message_names_the_generated_values() {
-        let panic = std::panic::catch_unwind(always_fails).expect_err("must fail");
-        let message = panic
+    proptest! {
+        // Deliberately failing property for the shrinking self-test: the
+        // minimal failing input is exactly 10.
+        fn fails_from_ten_up(v in 0u64..1000) {
+            prop_assert!(v < 10, "too big");
+        }
+    }
+
+    proptest! {
+        // Deliberately failing property over a vector: any element ≥ 5
+        // fails, so the minimal failing input is the one-element [5].
+        fn fails_with_big_element(v in crate::collection::vec(0u64..100, 0..8)) {
+            prop_assert!(v.iter().all(|&x| x < 5), "contains a big element");
+        }
+    }
+
+    fn failure_message_of(f: fn()) -> String {
+        let panic = std::panic::catch_unwind(f).expect_err("must fail");
+        panic
             .downcast_ref::<String>()
             .cloned()
             .or_else(|| panic.downcast_ref::<&str>().map(ToString::to_string))
-            .expect("panic payload is a string");
+            .expect("panic payload is a string")
+    }
+
+    #[test]
+    fn failure_message_names_the_generated_values() {
+        let message = failure_message_of(always_fails);
         assert!(
             message.contains("doomed = 5") && message.contains("friend = 0"),
             "failure must print every generated value, got: {message}"
@@ -376,6 +646,24 @@ mod tests {
         assert!(
             message.contains("case 0/"),
             "case index stays in the message: {message}"
+        );
+    }
+
+    #[test]
+    fn failing_integer_shrinks_to_the_boundary() {
+        let message = failure_message_of(fails_from_ten_up);
+        assert!(
+            message.contains("shrunk to minimal inputs [v = 10]"),
+            "greedy shrinking must reach the smallest failing value, got: {message}"
+        );
+    }
+
+    #[test]
+    fn failing_vector_shrinks_to_one_minimal_element() {
+        let message = failure_message_of(fails_with_big_element);
+        assert!(
+            message.contains("shrunk to minimal inputs [v = [5]]"),
+            "greedy shrinking must reach the minimal vector, got: {message}"
         );
     }
 }
