@@ -1,0 +1,392 @@
+//! `bench_store` — the store-protocol harness.
+//!
+//! Spins up an **in-process** `StoreServer` on an ephemeral port (the
+//! same worker-pool core `cfr-store-serve` runs) over a throwaway
+//! directory and measures the protocol-level wins of this round of the
+//! daemon work, writing machine-readable results to `BENCH_store.json`:
+//!
+//! - **batching** — per-key `GET`/`PUT` loops vs one pipelined
+//!   `MGET`/`MPUT` exchange for the same key set, as network round
+//!   trips and wall time (acceptance: the batched probe takes ≥5×
+//!   fewer round trips);
+//! - **framing** — the same batched probe over binary vs text frames;
+//! - **global dedup** — N clients racing one cold key through
+//!   `CLAIM`/`WAIT`: exactly one is granted (computes), the rest park
+//!   and are served the published value.
+//!
+//! ```sh
+//! cargo run -p cfr-bench --release --bin bench_store
+//! cargo run -p cfr-bench --release --bin bench_store -- --keys 64 --out out.json
+//! ```
+//!
+//! Everything runs over real TCP on loopback, so round-trip counts are
+//! genuine request/reply exchanges — only propagation delay is missing
+//! relative to a LAN daemon, which makes the round-trip *ratio* (not
+//! the absolute wall time) the number that transfers.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfr_types::net::{RemoteStore, ServerConfig, StoreServer, WireFormat};
+use cfr_types::store::{ArtifactStore, ClaimOutcome, GcPolicy, StoreBackend, NS_RUNS};
+
+/// One measured pass: how many exchanges it took and how long.
+struct Pass {
+    round_trips: u64,
+    requests: u64,
+    wall_seconds: f64,
+    keys: usize,
+}
+
+impl Pass {
+    fn keys_per_sec(&self) -> f64 {
+        self.keys as f64 / self.wall_seconds
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Deterministic pseudo-record of `bytes` single-line characters — the
+/// payload shape of a stored run report, without depending on one.
+fn synthetic_value(i: usize, bytes: usize) -> String {
+    let mut v = format!("record {i} ");
+    let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    while v.len() < bytes {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let _ = write!(v, "{x:016x}");
+    }
+    v.truncate(bytes);
+    v
+}
+
+fn key(prefix: &str, i: usize) -> String {
+    format!("bench {prefix} key {i:05}")
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_store [--keys N] [--value-bytes N] [--clients N] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut keys = 400usize;
+    let mut value_bytes = 2048usize;
+    let mut clients = 8usize;
+    let mut out_path = String::from("BENCH_store.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let mut value_of = || {
+            inline
+                .clone()
+                .or_else(|| args.next())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--keys" => {
+                keys = value_of()
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--value-bytes" => {
+                value_bytes = value_of()
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--clients" => {
+                clients = value_of()
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out_path = value_of(),
+            _ => usage(),
+        }
+    }
+
+    // The daemon under test: in-process, ephemeral port, throwaway dir.
+    let dir = std::env::temp_dir().join(format!("cfr-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(ArtifactStore::open(&dir, GcPolicy::unbounded()).expect("temp store"));
+    let config = ServerConfig {
+        gc_policy: GcPolicy::unbounded(),
+        gc_interval: None,
+        ..ServerConfig::default()
+    };
+    let server = StoreServer::bind(store, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.addr().to_string();
+    eprintln!(
+        "bench_store: daemon on {addr}, {keys} keys x {value_bytes} B, {clients} racing clients"
+    );
+
+    let values: Vec<String> = (0..keys).map(|i| synthetic_value(i, value_bytes)).collect();
+
+    // ---- PUT side: per-key saves vs one batched MPUT exchange. ----
+    // Distinct key ranges so both passes write cold records.
+    let serial_put = {
+        let client = RemoteStore::new(&addr);
+        let start = Instant::now();
+        for (i, v) in values.iter().enumerate() {
+            assert!(
+                client.try_save(NS_RUNS, &key("serial", i), v),
+                "daemon save"
+            );
+        }
+        Pass {
+            round_trips: client.round_trips(),
+            requests: client.requests_sent(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            keys,
+        }
+    };
+    let batched_put = {
+        let client = RemoteStore::new(&addr);
+        let items: Vec<(String, String, String)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (NS_RUNS.to_string(), key("batch", i), v.clone()))
+            .collect();
+        let start = Instant::now();
+        assert!(client.try_save_many(&items), "daemon batched save");
+        Pass {
+            round_trips: client.round_trips(),
+            requests: client.requests_sent(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            keys,
+        }
+    };
+
+    // ---- GET side: per-key loads vs one batched MGET exchange. ----
+    let serial_get = {
+        let client = RemoteStore::new(&addr);
+        let start = Instant::now();
+        for (i, v) in values.iter().enumerate() {
+            let got = client.load(NS_RUNS, &key("serial", i));
+            assert_eq!(got.as_deref(), Some(v.as_str()), "warm daemon hit");
+        }
+        Pass {
+            round_trips: client.round_trips(),
+            requests: client.requests_sent(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            keys,
+        }
+    };
+    let mget_items: Vec<(String, String)> = (0..keys)
+        .map(|i| (NS_RUNS.to_string(), key("batch", i)))
+        .collect();
+    let batched_get = {
+        let client = RemoteStore::new(&addr);
+        let start = Instant::now();
+        let got = client.load_many(&mget_items);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(
+            got.iter()
+                .zip(&values)
+                .all(|(g, v)| g.as_deref() == Some(v.as_str())),
+            "warm batched hits"
+        );
+        Pass {
+            round_trips: client.round_trips(),
+            requests: client.requests_sent(),
+            wall_seconds: wall,
+            keys,
+        }
+    };
+    let ratio = serial_get.round_trips as f64 / batched_get.round_trips.max(1) as f64;
+    eprintln!(
+        "  get: {} round trips serial vs {} batched ({ratio:.0}x fewer), \
+         {:.0} vs {:.0} keys/sec",
+        serial_get.round_trips,
+        batched_get.round_trips,
+        serial_get.keys_per_sec(),
+        batched_get.keys_per_sec(),
+    );
+    // The acceptance bar this harness exists to witness.
+    assert!(
+        ratio >= 5.0,
+        "batched MGET must take >=5x fewer round trips (got {ratio:.1}x)"
+    );
+
+    // ---- Framing: the same batched probe over binary vs text. ----
+    let framed = |allow_binary: bool| -> (Pass, WireFormat) {
+        let client = if allow_binary {
+            RemoteStore::new(&addr)
+        } else {
+            RemoteStore::new_text_only(&addr)
+        };
+        // Connect + negotiate outside the timed region; the warm-up
+        // exchange is subtracted from the counters below.
+        assert!(client.stats().is_some(), "daemon reachable");
+        let format = client.wire_format().expect("connected");
+        let (warm_trips, warm_reqs) = (client.round_trips(), client.requests_sent());
+        let start = Instant::now();
+        let got = client.load_many(&mget_items);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), keys);
+        (
+            Pass {
+                round_trips: client.round_trips() - warm_trips,
+                requests: client.requests_sent() - warm_reqs,
+                wall_seconds: wall,
+                keys,
+            },
+            format,
+        )
+    };
+    let (binary_get, binary_format) = framed(true);
+    let (text_get, text_format) = framed(false);
+    assert_eq!(binary_format, WireFormat::Binary, "daemon offers binary");
+    assert_eq!(text_format, WireFormat::Text, "text-only stays text");
+    eprintln!(
+        "  framing: binary {:.0} keys/sec vs text {:.0} keys/sec",
+        binary_get.keys_per_sec(),
+        text_get.keys_per_sec(),
+    );
+
+    // ---- Global dedup: N clients race one cold key. ----
+    let dedup_start = Instant::now();
+    let (granted, served) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let client = RemoteStore::new(&addr);
+                    match client.claim(NS_RUNS, "bench cold key", Duration::from_secs(10)) {
+                        ClaimOutcome::Granted => {
+                            // The "simulation": long enough that every
+                            // other racer is parked in WAIT when the
+                            // value publishes.
+                            std::thread::sleep(Duration::from_millis(50));
+                            client.save(NS_RUNS, "bench cold key", "the computed value");
+                            (1u64, 0u64)
+                        }
+                        ClaimOutcome::Busy => {
+                            let got =
+                                client.wait_for(NS_RUNS, "bench cold key", Duration::from_secs(10));
+                            assert_eq!(got.as_deref(), Some("the computed value"), "published");
+                            (0, 1)
+                        }
+                        ClaimOutcome::Hit(_) => (0, 1),
+                        ClaimOutcome::Unsupported => panic!("daemon supports claims"),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("racer thread"))
+            .fold((0, 0), |(g, s), (dg, ds)| (g + dg, s + ds))
+    });
+    let dedup_wall = dedup_start.elapsed().as_secs_f64();
+    assert_eq!(granted, 1, "exactly one racer computes");
+    assert_eq!(served, clients as u64 - 1, "every other racer is served");
+    eprintln!("  dedup: {clients} racers, {granted} computed, {served} served from the claim");
+
+    let maintenance = RemoteStore::new(&addr);
+    let stats = maintenance.stats().expect("daemon stats");
+    assert!(maintenance.shutdown(), "clean shutdown");
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let pass_json = |p: &Pass| {
+        format!(
+            "{{\"round_trips\": {}, \"requests\": {}, \"wall_seconds\": {:.6}, \
+             \"keys_per_sec\": {:.0}}}",
+            p.round_trips,
+            p.requests,
+            p.wall_seconds,
+            p.keys_per_sec()
+        )
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_store/v1\",");
+    let _ = writeln!(json, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(json, "  \"keys\": {keys},");
+    let _ = writeln!(json, "  \"value_bytes\": {value_bytes},");
+    let _ = writeln!(json, "  \"get\": {{");
+    let _ = writeln!(json, "    \"serial\": {},", pass_json(&serial_get));
+    let _ = writeln!(json, "    \"batched\": {},", pass_json(&batched_get));
+    let _ = writeln!(json, "    \"round_trip_ratio\": {ratio:.1},");
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.2}",
+        serial_get.wall_seconds / batched_get.wall_seconds
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"put\": {{");
+    let _ = writeln!(json, "    \"serial\": {},", pass_json(&serial_put));
+    let _ = writeln!(json, "    \"batched\": {},", pass_json(&batched_put));
+    let _ = writeln!(
+        json,
+        "    \"round_trip_ratio\": {:.1},",
+        serial_put.round_trips as f64 / batched_put.round_trips.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.2}",
+        serial_put.wall_seconds / batched_put.wall_seconds
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"framing\": {{");
+    let _ = writeln!(json, "    \"binary_mget\": {},", pass_json(&binary_get));
+    let _ = writeln!(json, "    \"text_mget\": {},", pass_json(&text_get));
+    let _ = writeln!(
+        json,
+        "    \"binary_vs_text_speedup\": {:.2}",
+        text_get.wall_seconds / binary_get.wall_seconds
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dedup\": {{");
+    let _ = writeln!(json, "    \"racing_clients\": {clients},");
+    let _ = writeln!(json, "    \"computed_once\": {granted},");
+    let _ = writeln!(json, "    \"served_from_claim\": {served},");
+    let _ = writeln!(json, "    \"wall_seconds\": {dedup_wall:.6},");
+    let _ = writeln!(
+        json,
+        "    \"daemon_claims_granted\": {},",
+        stats.claims_granted
+    );
+    let _ = writeln!(
+        json,
+        "    \"daemon_claims_expired\": {}",
+        stats.claims_expired
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"daemon\": {{");
+    let _ = writeln!(json, "    \"batched_keys\": {},", stats.batched_keys);
+    let _ = writeln!(json, "    \"max_batch\": {},", stats.max_batch);
+    let _ = writeln!(json, "    \"pipeline_hwm\": {}", stats.pipeline_hwm);
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_store: {:.0}x fewer round trips batched, results -> {out_path}",
+        ratio
+    );
+}

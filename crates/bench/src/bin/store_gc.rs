@@ -10,10 +10,86 @@
 //!
 //! With neither knob set the pass still compacts dead (superseded) bytes
 //! out of the shard files; it just evicts nothing.
+//!
+//! With `CFR_STORE_ADDR` set the tool becomes a daemon client instead:
+//! it prints the daemon's occupancy **and load counters** (active
+//! connections, pipeline depth high-water mark, batched keys, claim
+//! grants/expiries), asks the daemon for a GC pass over the wire, and
+//! reports the result against the same byte budget.
 
-use cfr_core::{ArtifactStore, NS_PROGRAMS, NS_RUNS, NS_WALKS, SHARD_COUNT};
+use cfr_core::{
+    ArtifactStore, GcPolicy, RemoteStore, NS_PROGRAMS, NS_RUNS, NS_WALKS, SHARD_COUNT,
+    STORE_ADDR_ENV,
+};
+
+/// Maintenance against a running daemon: STATS (occupancy + load), then
+/// GC, all over the protocol — the daemon owns the directory, so a local
+/// open would be refused anyway.
+fn remote_maintenance(addr: &str) {
+    let client = RemoteStore::new(addr);
+    let Some(stats) = client.stats() else {
+        eprintln!("error: no daemon reachable at {addr}");
+        std::process::exit(1);
+    };
+    println!("cfr-store maintenance — tcp://{addr}");
+    let policy = GcPolicy::from_env();
+    let fmt_bound = |bound: Option<u64>, unit: &str| {
+        bound.map_or_else(|| "unbounded".to_string(), |v| format!("{v} {unit}"))
+    };
+    println!(
+        "policy: max_bytes={} max_age={} (enforced by the daemon)",
+        fmt_bound(policy.max_bytes, "bytes"),
+        fmt_bound(policy.max_age_secs, "s"),
+    );
+    println!(
+        "\npre-gc: {} live records ({} runs / {} walks / {} programs / {} traces), \
+         {} live bytes in {} file bytes",
+        stats.live_records,
+        stats.runs,
+        stats.walks,
+        stats.programs,
+        stats.traces,
+        stats.live_bytes,
+        stats.file_bytes,
+    );
+    println!(
+        "load: {} active connections, pipeline depth hwm {}, \
+         {} batched keys (max batch {}), claims {} granted / {} expired",
+        stats.active_connections,
+        stats.pipeline_hwm,
+        stats.batched_keys,
+        stats.max_batch,
+        stats.claims_granted,
+        stats.claims_expired,
+    );
+
+    let Some(report) = client.gc() else {
+        eprintln!("error: daemon at {addr} dropped the GC request");
+        std::process::exit(1);
+    };
+    println!(
+        "gc: dropped {} dead bytes, evicted {} by age + {} by size, rewrote {} shards",
+        report.dead_bytes_dropped, report.evicted_age, report.evicted_size, report.shards_rewritten,
+    );
+    // Post-GC file bytes come from a second STATS probe: the GC report
+    // carries live bytes only.
+    let file_bytes = client.stats().map(|s| s.file_bytes);
+    let budget = match (policy.max_bytes, file_bytes) {
+        (Some(cap), Some(bytes)) if bytes <= cap => ", within budget",
+        (Some(_), Some(_)) => ", OVER budget",
+        _ => "",
+    };
+    println!(
+        "post-gc: {} records, {} bytes{budget}",
+        report.live_records, report.live_bytes,
+    );
+}
 
 fn main() {
+    if let Ok(addr) = std::env::var(STORE_ADDR_ENV) {
+        remote_maintenance(&addr);
+        return;
+    }
     let store = match ArtifactStore::open_default() {
         Ok(store) => store,
         Err(err) => {

@@ -32,17 +32,20 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use cfr_types::{AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter, NS_WALKS};
+use cfr_types::{
+    AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter, NS_PROGRAMS, NS_TRACES,
+    NS_WALKS,
+};
 use cfr_workload::{
-    measure_walk, walk_store_key, BenchmarkProfile, CompiledTrace, LaidProgram, Program,
-    ProgramCache, TraceCache, WalkMeasurement,
+    measure_walk, program_store_key, trace_store_key, walk_store_key, BenchmarkProfile,
+    CompiledTrace, LaidProgram, Program, ProgramCache, TraceCache, WalkMeasurement,
 };
 use rayon::prelude::*;
 
 use crate::compiler;
 use crate::experiment::ExperimentScale;
 use crate::simulator::{ExecBackend, ItlbChoice, RunReport, SimConfig, Simulator};
-use crate::store::Store;
+use crate::store::{RunClaim, Store};
 use crate::strategy::StrategyKind;
 
 /// Identity of one compiled (laid-out) binary: benchmark, page size, and
@@ -387,36 +390,91 @@ impl Engine {
     /// Panics if `profile` is not registered.
     #[must_use]
     pub fn walk_measurement(&self, profile: &str, scale: &ExperimentScale) -> WalkMeasurement {
+        self.walk_measurements(&[profile], scale)
+            .pop()
+            .expect("one profile in, one measurement out")
+    }
+
+    /// [`Engine::walk_measurement`] for a whole profile set in **one**
+    /// store exchange each way: a single batched probe of the `walks`
+    /// namespace up front, a single batched write-back of whatever had
+    /// to be measured cold. Per-profile semantics and warm/cold
+    /// accounting are identical to calling the singular form in a loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is not registered.
+    #[must_use]
+    pub fn walk_measurements(
+        &self,
+        profiles: &[&str],
+        scale: &ExperimentScale,
+    ) -> Vec<WalkMeasurement> {
         let geom = PageGeometry::default_4k();
-        let p = self
-            .profiles
+        let resolved: Vec<&BenchmarkProfile> = profiles
             .iter()
-            .find(|p| p.name == profile)
-            .unwrap_or_else(|| panic!("unknown benchmark profile {profile:?}"));
-        let key = walk_store_key(p, geom, false, scale.max_commits, scale.seed);
+            .map(|name| {
+                self.profiles
+                    .iter()
+                    .find(|p| p.name == *name)
+                    .unwrap_or_else(|| panic!("unknown benchmark profile {name:?}"))
+            })
+            .collect();
+        let keys: Vec<String> = resolved
+            .iter()
+            .map(|p| walk_store_key(p, geom, false, scale.max_commits, scale.seed))
+            .collect();
         let artifacts = self.store.as_ref().map(Store::backend);
+        let mut warm: Vec<Option<WalkMeasurement>> = match &artifacts {
+            Some(store) => {
+                let items: Vec<(String, String)> = keys
+                    .iter()
+                    .map(|key| (NS_WALKS.to_string(), key.clone()))
+                    .collect();
+                store
+                    .load_many(&items)
+                    .into_iter()
+                    .map(|value| {
+                        value.and_then(|text| {
+                            let mut r = RecordReader::new(&text);
+                            let m = WalkMeasurement::from_record(&mut r).ok()?;
+                            r.finish().ok()?;
+                            Some(m)
+                        })
+                    })
+                    .collect()
+            }
+            None => profiles.iter().map(|_| None).collect(),
+        };
+        // A backend must answer slot-for-slot; pad defensively so a
+        // short reply degrades to cold measurements, not lost outputs.
+        warm.resize_with(profiles.len(), || None);
+        let mut fresh: Vec<(String, String, String)> = Vec::new();
+        let out: Vec<WalkMeasurement> = resolved
+            .iter()
+            .zip(&keys)
+            .zip(warm)
+            .map(|((p, key), warm)| {
+                if let Some(m) = warm {
+                    self.walks_warm.fetch_add(1, Ordering::Relaxed);
+                    return m;
+                }
+                let program = self.programs.get(p);
+                let laid = LaidProgram::lay_out(&program, geom, false);
+                let m = measure_walk(&laid, scale.max_commits, scale.seed);
+                self.walks_cold.fetch_add(1, Ordering::Relaxed);
+                let mut w = RecordWriter::new();
+                m.to_record(&mut w);
+                fresh.push((NS_WALKS.to_string(), key.clone(), w.finish()));
+                m
+            })
+            .collect();
         if let Some(store) = &artifacts {
-            let warm = store.load(NS_WALKS, &key).and_then(|text| {
-                let mut r = RecordReader::new(&text);
-                let m = WalkMeasurement::from_record(&mut r).ok()?;
-                r.finish().ok()?;
-                Some(m)
-            });
-            if let Some(m) = warm {
-                self.walks_warm.fetch_add(1, Ordering::Relaxed);
-                return m;
+            if !fresh.is_empty() {
+                store.save_many(&fresh);
             }
         }
-        let program = self.program(profile);
-        let laid = LaidProgram::lay_out(&program, geom, false);
-        let m = measure_walk(&laid, scale.max_commits, scale.seed);
-        self.walks_cold.fetch_add(1, Ordering::Relaxed);
-        if let Some(store) = &artifacts {
-            let mut w = RecordWriter::new();
-            m.to_record(&mut w);
-            store.save(NS_WALKS, &key, &w.finish());
-        }
-        m
+        out
     }
 
     /// Warm/cold traffic per persisted namespace (runs, walks,
@@ -515,6 +573,52 @@ impl Engine {
         Arc::clone(cache.entry(laid_key).or_insert(laid))
     }
 
+    /// One batched store probe covering every artifact the cold keys'
+    /// compilation classes will need — program records, and (under the
+    /// compiled backend) pre-decoded traces — with the answers primed
+    /// into the caches. The serial compile loop then resolves entirely
+    /// from primed answers: zero per-key store round trips, and nothing
+    /// at all is probed when the plan came back fully warm.
+    fn prefetch_artifacts(&self, cold: &[RunKey], backend: ExecBackend) {
+        let Some(store) = &self.store else { return };
+        if cold.is_empty() {
+            return;
+        }
+        let mut seen = HashSet::new();
+        let mut items: Vec<(String, String)> = Vec::new();
+        for key in cold {
+            let profile = self
+                .profiles
+                .iter()
+                .find(|p| p.name == key.profile)
+                .unwrap_or_else(|| panic!("unknown benchmark profile {:?}", key.profile));
+            let pkey = program_store_key(profile);
+            if seen.insert((NS_PROGRAMS, pkey.clone())) {
+                items.push((NS_PROGRAMS.to_string(), pkey));
+            }
+            if backend == ExecBackend::Compiled {
+                let tkey = trace_store_key(
+                    profile,
+                    key.config().cpu.geometry,
+                    compiler::wants_instrumented(key.strategy),
+                    key.strategy == StrategyKind::SoLA,
+                );
+                if seen.insert((NS_TRACES, tkey.clone())) {
+                    items.push((NS_TRACES.to_string(), tkey));
+                }
+            }
+        }
+        let mut values = store.backend().load_many(&items);
+        values.resize_with(items.len(), || None);
+        for ((ns, key), value) in items.into_iter().zip(values) {
+            if ns == NS_PROGRAMS {
+                self.programs.prime(key, value);
+            } else {
+                self.traces.prime(key, value);
+            }
+        }
+    }
+
     /// The pre-decoded trace for a run key's compiled binary, memoized
     /// per compilation class (and warm across processes through the
     /// store's `traces` namespace).
@@ -600,26 +704,37 @@ impl Engine {
                     engine: self,
                     keys: &claimed,
                 };
-                // Consult the persistent store first (serially — parsing a
-                // record is orders of magnitude cheaper than a simulation),
-                // so fully-warm batches touch neither the generator nor a
-                // worker pool.
-                let mut resolved: Vec<(RunKey, Option<RunReport>)> = claimed
+                // Consult the persistent store first, in ONE batched
+                // probe for the whole claimed set (a networked backend
+                // collapses it into a single pipelined MGET exchange),
+                // so fully-warm batches touch neither the generator nor
+                // a worker pool — and pay one round trip, not one per
+                // key.
+                let warm: Vec<Option<RunReport>> = match &self.store {
+                    Some(store) => store.load_many(&claimed),
+                    None => claimed.iter().map(|_| None).collect(),
+                };
+                let mut resolved: Vec<(RunKey, Option<RunReport>)> =
+                    claimed.iter().copied().zip(warm).collect();
+                // Prefetch the artifacts the cold keys' compilation
+                // classes will need — program records and, under the
+                // compiled backend, pre-decoded traces — in one more
+                // batched probe, primed into the caches so the compile
+                // loop below issues no per-key store round trips.
+                let backend = ExecBackend::from_env();
+                let cold: Vec<RunKey> = resolved
                     .iter()
-                    .map(|key| {
-                        let warm = self.store.as_ref().and_then(|s| s.load(key));
-                        (*key, warm)
-                    })
+                    .filter(|(_, warm)| warm.is_none())
+                    .map(|(k, _)| *k)
                     .collect();
+                self.prefetch_artifacts(&cold, backend);
                 // Resolve compiled binaries — and, under the compiled
                 // backend, their pre-decoded traces — for the cold keys
                 // up front (serially, memoized) so parallel workers share
                 // one immutable Arc per compilation class.
-                let backend = ExecBackend::from_env();
-                let jobs: Vec<(RunKey, Arc<LaidProgram>, Option<Arc<CompiledTrace>>)> = resolved
+                let jobs: Vec<(RunKey, Arc<LaidProgram>, Option<Arc<CompiledTrace>>)> = cold
                     .iter()
-                    .filter(|(_, warm)| warm.is_none())
-                    .map(|(k, _)| {
+                    .map(|k| {
                         let laid = self.compiled(k);
                         let trace =
                             (backend == ExecBackend::Compiled).then(|| self.trace_for(k, &laid));
@@ -629,10 +744,19 @@ impl Engine {
                 // Simulate the cold keys in parallel and write each result
                 // back (a single append per record; concurrent binaries
                 // sharing the store resync past any torn bytes and treat
-                // them as misses, never as torn reports).
+                // them as misses, never as torn reports). With a
+                // coordinating backend each key is first *claimed*, so N
+                // processes racing the same cold plan simulate each key
+                // once globally: losers of the race get the winner's
+                // published report back warm instead of re-simulating.
                 let fresh: Vec<RunReport> = jobs
                     .par_iter()
                     .map(|(key, laid, trace)| {
+                        if let Some(store) = &self.store {
+                            if let RunClaim::Warm(report) = store.claim_run(key) {
+                                return *report;
+                            }
+                        }
                         let report = match trace {
                             Some(trace) => {
                                 Simulator::run_traced(trace, &key.config(), key.strategy, key.mode)
@@ -641,14 +765,13 @@ impl Engine {
                                 Simulator::run_interp(laid, &key.config(), key.strategy, key.mode)
                             }
                         };
+                        self.simulated.fetch_add(1, Ordering::Relaxed);
                         if let Some(store) = &self.store {
                             store.save(key, &report);
                         }
                         report
                     })
                     .collect();
-                self.simulated
-                    .fetch_add(fresh.len() as u64, Ordering::Relaxed);
                 let mut fresh = fresh.into_iter();
                 {
                     let mut state = self.state.lock().expect("engine state poisoned");

@@ -72,9 +72,9 @@ pub use cfr_types::net::{
     STORE_ADDR_ENV,
 };
 pub use cfr_types::store::{
-    ArtifactStore, GcPolicy, GcReport, ShardOccupancy, StoreBackend, StoreLock, DEFAULT_STORE_DIR,
-    LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS, SHARD_COUNT, STORE_DIR_ENV,
-    STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
+    ArtifactStore, ClaimOutcome, GcPolicy, GcReport, ShardOccupancy, StoreBackend, StoreLock,
+    DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS, SHARD_COUNT,
+    STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
 };
 pub use engine::{Engine, NamespaceTraffic, RunKey, StoreSummary};
 pub use experiment::{
@@ -83,5 +83,5 @@ pub use experiment::{
     FIG4_SCHEMES,
 };
 pub use simulator::{ExecBackend, ItlbChoice, RunReport, SimConfig, Simulator, BACKEND_ENV};
-pub use store::Store;
+pub use store::{RunClaim, Store};
 pub use strategy::{ItlbModel, LookupBreakdown, Strategy, StrategyKind};

@@ -45,14 +45,29 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cfr_types::net::STORE_ADDR_ENV;
+use cfr_types::net::{claim_lease, STORE_ADDR_ENV};
 use cfr_types::{
-    ArtifactStore, GcPolicy, LayeredStore, RecordReader, RecordWriter, RemoteStore, StoreBackend,
-    NS_RUNS,
+    ArtifactStore, ClaimOutcome, GcPolicy, LayeredStore, RecordReader, RecordWriter, RemoteStore,
+    StoreBackend, NS_RUNS,
 };
 
 use crate::engine::RunKey;
 use crate::simulator::RunReport;
+
+/// What [`Store::claim_run`] resolved a cold key to: a report another
+/// client published while we raced it, or the exclusive right (local
+/// stores: the unconditional duty) to compute it ourselves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunClaim {
+    /// Another client simulated the key first; this is its published
+    /// report, served warm. Boxed: a report is ~300 bytes and the
+    /// common variant is the empty `Compute`.
+    Warm(Box<RunReport>),
+    /// Simulate locally (claim granted, unsupported by the backend, or
+    /// every degraded outcome — a failure is always a miss, never a
+    /// stall).
+    Compute,
+}
 
 /// A typed, crash-tolerant cache of [`RunReport`]s keyed by [`RunKey`],
 /// over any [`StoreBackend`] (local shards, the store daemon, or the
@@ -174,6 +189,14 @@ impl Store {
         w.finish()
     }
 
+    /// Parses a stored run record; any failure is a miss.
+    fn parse_report(text: &str) -> Option<RunReport> {
+        let mut r = RecordReader::new(text);
+        let report = RunReport::from_record(&mut r).ok()?;
+        r.finish().ok()?;
+        Some(report)
+    }
+
     /// Looks `key` up on disk. Any failure — absent, torn, corrupt,
     /// stale codec, colliding key — is a miss (`None`); the caller
     /// re-simulates and overwrites.
@@ -182,17 +205,76 @@ impl Store {
         let report = self
             .backend
             .load(NS_RUNS, &Self::key_record(key))
-            .and_then(|text| {
-                let mut r = RecordReader::new(&text);
-                let report = RunReport::from_record(&mut r).ok()?;
-                r.finish().ok()?;
-                Some(report)
-            });
+            .and_then(|text| Self::parse_report(&text));
         match &report {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         report
+    }
+
+    /// Looks a whole batch of keys up in **one** backend probe
+    /// (networked backends collapse it into a single pipelined `MGET`
+    /// exchange; the local store reads shard-by-shard as before).
+    /// Per-slot semantics — parse failures as misses, hit/miss
+    /// accounting — are identical to [`Store::load`] in a loop.
+    #[must_use]
+    pub fn load_many(&self, keys: &[RunKey]) -> Vec<Option<RunReport>> {
+        let items: Vec<(String, String)> = keys
+            .iter()
+            .map(|key| (NS_RUNS.to_string(), Self::key_record(key)))
+            .collect();
+        let mut values = self.backend.load_many(&items);
+        // A backend must answer slot-for-slot; pad defensively so a
+        // short reply degrades to misses rather than a panic.
+        values.resize_with(keys.len(), || None);
+        values
+            .into_iter()
+            .map(|value| {
+                let report = value.and_then(|text| Self::parse_report(&text));
+                match &report {
+                    Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+                    None => self.misses.fetch_add(1, Ordering::Relaxed),
+                };
+                report
+            })
+            .collect()
+    }
+
+    /// Claims the right to simulate a cold `key`, deduplicating the
+    /// computation **globally** when the backend has a coordinator (the
+    /// store daemon): if another client already published the report —
+    /// or holds the claim and publishes within its lease — the report
+    /// comes back [`RunClaim::Warm`] (counted as a hit) and nothing is
+    /// simulated here. Every other outcome — grant, unsupported
+    /// backend, lapsed claim, unreachable daemon, corrupt published
+    /// record — degrades to [`RunClaim::Compute`]: simulate locally and
+    /// overwrite, preserving every-failure-is-a-miss.
+    #[must_use]
+    pub fn claim_run(&self, key: &RunKey) -> RunClaim {
+        let record = Self::key_record(key);
+        let lease = claim_lease();
+        match self.backend.claim(NS_RUNS, &record, lease) {
+            ClaimOutcome::Hit(text) => self.claim_warm(&text),
+            ClaimOutcome::Granted | ClaimOutcome::Unsupported => RunClaim::Compute,
+            ClaimOutcome::Busy => match self.backend.wait_for(NS_RUNS, &record, lease) {
+                Some(text) => self.claim_warm(&text),
+                None => RunClaim::Compute,
+            },
+        }
+    }
+
+    /// A claim resolved to a published value: warm if it parses (the
+    /// batched probe already counted this key's miss, so a warm claim
+    /// nets out as one hit), else recompute and overwrite.
+    fn claim_warm(&self, text: &str) -> RunClaim {
+        match Self::parse_report(text) {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                RunClaim::Warm(Box::new(report))
+            }
+            None => RunClaim::Compute,
+        }
     }
 
     /// Persists `key → report`. Best-effort: an I/O failure is counted
@@ -281,6 +363,25 @@ mod tests {
         // A second store over the same directory sees it too.
         let other = Store::open(&dir).unwrap();
         assert_eq!(other.load(&key).as_ref(), Some(&report));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_loads_match_serial_semantics() {
+        let dir = temp_dir("batched");
+        let store = Store::open(&dir).unwrap();
+        let warm_key = sample_key();
+        let cold_key = warm_key.with_il1_bytes(2048);
+        store.save(&warm_key, &sample_report());
+        let got = store.load_many(&[warm_key, cold_key, warm_key]);
+        assert_eq!(got[0].as_ref(), Some(&sample_report()));
+        assert_eq!(got[1], None);
+        assert_eq!(got[2].as_ref(), Some(&sample_report()));
+        assert_eq!((store.hits(), store.misses()), (2, 1));
+        // The local backend has no claim coordinator: every claim says
+        // "compute it yourself", exactly like the pre-claim protocol.
+        assert_eq!(store.claim_run(&cold_key), RunClaim::Compute);
+        assert_eq!(store.claim_run(&warm_key), RunClaim::Compute);
         let _ = fs::remove_dir_all(&dir);
     }
 

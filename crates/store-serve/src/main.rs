@@ -38,12 +38,15 @@ use cfr_types::store::{ArtifactStore, GcPolicy, DEFAULT_STORE_DIR, STORE_DIR_ENV
 fn usage() -> ! {
     eprintln!(
         "usage: cfr-store-serve [--addr HOST:PORT] [--dir DIR] [--gc-interval SECS]\n\
+         \x20                     [--workers N] [--read-timeout SECS]\n\
          \x20      cfr-store-serve stats|gc|shutdown [--addr HOST:PORT]\n\
          \n\
          serve mode (default): own DIR (default $CFR_STORE_DIR, else {DEFAULT_STORE_DIR})\n\
          and serve it on HOST:PORT (default {DEFAULT_DAEMON_ADDR}). GC policy comes from\n\
          CFR_STORE_MAX_BYTES / CFR_STORE_MAX_AGE and runs on a background thread\n\
-         every SECS seconds (default 60; 0 disables the thread).\n\
+         every SECS seconds (default 60; 0 disables the thread). N worker threads\n\
+         multiplex all connections (default 4); a connection stalled mid-frame\n\
+         longer than the read timeout (default 10 s) is closed.\n\
          \n\
          stats / gc / shutdown: send the protocol command to a running daemon\n\
          and print its reply."
@@ -56,14 +59,19 @@ struct Args {
     addr: String,
     dir: Option<String>,
     gc_interval: u64,
+    workers: usize,
+    read_timeout: u64,
 }
 
 fn parse_args() -> Args {
+    let defaults = ServerConfig::default();
     let mut args = Args {
         command: None,
         addr: DEFAULT_DAEMON_ADDR.to_string(),
         dir: None,
         gc_interval: 60,
+        workers: defaults.workers,
+        read_timeout: defaults.read_timeout.as_secs(),
     };
     let mut it = std::env::args().skip(1);
     let mut first = true;
@@ -85,6 +93,20 @@ fn parse_args() -> Args {
                 let v = value_of("--gc-interval");
                 args.gc_interval = v.parse().unwrap_or_else(|_| {
                     eprintln!("error: --gc-interval expects seconds, got {v:?}");
+                    usage();
+                });
+            }
+            "--workers" => {
+                let v = value_of("--workers");
+                args.workers = v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    eprintln!("error: --workers expects a positive count, got {v:?}");
+                    usage();
+                });
+            }
+            "--read-timeout" => {
+                let v = value_of("--read-timeout");
+                args.read_timeout = v.parse().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                    eprintln!("error: --read-timeout expects seconds, got {v:?}");
                     usage();
                 });
             }
@@ -117,6 +139,16 @@ fn maintenance(command: &str, addr: &str) -> ExitCode {
                     s.traces,
                     s.live_bytes,
                     s.file_bytes,
+                );
+                println!(
+                    "load: {} active connections, pipeline depth hwm {}, \
+                     {} batched keys (max batch {}), claims {} granted / {} expired",
+                    s.active_connections,
+                    s.pipeline_hwm,
+                    s.batched_keys,
+                    s.max_batch,
+                    s.claims_granted,
+                    s.claims_expired,
                 );
                 ExitCode::SUCCESS
             }
@@ -184,6 +216,8 @@ fn main() -> ExitCode {
     let config = ServerConfig {
         gc_policy: policy,
         gc_interval: (args.gc_interval > 0).then(|| Duration::from_secs(args.gc_interval)),
+        workers: args.workers,
+        read_timeout: Duration::from_secs(args.read_timeout),
     };
     let server = match StoreServer::bind(Arc::clone(&store), &args.addr, config) {
         Ok(server) => server,
@@ -209,6 +243,12 @@ fn main() -> ExitCode {
         config
             .gc_interval
             .map_or_else(|| "disabled".into(), |d| format!("every {}s", d.as_secs())),
+    );
+    println!(
+        "workers: {} multiplexing all connections, read timeout {}s, protocol v{}",
+        config.workers,
+        config.read_timeout.as_secs(),
+        cfr_types::net::PROTOCOL_VERSION,
     );
     if store.migrated_records() > 0 {
         println!("migrated: {} v1 records", store.migrated_records());

@@ -1,0 +1,597 @@
+//! The store clients: [`RemoteStore`] (TCP, reconnect-with-backoff,
+//! pipelined batches, claim/wait) and [`LayeredStore`] (remote over a
+//! machine-local fallback).
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::store::{
+    ArtifactStore, ClaimOutcome, GcReport, StoreBackend, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS,
+};
+
+use super::frame::{FrameReader, WireFormat};
+use super::proto::{Request, Response, StoreStats};
+use super::{FEATURE_BINARY, PROTOCOL_VERSION};
+
+/// Read/write timeout on client sockets: a stalled daemon degrades to
+/// misses rather than hanging an experiment.
+const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Timeout for establishing a connection.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// First reconnect delay after a failure; doubles per consecutive
+/// failure up to [`BACKOFF_MAX`].
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Longest reconnect delay.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Keys per `MGET`/`MPUT` frame. Batches larger than this are split
+/// into several frames — still **pipelined into one exchange** (one
+/// round trip), but each frame stays comfortably under the frame-size
+/// guard even with multi-KB record values.
+const BATCH_CHUNK: usize = 128;
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// The frame format negotiated via `HELLO` on connect.
+    format: WireFormat,
+}
+
+#[derive(Debug, Default)]
+struct ClientState {
+    conn: Option<Conn>,
+    consecutive_failures: u32,
+    retry_at: Option<Instant>,
+}
+
+/// A [`StoreBackend`] over a TCP connection to a
+/// [`StoreServer`](super::StoreServer).
+///
+/// Failure semantics — the store's "failure = cold run" contract, over
+/// the network:
+///
+/// - every I/O failure (connect refused, reset, timeout, malformed
+///   reply) degrades the operation to a **miss** (loads), a counted
+///   best-effort failure (saves), or `Unsupported` (claims); nothing
+///   propagates;
+/// - after a failure the client **backs off** (50 ms doubling to 2 s):
+///   operations inside the backoff window return misses immediately
+///   instead of hammering a dead daemon, and the next operation past the
+///   window reconnects transparently.
+///
+/// On connect the client sends `HELLO` and upgrades to binary framing
+/// when the server lists the `binary` feature; any hello failure (e.g. a
+/// protocol-v1 daemon answering `err`) falls back to text frames, so old
+/// daemons keep working.
+///
+/// One connection is shared (mutex-serialized) by all threads of the
+/// process. Batched operations ([`RemoteStore::load_many`],
+/// [`RemoteStore::save_many`]) pipeline all their frames into a single
+/// exchange — one round trip for an entire plan's keys — which is why
+/// serialization is not the bottleneck. The exception is
+/// [`RemoteStore::wait_for`], which parks server-side: it uses a
+/// dedicated throwaway connection so a parked wait never blocks the
+/// shared one.
+#[derive(Debug)]
+pub struct RemoteStore {
+    addr: String,
+    state: Mutex<ClientState>,
+    allow_binary: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    put_errors: AtomicU64,
+    round_trips: AtomicU64,
+    requests_sent: AtomicU64,
+}
+
+impl RemoteStore {
+    /// A client of the daemon at `addr` (`host:port`). No connection is
+    /// attempted until the first operation.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_format(addr, true)
+    }
+
+    /// A client that never upgrades to binary framing — every frame on
+    /// the wire is text. Functionally identical; exists for the
+    /// text-vs-binary comparison in `bench_store` and for debugging with
+    /// a line-oriented capture.
+    #[must_use]
+    pub fn new_text_only(addr: impl Into<String>) -> Self {
+        Self::with_format(addr, false)
+    }
+
+    fn with_format(addr: impl Into<String>, allow_binary: bool) -> Self {
+        Self {
+            addr: addr.into(),
+            state: Mutex::new(ClientState::default()),
+            allow_binary,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            put_errors: AtomicU64::new(0),
+            round_trips: AtomicU64::new(0),
+            requests_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// The daemon address this client talks to.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Loads served by the daemon.
+    #[must_use]
+    pub fn remote_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads the daemon missed on — including every load made while the
+    /// daemon was unreachable.
+    #[must_use]
+    pub fn remote_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Completed request/reply exchanges — network round trips. A
+    /// pipelined batch of any size counts **one**; this against
+    /// [`RemoteStore::requests_sent`] is the batching win `bench_store`
+    /// measures.
+    #[must_use]
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Request frames written (each `MGET`/`MPUT` chunk counts one).
+    #[must_use]
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent.load(Ordering::Relaxed)
+    }
+
+    /// The frame format the current connection negotiated (`None` while
+    /// disconnected).
+    #[must_use]
+    pub fn wire_format(&self) -> Option<WireFormat> {
+        self.state
+            .lock()
+            .expect("remote store poisoned")
+            .conn
+            .as_ref()
+            .map(|c| c.format)
+    }
+
+    fn connect_raw(addr: &str, read_timeout: Duration) -> io::Result<TcpStream> {
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolves to nothing")
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn connect(addr: &str, allow_binary: bool) -> io::Result<Conn> {
+        let mut stream = Self::connect_raw(addr, CLIENT_IO_TIMEOUT)?;
+        let mut reader = FrameReader::new();
+        // Negotiate. The hello itself is text — every peer can at least
+        // reject it legibly. A v1 daemon answers `err`, which simply
+        // pins the connection to text frames.
+        let mut format = WireFormat::Text;
+        stream.write_all(
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            }
+            .to_frame(WireFormat::Text),
+        )?;
+        let payload = reader.read_frame(&mut stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })?;
+        if let Ok(Response::Hello { features, .. }) = Response::from_payload(&payload) {
+            if allow_binary && features.iter().any(|f| f == FEATURE_BINARY) {
+                format = WireFormat::Binary;
+            }
+        }
+        Ok(Conn {
+            stream,
+            reader,
+            format,
+        })
+    }
+
+    fn note_failure(state: &mut ClientState) {
+        state.conn = None;
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        let shift = state.consecutive_failures.saturating_sub(1).min(8);
+        let delay = BACKOFF_BASE
+            .checked_mul(1 << shift)
+            .map_or(BACKOFF_MAX, |d| d.min(BACKOFF_MAX));
+        state.retry_at = Some(Instant::now() + delay);
+    }
+
+    /// One pipelined exchange: writes every request frame, then reads
+    /// exactly one reply per request, in order. `None` covers every
+    /// failure: not connected and inside the backoff window,
+    /// connect/write/read failure, or an undecodable reply.
+    #[must_use]
+    pub fn exchange_many(&self, reqs: &[Request]) -> Option<Vec<Response>> {
+        if reqs.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut state = self.state.lock().expect("remote store poisoned");
+        if state.conn.is_none() {
+            if let Some(at) = state.retry_at {
+                if Instant::now() < at {
+                    return None; // back off: degrade to a miss immediately
+                }
+            }
+            match Self::connect(&self.addr, self.allow_binary) {
+                Ok(conn) => state.conn = Some(conn),
+                Err(_) => {
+                    Self::note_failure(&mut state);
+                    return None;
+                }
+            }
+        }
+        let exchange = (|| -> io::Result<Vec<Response>> {
+            let conn = state.conn.as_mut().expect("connected above");
+            // Pipelining: all requests go out in one write; the replies
+            // stream back in order. One round trip regardless of batch
+            // size.
+            let mut blob = Vec::new();
+            for req in reqs {
+                blob.extend_from_slice(&req.to_frame(conn.format));
+            }
+            conn.stream.write_all(&blob)?;
+            let mut replies = Vec::with_capacity(reqs.len());
+            for _ in reqs {
+                let payload = conn.reader.read_frame(&mut conn.stream)?.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+                })?;
+                let response = Response::from_payload(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                replies.push(response);
+            }
+            Ok(replies)
+        })();
+        match exchange {
+            Ok(replies) => {
+                // Only a completed exchange proves the daemon healthy.
+                // Resetting on connect alone would pin the backoff at its
+                // base against a daemon that accepts (the kernel
+                // completes handshakes from the backlog) but never
+                // replies — each request would burn the full I/O timeout
+                // forever instead of backing off.
+                state.consecutive_failures = 0;
+                state.retry_at = None;
+                self.round_trips.fetch_add(1, Ordering::Relaxed);
+                self.requests_sent
+                    .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                Some(replies)
+            }
+            Err(_) => {
+                Self::note_failure(&mut state);
+                None
+            }
+        }
+    }
+
+    /// One request/reply exchange; `None` on any failure.
+    #[must_use]
+    pub fn request(&self, req: &Request) -> Option<Response> {
+        self.exchange_many(std::slice::from_ref(req))
+            .and_then(|mut replies| replies.pop())
+    }
+
+    /// Saves over the wire; `true` iff the daemon acknowledged.
+    pub fn try_save(&self, ns: &str, key: &str, value: &str) -> bool {
+        let acked = matches!(
+            self.request(&Request::Put {
+                ns: ns.to_string(),
+                key: key.to_string(),
+                value: value.to_string(),
+            }),
+            Some(Response::Done)
+        );
+        if !acked {
+            self.put_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        acked
+    }
+
+    /// Batched save; `true` iff the daemon acknowledged every chunk.
+    pub fn try_save_many(&self, items: &[(String, String, String)]) -> bool {
+        if items.is_empty() {
+            return true;
+        }
+        let reqs: Vec<Request> = items
+            .chunks(BATCH_CHUNK)
+            .map(|chunk| Request::MPut {
+                items: chunk.to_vec(),
+            })
+            .collect();
+        let acked = self
+            .exchange_many(&reqs)
+            .is_some_and(|replies| replies.iter().all(|r| matches!(r, Response::Done)));
+        if !acked {
+            self.put_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        acked
+    }
+
+    /// The daemon's occupancy report, if reachable.
+    #[must_use]
+    pub fn stats(&self) -> Option<StoreStats> {
+        match self.request(&Request::Stats) {
+            Some(Response::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Asks the daemon for a GC pass now; its report, if reachable.
+    #[must_use]
+    pub fn gc(&self) -> Option<GcReport> {
+        match self.request(&Request::Gc) {
+            Some(Response::Gc(r)) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Asks the daemon to exit; `true` iff it acknowledged.
+    pub fn shutdown(&self) -> bool {
+        matches!(self.request(&Request::Shutdown), Some(Response::Done))
+    }
+}
+
+impl StoreBackend for RemoteStore {
+    fn load(&self, ns: &str, key: &str) -> Option<String> {
+        let got = match self.request(&Request::Get {
+            ns: ns.to_string(),
+            key: key.to_string(),
+        }) {
+            Some(Response::Hit { value }) => Some(value),
+            _ => None, // miss, error reply, or daemon unreachable
+        };
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    fn save(&self, ns: &str, key: &str, value: &str) {
+        let _ = self.try_save(ns, key, value);
+    }
+
+    fn load_many(&self, items: &[(String, String)]) -> Vec<Option<String>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // Several MGET chunks, one pipelined exchange: still one round
+        // trip for the whole plan.
+        let reqs: Vec<Request> = items
+            .chunks(BATCH_CHUNK)
+            .map(|chunk| Request::MGet {
+                items: chunk.to_vec(),
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        if let Some(replies) = self.exchange_many(&reqs) {
+            for (reply, chunk) in replies.into_iter().zip(items.chunks(BATCH_CHUNK)) {
+                match reply {
+                    Response::MGot { values } if values.len() == chunk.len() => {
+                        out.extend(values);
+                    }
+                    _ => out.extend(std::iter::repeat_with(|| None).take(chunk.len())),
+                }
+            }
+        }
+        // A lost exchange (or short reply list) degrades the remainder
+        // to misses.
+        out.resize_with(items.len(), || None);
+        let hit_count = out.iter().filter(|v| v.is_some()).count() as u64;
+        self.hits.fetch_add(hit_count, Ordering::Relaxed);
+        self.misses
+            .fetch_add(items.len() as u64 - hit_count, Ordering::Relaxed);
+        out
+    }
+
+    fn save_many(&self, items: &[(String, String, String)]) {
+        let _ = self.try_save_many(items);
+    }
+
+    fn claim(&self, ns: &str, key: &str, lease: Duration) -> ClaimOutcome {
+        let lease_ms = u64::try_from(lease.as_millis()).unwrap_or(u64::MAX);
+        match self.request(&Request::Claim {
+            ns: ns.to_string(),
+            key: key.to_string(),
+            lease_ms,
+        }) {
+            Some(Response::Hit { value }) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ClaimOutcome::Hit(value)
+            }
+            Some(Response::Granted) => ClaimOutcome::Granted,
+            Some(Response::Busy) => ClaimOutcome::Busy,
+            // Error reply (e.g. a pre-claim daemon) or unreachable: the
+            // caller computes locally — a failure is never more than a
+            // miss.
+            _ => ClaimOutcome::Unsupported,
+        }
+    }
+
+    fn wait_for(&self, ns: &str, key: &str, timeout: Duration) -> Option<String> {
+        // A parked WAIT would block the shared mutex-serialized
+        // connection for every other thread; use a throwaway connection
+        // whose read timeout outlives the server-side park.
+        let exchange = || -> io::Result<Option<String>> {
+            let mut stream =
+                Self::connect_raw(&self.addr, timeout.saturating_add(Duration::from_secs(5)))?;
+            let timeout_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
+            let req = Request::Wait {
+                ns: ns.to_string(),
+                key: key.to_string(),
+                timeout_ms,
+            };
+            stream.write_all(&req.to_frame(WireFormat::Text))?;
+            let mut reader = FrameReader::new();
+            let payload = reader.read_frame(&mut stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+            })?;
+            match Response::from_payload(&payload) {
+                Ok(Response::Hit { value }) => Ok(Some(value)),
+                _ => Ok(None),
+            }
+        };
+        exchange().ok().flatten()
+    }
+
+    fn write_errors(&self) -> u64 {
+        self.put_errors.load(Ordering::Relaxed)
+    }
+
+    fn namespace_records(&self, ns: &str) -> usize {
+        let Some(stats) = self.stats() else { return 0 };
+        let count = match ns {
+            NS_RUNS => stats.runs,
+            NS_WALKS => stats.walks,
+            NS_PROGRAMS => stats.programs,
+            NS_TRACES => stats.traces,
+            _ => 0,
+        };
+        usize::try_from(count).unwrap_or(usize::MAX)
+    }
+
+    fn describe(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+}
+
+/// Remote-first storage with a machine-local fallback.
+///
+/// - **Load**: the daemon is asked first; a remote miss (or an
+///   unreachable daemon) falls back to the local store. A remote hit
+///   backfills nothing locally and a local hit pushes nothing to the
+///   daemon — the daemon stays the single source of truth, the local
+///   layer a read-only legacy of pre-daemon runs plus a degraded-mode
+///   spill. Batched loads probe the daemon in one round trip, then fill
+///   only the missed slots locally.
+/// - **Save**: goes to the daemon; only while the daemon is unreachable
+///   does it land in the local store instead, so degraded runs stay warm
+///   for the next local process.
+/// - **Claim/wait**: daemon-global (that is the point); an unreachable
+///   daemon degrades claims to `Unsupported`, i.e. local compute.
+#[derive(Debug)]
+pub struct LayeredStore {
+    remote: RemoteStore,
+    local: Option<Arc<ArtifactStore>>,
+}
+
+impl LayeredStore {
+    /// Stacks `remote` over an optional machine-local fallback.
+    #[must_use]
+    pub fn new(remote: RemoteStore, local: Option<Arc<ArtifactStore>>) -> Self {
+        Self { remote, local }
+    }
+
+    /// The remote layer.
+    #[must_use]
+    pub fn remote(&self) -> &RemoteStore {
+        &self.remote
+    }
+
+    /// The local fallback layer, if any.
+    #[must_use]
+    pub fn local(&self) -> Option<&Arc<ArtifactStore>> {
+        self.local.as_ref()
+    }
+}
+
+impl StoreBackend for LayeredStore {
+    fn load(&self, ns: &str, key: &str) -> Option<String> {
+        if let Some(value) = self.remote.load(ns, key) {
+            return Some(value);
+        }
+        self.local.as_ref().and_then(|l| l.load(ns, key))
+    }
+
+    fn save(&self, ns: &str, key: &str, value: &str) {
+        if self.remote.try_save(ns, key, value) {
+            return;
+        }
+        if let Some(local) = &self.local {
+            local.save(ns, key, value);
+        }
+    }
+
+    fn load_many(&self, items: &[(String, String)]) -> Vec<Option<String>> {
+        let mut out = self.remote.load_many(items);
+        if let Some(local) = &self.local {
+            for (slot, (ns, key)) in out.iter_mut().zip(items) {
+                if slot.is_none() {
+                    *slot = local.load(ns, key);
+                }
+            }
+        }
+        out
+    }
+
+    fn save_many(&self, items: &[(String, String, String)]) {
+        if self.remote.try_save_many(items) {
+            return;
+        }
+        if let Some(local) = &self.local {
+            for (ns, key, value) in items {
+                local.save(ns, key, value);
+            }
+        }
+    }
+
+    fn claim(&self, ns: &str, key: &str, lease: Duration) -> ClaimOutcome {
+        match self.remote.claim(ns, key, lease) {
+            // The daemon missed but the local layer may still be warm —
+            // a legacy local hit must stay a hit, not a recompute.
+            ClaimOutcome::Granted => match self.local.as_ref().and_then(|l| l.load(ns, key)) {
+                Some(value) => ClaimOutcome::Hit(value),
+                None => ClaimOutcome::Granted,
+            },
+            outcome => outcome,
+        }
+    }
+
+    fn wait_for(&self, ns: &str, key: &str, timeout: Duration) -> Option<String> {
+        self.remote.wait_for(ns, key, timeout)
+    }
+
+    fn write_errors(&self) -> u64 {
+        self.remote.write_errors()
+            + self
+                .local
+                .as_ref()
+                .map_or(0, |l| ArtifactStore::write_errors(l))
+    }
+
+    fn namespace_records(&self, ns: &str) -> usize {
+        let remote = self.remote.namespace_records(ns);
+        if remote > 0 {
+            return remote;
+        }
+        self.local
+            .as_ref()
+            .map_or(0, |l| ArtifactStore::namespace_records(l, ns))
+    }
+
+    fn describe(&self) -> String {
+        match &self.local {
+            Some(local) => format!("tcp://{} + {}", self.remote.addr(), local.dir().display()),
+            None => self.remote.describe(),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The networked store: protocol codec, TCP client, and daemon server.
+//!
+//! PR 3's sharded [`ArtifactStore`] is single-machine: every process
+//! opens the shard files directly. PR 5 put **one process in charge of
+//! the shards** behind a tiny request/reply protocol; this revision
+//! grows that daemon into a multiplexed service front-end:
+//!
+//! - [`StoreServer`] — a std-only TCP daemon that exclusively owns an
+//!   [`ArtifactStore`] and serves it from a **fixed worker pool over a
+//!   readiness loop** (no thread per client): each worker multiplexes
+//!   many nonblocking connections through per-connection state machines,
+//!   so thousands of clients cost a handful of threads. Requests are
+//!   **pipelined** — a client may send many frames before reading any
+//!   reply; responses come back in request order per connection.
+//! - [`RemoteStore`] — the client: the namespaced load/save surface
+//!   ([`StoreBackend`]) over TCP with reconnect-with-backoff, plus the
+//!   batch surface (`load_many`/`save_many` → one `MGET`/`MPUT` round
+//!   trip instead of a round trip per key) and the global-dedup surface
+//!   (`claim`/`wait_for`). Every I/O failure degrades to a **miss**.
+//! - [`LayeredStore`] — remote over local: a remote miss falls back to
+//!   the machine-local store, saves go to the daemon — falling back to
+//!   the local layer only while the daemon is unreachable.
+//!
+//! # Wire formats
+//!
+//! Every message (request or response) is one **frame**, in one of two
+//! self-describing formats:
+//!
+//! ```text
+//! text:    cfr1 <payload-bytes>\n<payload>\n          (protocol v1, kept)
+//! binary:  cfrb <4-byte LE payload-bytes><payload>    (protocol v2)
+//! ```
+//!
+//! The first bytes disambiguate, so a server accepts either format on
+//! any frame and **mirrors the request's format in its reply**. A
+//! client discovers whether the server speaks binary via the `HELLO`
+//! verb ([`Request::Hello`]) and upgrades only after the server lists
+//! the `binary` feature — text frames keep working forever, which is
+//! the compatibility story for protocol v1 peers and for humans with
+//! `nc`. Binary framing spares multi-MB program/trace records the text
+//! codec's header scans and re-validation on every hop.
+//!
+//! Frame payload size is bounded ([`max_frame_bytes`], default
+//! [`MAX_FRAME_BYTES`], override [`MAX_FRAME_ENV`]): a garbage length
+//! prefix is rejected *before* any allocation, and an oversized frame
+//! draws an error reply followed by disconnect.
+//!
+//! # Verbs
+//!
+//! `GET`/`PUT`/`STATS`/`GC`/`SHUTDOWN` from protocol v1, plus:
+//!
+//! - `MGET`/`MPUT` — batch lookups/saves: an entire plan's keys in one
+//!   round trip (the engine's batched warm probe).
+//! - `HELLO` — version/feature negotiation (see above).
+//! - `CLAIM`/`WAIT` — **global cold-key dedup**: `CLAIM` asks for the
+//!   exclusive right to compute a missing key (lease-bounded; the reply
+//!   is the stored value if someone already published it, `granted` if
+//!   the claim is yours, `busy` if another client holds it); `WAIT`
+//!   parks the connection until the value is published or the claim
+//!   lease expires. A dead client's claim expires — or is released the
+//!   moment its connection drops — and waiters degrade to computing
+//!   locally, preserving the store's every-failure-is-a-miss contract.
+//!
+//! The decoders are total functions over arbitrary bytes —
+//! `Incomplete` / `Invalid` / `Frame`, never a panic — which is what
+//! the protocol fuzz properties in `tests/property_based.rs` pin.
+//!
+//! [`ArtifactStore`]: crate::store::ArtifactStore
+//! [`StoreBackend`]: crate::store::StoreBackend
+
+mod client;
+mod frame;
+mod proto;
+mod server;
+
+pub use client::{LayeredStore, RemoteStore};
+pub use frame::{
+    decode_frame, decode_wire_frame, encode_frame, encode_frame_bin, max_frame_bytes, FrameDecode,
+    FrameReader, WireDecode, WireFormat, WirePayload, BIN_HEADER_BYTES, BIN_MAGIC, MAX_FRAME_BYTES,
+    MAX_HEADER_BYTES, PROTOCOL_MAGIC,
+};
+pub use proto::{Request, Response, StoreStats};
+pub use server::{ServerConfig, StoreServer};
+
+use std::time::Duration;
+
+/// Environment variable naming the store daemon (`host:port`). When set,
+/// `cfr_core::Store::open_default` builds a [`LayeredStore`] (remote
+/// first, local fallback) instead of opening the shards directly.
+pub const STORE_ADDR_ENV: &str = "CFR_STORE_ADDR";
+
+/// Environment variable overriding the maximum frame payload size in
+/// bytes (default [`MAX_FRAME_BYTES`]; values below 4096 are clamped up
+/// so control frames always fit).
+pub const MAX_FRAME_ENV: &str = "CFR_STORE_MAX_FRAME";
+
+/// Environment variable overriding the claim lease, in milliseconds
+/// (default [`DEFAULT_CLAIM_LEASE`]). The lease bounds how long other
+/// clients wait on a claim whose holder died without disconnecting.
+pub const CLAIM_LEASE_ENV: &str = "CFR_STORE_CLAIM_LEASE_MS";
+
+/// Default claim lease: long enough for any single simulation at
+/// realistic scales, short enough that a wedged holder only stalls
+/// waiters briefly before they degrade to computing locally.
+pub const DEFAULT_CLAIM_LEASE: Duration = Duration::from_secs(30);
+
+/// Default port the daemon binds when none is given.
+pub const DEFAULT_DAEMON_ADDR: &str = "127.0.0.1:7433";
+
+/// The protocol version this build speaks (reported by `HELLO`).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Feature token: the peer accepts binary frames.
+pub const FEATURE_BINARY: &str = "binary";
+
+/// Feature token: the peer serves `MGET`/`MPUT` batches.
+pub const FEATURE_BATCH: &str = "batch";
+
+/// Feature token: the peer serves `CLAIM`/`WAIT` global dedup.
+pub const FEATURE_CLAIM: &str = "claim";
+
+/// The claim lease this process uses ([`CLAIM_LEASE_ENV`], else
+/// [`DEFAULT_CLAIM_LEASE`]).
+#[must_use]
+pub fn claim_lease() -> Duration {
+    std::env::var(CLAIM_LEASE_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map_or(DEFAULT_CLAIM_LEASE, Duration::from_millis)
+}

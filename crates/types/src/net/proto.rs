@@ -1,0 +1,1316 @@
+//! The request/response grammar, in both codecs.
+//!
+//! Payloads are either UTF-8 **text** (protocol v1's grammar, extended
+//! with the batch/claim/hello verbs) or **binary** (tag byte + length-
+//! prefixed fields). Both codecs are total over arbitrary input and
+//! enforce the same field validity rules, so a message decoded from one
+//! codec always re-encodes cleanly in the other — the text↔binary
+//! equivalence the property tests pin.
+
+use crate::store::GcReport;
+
+use super::frame::{encode_frame, encode_frame_bin, WireFormat, WirePayload};
+
+pub(crate) fn valid_ns(ns: &str) -> bool {
+    !ns.is_empty() && !ns.contains(char::is_whitespace)
+}
+
+pub(crate) fn valid_key(key: &str) -> bool {
+    !key.is_empty() && !key.contains('\n')
+}
+
+pub(crate) fn valid_value(value: &str) -> bool {
+    !value.contains('\n')
+}
+
+fn valid_feature(token: &str) -> bool {
+    valid_ns(token)
+}
+
+/// One client request. The daemon's whole command surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Look `(ns, key)` up.
+    Get {
+        /// Namespace (single whitespace-free token).
+        ns: String,
+        /// Single-line record-string key.
+        key: String,
+    },
+    /// Persist `(ns, key) → value`.
+    Put {
+        /// Namespace (single whitespace-free token).
+        ns: String,
+        /// Single-line record-string key.
+        key: String,
+        /// Single-line record-string value.
+        value: String,
+    },
+    /// Look a whole batch of `(ns, key)` pairs up in one round trip.
+    MGet {
+        /// The probed `(ns, key)` pairs, in reply order.
+        items: Vec<(String, String)>,
+    },
+    /// Persist a whole batch of `(ns, key, value)` records.
+    MPut {
+        /// The records to store.
+        items: Vec<(String, String, String)>,
+    },
+    /// Ask for the exclusive right to compute a missing `(ns, key)`:
+    /// the stored value if someone already published it, `granted` if
+    /// the claim is now held by this connection (for `lease_ms`), `busy`
+    /// if another live claim holds it.
+    Claim {
+        /// Namespace (single whitespace-free token).
+        ns: String,
+        /// Single-line record-string key.
+        key: String,
+        /// Requested lease, in milliseconds (server-clamped).
+        lease_ms: u64,
+    },
+    /// Park until `(ns, key)` is published (`hit`), its claim expires or
+    /// is released unpublished (`miss`), or `timeout_ms` elapses
+    /// (`miss`). Never blocks when no claim is active — that is an
+    /// immediate `miss`/`hit`.
+    Wait {
+        /// Namespace (single whitespace-free token).
+        ns: String,
+        /// Single-line record-string key.
+        key: String,
+        /// Longest time to stay parked, in milliseconds (server-clamped).
+        timeout_ms: u64,
+    },
+    /// Version/feature negotiation: the reply lists what the server
+    /// speaks (`binary`, `batch`, `claim`).
+    Hello {
+        /// The client's protocol version.
+        version: u32,
+    },
+    /// Report occupancy (live records/bytes, per-namespace counts) and
+    /// service counters.
+    Stats,
+    /// Run a GC/compaction pass under the daemon's policy now.
+    Gc,
+    /// Stop accepting connections and exit.
+    Shutdown,
+}
+
+// Binary tags. A tag outside this table decodes to a descriptive error.
+const TAG_GET: u8 = 1;
+const TAG_PUT: u8 = 2;
+const TAG_STATS: u8 = 3;
+const TAG_GC: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+const TAG_MGET: u8 = 6;
+const TAG_MPUT: u8 = 7;
+const TAG_CLAIM: u8 = 8;
+const TAG_WAIT: u8 = 9;
+const TAG_HELLO: u8 = 10;
+
+const TAG_HIT: u8 = 1;
+const TAG_MISS: u8 = 2;
+const TAG_DONE: u8 = 3;
+const TAG_RSTATS: u8 = 4;
+const TAG_GCDONE: u8 = 5;
+const TAG_ERR: u8 = 6;
+const TAG_MGOT: u8 = 7;
+const TAG_GRANTED: u8 = 8;
+const TAG_BUSY: u8 = 9;
+const TAG_RHELLO: u8 = 10;
+
+/// A little-endian cursor over a binary payload: every read is
+/// bounds-checked and returns a descriptive error, so the binary
+/// decoders are total over arbitrary bytes.
+struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| format!("truncated {what}"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| format!("truncated {what}"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let end = self.pos + 8;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| format!("truncated {what}"))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn str_field(&mut self, what: &str) -> Result<String, String> {
+        let len = self.u32(what)? as usize;
+        // Bounds-check before allocating: a corrupt length never
+        // allocates beyond the payload actually received.
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated {what}"))?;
+        let s = core::str::from_utf8(&self.buf[self.pos..end])
+            .map_err(|_| format!("{what} is not UTF-8"))?;
+        self.pos = end;
+        Ok(s.to_string())
+    }
+
+    fn finish(self, what: &str) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{what}: trailing bytes"))
+        }
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let len = u32::try_from(s.len()).expect("field over 4 GiB");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Serializes this request as a text frame payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Get { ns, key } => format!("get {ns} {}\n{key}", key.len()),
+            Self::Put { ns, key, value } => {
+                format!("put {ns} {} {}\n{key}\n{value}", key.len(), value.len())
+            }
+            Self::MGet { items } => {
+                let mut out = format!("mget {}", items.len());
+                for (ns, key) in items {
+                    out.push('\n');
+                    out.push_str(ns);
+                    out.push('\n');
+                    out.push_str(key);
+                }
+                out
+            }
+            Self::MPut { items } => {
+                let mut out = format!("mput {}", items.len());
+                for (ns, key, value) in items {
+                    out.push('\n');
+                    out.push_str(ns);
+                    out.push('\n');
+                    out.push_str(key);
+                    out.push('\n');
+                    out.push_str(value);
+                }
+                out
+            }
+            Self::Claim { ns, key, lease_ms } => {
+                format!("claim {ns} {} {lease_ms}\n{key}", key.len())
+            }
+            Self::Wait {
+                ns,
+                key,
+                timeout_ms,
+            } => format!("wait {ns} {} {timeout_ms}\n{key}", key.len()),
+            Self::Hello { version } => format!("hello {version}"),
+            Self::Stats => "stats".to_string(),
+            Self::Gc => "gc".to_string(),
+            Self::Shutdown => "shutdown".to_string(),
+        }
+    }
+
+    /// Serializes this request as a binary frame payload.
+    #[must_use]
+    pub fn encode_bin(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Get { ns, key } => {
+                out.push(TAG_GET);
+                push_str(&mut out, ns);
+                push_str(&mut out, key);
+            }
+            Self::Put { ns, key, value } => {
+                out.push(TAG_PUT);
+                push_str(&mut out, ns);
+                push_str(&mut out, key);
+                push_str(&mut out, value);
+            }
+            Self::MGet { items } => {
+                out.push(TAG_MGET);
+                out.extend_from_slice(
+                    &u32::try_from(items.len())
+                        .expect("batch over u32::MAX items")
+                        .to_le_bytes(),
+                );
+                for (ns, key) in items {
+                    push_str(&mut out, ns);
+                    push_str(&mut out, key);
+                }
+            }
+            Self::MPut { items } => {
+                out.push(TAG_MPUT);
+                out.extend_from_slice(
+                    &u32::try_from(items.len())
+                        .expect("batch over u32::MAX items")
+                        .to_le_bytes(),
+                );
+                for (ns, key, value) in items {
+                    push_str(&mut out, ns);
+                    push_str(&mut out, key);
+                    push_str(&mut out, value);
+                }
+            }
+            Self::Claim { ns, key, lease_ms } => {
+                out.push(TAG_CLAIM);
+                push_str(&mut out, ns);
+                push_str(&mut out, key);
+                out.extend_from_slice(&lease_ms.to_le_bytes());
+            }
+            Self::Wait {
+                ns,
+                key,
+                timeout_ms,
+            } => {
+                out.push(TAG_WAIT);
+                push_str(&mut out, ns);
+                push_str(&mut out, key);
+                out.extend_from_slice(&timeout_ms.to_le_bytes());
+            }
+            Self::Hello { version } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Self::Stats => out.push(TAG_STATS),
+            Self::Gc => out.push(TAG_GC),
+            Self::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Serializes this request as a complete wire frame in `format`.
+    #[must_use]
+    pub fn to_frame(&self, format: WireFormat) -> Vec<u8> {
+        match format {
+            WireFormat::Text => encode_frame(&self.encode()),
+            WireFormat::Binary => encode_frame_bin(&self.encode_bin()),
+        }
+    }
+
+    /// Parses a frame payload in either codec.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn from_payload(payload: &WirePayload) -> Result<Self, String> {
+        match payload {
+            WirePayload::Text(text) => Self::decode(text),
+            WirePayload::Binary(bytes) => Self::decode_bin(bytes),
+        }
+    }
+
+    /// Parses a text frame payload. Total over arbitrary strings: every
+    /// malformed payload is a descriptive `Err`, never a panic — the
+    /// server turns it into an `err` reply. Field shapes are enforced
+    /// here (namespace one token, key/value single-line, lengths exact),
+    /// so a decoded `Put` can always be stored without tripping the
+    /// store's own input assertions.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        let (head, body) = payload
+            .split_once('\n')
+            .map_or((payload, None), |(h, b)| (h, Some(b)));
+        let mut tokens = head.split(' ');
+        let verb = tokens.next().unwrap_or("");
+        match verb {
+            "get" => {
+                let ns = tokens.next().ok_or("get: missing namespace")?;
+                let klen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("get: bad key length")?;
+                if tokens.next().is_some() {
+                    return Err("get: trailing tokens".into());
+                }
+                let key = body.ok_or("get: missing key line")?;
+                if key.len() != klen || !valid_key(key) || !valid_ns(ns) {
+                    return Err("get: malformed namespace or key".into());
+                }
+                Ok(Self::Get {
+                    ns: ns.to_string(),
+                    key: key.to_string(),
+                })
+            }
+            "put" => {
+                let ns = tokens.next().ok_or("put: missing namespace")?;
+                let klen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("put: bad key length")?;
+                let vlen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("put: bad value length")?;
+                if tokens.next().is_some() {
+                    return Err("put: trailing tokens".into());
+                }
+                let body = body.ok_or("put: missing key/value lines")?;
+                let expected = klen.checked_add(1).and_then(|n| n.checked_add(vlen));
+                if expected != Some(body.len()) {
+                    return Err("put: body length mismatch".into());
+                }
+                // `get(..)` (not slicing) so a length landing inside a
+                // multi-byte character is an error, not a panic.
+                let key = body.get(..klen).ok_or("put: key not UTF-8 aligned")?;
+                let sep = body.get(klen..=klen);
+                let value = body.get(klen + 1..).ok_or("put: value not UTF-8 aligned")?;
+                if sep != Some("\n") || !valid_ns(ns) || !valid_key(key) || !valid_value(value) {
+                    return Err("put: malformed namespace, key, or value".into());
+                }
+                Ok(Self::Put {
+                    ns: ns.to_string(),
+                    key: key.to_string(),
+                    value: value.to_string(),
+                })
+            }
+            "mget" => {
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("mget: bad item count")?;
+                if tokens.next().is_some() {
+                    return Err("mget: trailing tokens".into());
+                }
+                let mut lines = body.map(|b| b.split('\n'));
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    let it = lines.as_mut().ok_or("mget: missing item lines")?;
+                    let ns = it.next().ok_or("mget: missing namespace line")?;
+                    let key = it.next().ok_or("mget: missing key line")?;
+                    if !valid_ns(ns) || !valid_key(key) {
+                        return Err("mget: malformed namespace or key".into());
+                    }
+                    items.push((ns.to_string(), key.to_string()));
+                }
+                if lines.and_then(|mut it| it.next()).is_some() {
+                    return Err("mget: trailing lines".into());
+                }
+                Ok(Self::MGet { items })
+            }
+            "mput" => {
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("mput: bad item count")?;
+                if tokens.next().is_some() {
+                    return Err("mput: trailing tokens".into());
+                }
+                let mut lines = body.map(|b| b.split('\n'));
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    let it = lines.as_mut().ok_or("mput: missing item lines")?;
+                    let ns = it.next().ok_or("mput: missing namespace line")?;
+                    let key = it.next().ok_or("mput: missing key line")?;
+                    let value = it.next().ok_or("mput: missing value line")?;
+                    if !valid_ns(ns) || !valid_key(key) || !valid_value(value) {
+                        return Err("mput: malformed namespace, key, or value".into());
+                    }
+                    items.push((ns.to_string(), key.to_string(), value.to_string()));
+                }
+                if lines.and_then(|mut it| it.next()).is_some() {
+                    return Err("mput: trailing lines".into());
+                }
+                Ok(Self::MPut { items })
+            }
+            "claim" | "wait" => {
+                let ns = tokens.next().ok_or("claim/wait: missing namespace")?;
+                let klen: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("claim/wait: bad key length")?;
+                let ms: u64 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("claim/wait: bad millisecond field")?;
+                if tokens.next().is_some() {
+                    return Err("claim/wait: trailing tokens".into());
+                }
+                let key = body.ok_or("claim/wait: missing key line")?;
+                if key.len() != klen || !valid_key(key) || !valid_ns(ns) {
+                    return Err("claim/wait: malformed namespace or key".into());
+                }
+                let ns = ns.to_string();
+                let key = key.to_string();
+                Ok(if verb == "claim" {
+                    Self::Claim {
+                        ns,
+                        key,
+                        lease_ms: ms,
+                    }
+                } else {
+                    Self::Wait {
+                        ns,
+                        key,
+                        timeout_ms: ms,
+                    }
+                })
+            }
+            "hello" if body.is_none() => {
+                let version: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("hello: bad version")?;
+                if tokens.next().is_some() {
+                    return Err("hello: trailing tokens".into());
+                }
+                Ok(Self::Hello { version })
+            }
+            "stats" if body.is_none() && tokens.next().is_none() => Ok(Self::Stats),
+            "gc" if body.is_none() && tokens.next().is_none() => Ok(Self::Gc),
+            "shutdown" if body.is_none() && tokens.next().is_none() => Ok(Self::Shutdown),
+            other => Err(format!("unknown request verb {other:?}")),
+        }
+    }
+
+    /// Parses a binary frame payload. Total over arbitrary bytes, and
+    /// enforces exactly the field validity rules the text codec does.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn decode_bin(payload: &[u8]) -> Result<Self, String> {
+        let mut r = BinReader::new(payload);
+        let tag = r.u8("request tag")?;
+        let req = match tag {
+            TAG_GET => {
+                let ns = r.str_field("get namespace")?;
+                let key = r.str_field("get key")?;
+                if !valid_ns(&ns) || !valid_key(&key) {
+                    return Err("get: malformed namespace or key".into());
+                }
+                Self::Get { ns, key }
+            }
+            TAG_PUT => {
+                let ns = r.str_field("put namespace")?;
+                let key = r.str_field("put key")?;
+                let value = r.str_field("put value")?;
+                if !valid_ns(&ns) || !valid_key(&key) || !valid_value(&value) {
+                    return Err("put: malformed namespace, key, or value".into());
+                }
+                Self::Put { ns, key, value }
+            }
+            TAG_MGET => {
+                let n = r.u32("mget count")?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    let ns = r.str_field("mget namespace")?;
+                    let key = r.str_field("mget key")?;
+                    if !valid_ns(&ns) || !valid_key(&key) {
+                        return Err("mget: malformed namespace or key".into());
+                    }
+                    items.push((ns, key));
+                }
+                Self::MGet { items }
+            }
+            TAG_MPUT => {
+                let n = r.u32("mput count")?;
+                let mut items = Vec::new();
+                for _ in 0..n {
+                    let ns = r.str_field("mput namespace")?;
+                    let key = r.str_field("mput key")?;
+                    let value = r.str_field("mput value")?;
+                    if !valid_ns(&ns) || !valid_key(&key) || !valid_value(&value) {
+                        return Err("mput: malformed namespace, key, or value".into());
+                    }
+                    items.push((ns, key, value));
+                }
+                Self::MPut { items }
+            }
+            TAG_CLAIM | TAG_WAIT => {
+                let ns = r.str_field("claim/wait namespace")?;
+                let key = r.str_field("claim/wait key")?;
+                let ms = r.u64("claim/wait milliseconds")?;
+                if !valid_ns(&ns) || !valid_key(&key) {
+                    return Err("claim/wait: malformed namespace or key".into());
+                }
+                if tag == TAG_CLAIM {
+                    Self::Claim {
+                        ns,
+                        key,
+                        lease_ms: ms,
+                    }
+                } else {
+                    Self::Wait {
+                        ns,
+                        key,
+                        timeout_ms: ms,
+                    }
+                }
+            }
+            TAG_HELLO => Self::Hello {
+                version: r.u32("hello version")?,
+            },
+            TAG_STATS => Self::Stats,
+            TAG_GC => Self::Gc,
+            TAG_SHUTDOWN => Self::Shutdown,
+            other => return Err(format!("unknown request tag {other}")),
+        };
+        r.finish("request")?;
+        Ok(req)
+    }
+}
+
+/// The daemon's occupancy + service report (the `STATS` reply).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live (latest-per-key) records across all namespaces.
+    pub live_records: u64,
+    /// Bytes those records occupy.
+    pub live_bytes: u64,
+    /// Physical shard-file bytes (live + dead).
+    pub file_bytes: u64,
+    /// Live records in the `runs` namespace.
+    pub runs: u64,
+    /// Live records in the `walks` namespace.
+    pub walks: u64,
+    /// Live records in the `programs` namespace.
+    pub programs: u64,
+    /// Live records in the `traces` namespace.
+    pub traces: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// High-water mark of requests queued on one connection — how deep
+    /// clients actually pipeline.
+    pub pipeline_hwm: u64,
+    /// Keys carried by `MGET`/`MPUT` batches (total).
+    pub batched_keys: u64,
+    /// Largest single batch served.
+    pub max_batch: u64,
+    /// `CLAIM`s granted (exclusive compute rights handed out).
+    pub claims_granted: u64,
+    /// Claims that expired or were released unpublished (holder died or
+    /// stalled past its lease; waiters degraded to computing locally).
+    pub claims_expired: u64,
+}
+
+/// One server reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `GET` found the record (also `CLAIM`/`WAIT`: the value is
+    /// published).
+    Hit {
+        /// The stored single-line record-string value.
+        value: String,
+    },
+    /// `GET` found nothing (also `WAIT`: the claim lapsed unpublished —
+    /// the client recomputes).
+    Miss,
+    /// `PUT` / `MPUT` / `SHUTDOWN` acknowledged.
+    Done,
+    /// `MGET` reply: one slot per requested key, in request order.
+    MGot {
+        /// `Some(value)` per hit, `None` per miss.
+        values: Vec<Option<String>>,
+    },
+    /// `CLAIM` reply: the exclusive compute right is yours for the lease.
+    Granted,
+    /// `CLAIM` reply: another live client holds the claim — `WAIT` for
+    /// the value instead of computing.
+    Busy,
+    /// `HELLO` reply: what this server speaks.
+    Hello {
+        /// The server's protocol version.
+        version: u32,
+        /// Feature tokens (`binary`, `batch`, `claim`).
+        features: Vec<String>,
+    },
+    /// `STATS` reply.
+    Stats(StoreStats),
+    /// `GC` reply: what the pass did.
+    Gc(GcReport),
+    /// The request could not be served (malformed, internal error). The
+    /// client treats it as a miss.
+    Error {
+        /// Single-line description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes this response as a text frame payload.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Hit { value } => format!("hit {}\n{value}", value.len()),
+            Self::Miss => "miss".to_string(),
+            Self::Done => "ok".to_string(),
+            Self::MGot { values } => {
+                let mut out = format!("mgot {}", values.len());
+                for slot in values {
+                    match slot {
+                        Some(value) => {
+                            out.push_str(&format!("\nhit {}\n", value.len()));
+                            out.push_str(value);
+                        }
+                        None => out.push_str("\nmiss"),
+                    }
+                }
+                out
+            }
+            Self::Granted => "granted".to_string(),
+            Self::Busy => "busy".to_string(),
+            Self::Hello { version, features } => {
+                let mut out = format!("hello {version}");
+                for f in features {
+                    out.push(' ');
+                    out.push_str(f);
+                }
+                out
+            }
+            Self::Stats(s) => format!(
+                "stats {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                s.live_records,
+                s.live_bytes,
+                s.file_bytes,
+                s.runs,
+                s.walks,
+                s.programs,
+                s.traces,
+                s.active_connections,
+                s.pipeline_hwm,
+                s.batched_keys,
+                s.max_batch,
+                s.claims_granted,
+                s.claims_expired
+            ),
+            Self::Gc(r) => format!(
+                "gcdone {} {} {} {} {} {}",
+                r.live_records,
+                r.live_bytes,
+                r.dead_bytes_dropped,
+                r.evicted_age,
+                r.evicted_size,
+                r.shards_rewritten
+            ),
+            Self::Error { message } => format!("err {}", message.replace('\n', " ")),
+        }
+    }
+
+    /// Serializes this response as a binary frame payload.
+    #[must_use]
+    pub fn encode_bin(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Hit { value } => {
+                out.push(TAG_HIT);
+                push_str(&mut out, value);
+            }
+            Self::Miss => out.push(TAG_MISS),
+            Self::Done => out.push(TAG_DONE),
+            Self::MGot { values } => {
+                out.push(TAG_MGOT);
+                out.extend_from_slice(
+                    &u32::try_from(values.len())
+                        .expect("batch over u32::MAX items")
+                        .to_le_bytes(),
+                );
+                for slot in values {
+                    match slot {
+                        Some(value) => {
+                            out.push(1);
+                            push_str(&mut out, value);
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
+            Self::Granted => out.push(TAG_GRANTED),
+            Self::Busy => out.push(TAG_BUSY),
+            Self::Hello { version, features } => {
+                out.push(TAG_RHELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(
+                    &u32::try_from(features.len())
+                        .expect("feature list over u32::MAX")
+                        .to_le_bytes(),
+                );
+                for f in features {
+                    push_str(&mut out, f);
+                }
+            }
+            Self::Stats(s) => {
+                out.push(TAG_RSTATS);
+                for n in [
+                    s.live_records,
+                    s.live_bytes,
+                    s.file_bytes,
+                    s.runs,
+                    s.walks,
+                    s.programs,
+                    s.traces,
+                    s.active_connections,
+                    s.pipeline_hwm,
+                    s.batched_keys,
+                    s.max_batch,
+                    s.claims_granted,
+                    s.claims_expired,
+                ] {
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+            }
+            Self::Gc(r) => {
+                out.push(TAG_GCDONE);
+                for n in [
+                    r.live_records,
+                    r.live_bytes,
+                    r.dead_bytes_dropped,
+                    r.evicted_age,
+                    r.evicted_size,
+                    u64::from(r.shards_rewritten),
+                ] {
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+            }
+            Self::Error { message } => {
+                out.push(TAG_ERR);
+                push_str(&mut out, &message.replace('\n', " "));
+            }
+        }
+        out
+    }
+
+    /// Serializes this response as a complete wire frame in `format`.
+    #[must_use]
+    pub fn to_frame(&self, format: WireFormat) -> Vec<u8> {
+        match format {
+            WireFormat::Text => encode_frame(&self.encode()),
+            WireFormat::Binary => encode_frame_bin(&self.encode_bin()),
+        }
+    }
+
+    /// Parses a frame payload in either codec.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn from_payload(payload: &WirePayload) -> Result<Self, String> {
+        match payload {
+            WirePayload::Text(text) => Self::decode(text),
+            WirePayload::Binary(bytes) => Self::decode_bin(bytes),
+        }
+    }
+
+    /// Parses a text frame payload; total over arbitrary strings.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn decode(payload: &str) -> Result<Self, String> {
+        fn numbers<'a>(
+            tokens: &mut impl Iterator<Item = &'a str>,
+            n: usize,
+            verb: &str,
+        ) -> Result<Vec<u64>, String> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(
+                    tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("{verb}: bad numeric field"))?,
+                );
+            }
+            Ok(out)
+        }
+        let (head, body) = payload
+            .split_once('\n')
+            .map_or((payload, None), |(h, b)| (h, Some(b)));
+        let mut tokens = head.split(' ');
+        let verb = tokens.next().unwrap_or("");
+        match verb {
+            "hit" => {
+                let vlen = numbers(&mut tokens, 1, verb)?[0];
+                if tokens.next().is_some() {
+                    return Err("hit: trailing tokens".into());
+                }
+                let value = body.ok_or("hit: missing value line")?;
+                if value.len() as u64 != vlen || !valid_value(value) {
+                    return Err("hit: value length mismatch".into());
+                }
+                Ok(Self::Hit {
+                    value: value.to_string(),
+                })
+            }
+            "miss" if body.is_none() && tokens.next().is_none() => Ok(Self::Miss),
+            "ok" if body.is_none() && tokens.next().is_none() => Ok(Self::Done),
+            "mgot" => {
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("mgot: bad slot count")?;
+                if tokens.next().is_some() {
+                    return Err("mgot: trailing tokens".into());
+                }
+                let mut lines = body.map(|b| b.split('\n'));
+                let mut values = Vec::new();
+                for _ in 0..n {
+                    let it = lines.as_mut().ok_or("mgot: missing slot lines")?;
+                    let slot = it.next().ok_or("mgot: missing slot line")?;
+                    if slot == "miss" {
+                        values.push(None);
+                        continue;
+                    }
+                    let vlen: usize = slot
+                        .strip_prefix("hit ")
+                        .and_then(|t| t.parse().ok())
+                        .ok_or("mgot: malformed slot line")?;
+                    let value = it.next().ok_or("mgot: missing value line")?;
+                    if value.len() != vlen {
+                        return Err("mgot: value length mismatch".into());
+                    }
+                    values.push(Some(value.to_string()));
+                }
+                if lines.and_then(|mut it| it.next()).is_some() {
+                    return Err("mgot: trailing lines".into());
+                }
+                Ok(Self::MGot { values })
+            }
+            "granted" if body.is_none() && tokens.next().is_none() => Ok(Self::Granted),
+            "busy" if body.is_none() && tokens.next().is_none() => Ok(Self::Busy),
+            "hello" if body.is_none() => {
+                let version: u32 = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("hello: bad version")?;
+                let features: Vec<String> = tokens.map(str::to_string).collect();
+                if features.iter().any(|f| !valid_feature(f)) {
+                    return Err("hello: malformed feature token".into());
+                }
+                Ok(Self::Hello { version, features })
+            }
+            "stats" if body.is_none() => {
+                // 7 numbers is a protocol-v1 peer; the 6 service
+                // counters read as zero.
+                let all: Vec<u64> = tokens
+                    .map(|t| t.parse::<u64>().map_err(|_| "stats: bad numeric field"))
+                    .collect::<Result<_, _>>()?;
+                if all.len() != 7 && all.len() != 13 {
+                    return Err("stats: wrong field count".into());
+                }
+                let at = |i: usize| all.get(i).copied().unwrap_or(0);
+                Ok(Self::Stats(StoreStats {
+                    live_records: at(0),
+                    live_bytes: at(1),
+                    file_bytes: at(2),
+                    runs: at(3),
+                    walks: at(4),
+                    programs: at(5),
+                    traces: at(6),
+                    active_connections: at(7),
+                    pipeline_hwm: at(8),
+                    batched_keys: at(9),
+                    max_batch: at(10),
+                    claims_granted: at(11),
+                    claims_expired: at(12),
+                }))
+            }
+            "gcdone" if body.is_none() => {
+                let v = numbers(&mut tokens, 6, verb)?;
+                if tokens.next().is_some() {
+                    return Err("gcdone: trailing tokens".into());
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                Ok(Self::Gc(GcReport {
+                    live_records: v[0],
+                    live_bytes: v[1],
+                    dead_bytes_dropped: v[2],
+                    evicted_age: v[3],
+                    evicted_size: v[4],
+                    shards_rewritten: v[5] as u32,
+                }))
+            }
+            "err" => {
+                let message = head.strip_prefix("err ").unwrap_or("").to_string();
+                if body.is_some() {
+                    return Err("err: unexpected body".into());
+                }
+                Ok(Self::Error { message })
+            }
+            other => Err(format!("unknown response verb {other:?}")),
+        }
+    }
+
+    /// Parses a binary frame payload; total over arbitrary bytes.
+    ///
+    /// # Errors
+    ///
+    /// A one-line description of what is malformed.
+    pub fn decode_bin(payload: &[u8]) -> Result<Self, String> {
+        let mut r = BinReader::new(payload);
+        let tag = r.u8("response tag")?;
+        let resp = match tag {
+            TAG_HIT => {
+                let value = r.str_field("hit value")?;
+                if !valid_value(&value) {
+                    return Err("hit: malformed value".into());
+                }
+                Self::Hit { value }
+            }
+            TAG_MISS => Self::Miss,
+            TAG_DONE => Self::Done,
+            TAG_MGOT => {
+                let n = r.u32("mgot count")?;
+                let mut values = Vec::new();
+                for _ in 0..n {
+                    match r.u8("mgot slot tag")? {
+                        0 => values.push(None),
+                        1 => {
+                            let value = r.str_field("mgot value")?;
+                            if !valid_value(&value) {
+                                return Err("mgot: malformed value".into());
+                            }
+                            values.push(Some(value));
+                        }
+                        other => return Err(format!("mgot: bad slot tag {other}")),
+                    }
+                }
+                Self::MGot { values }
+            }
+            TAG_GRANTED => Self::Granted,
+            TAG_BUSY => Self::Busy,
+            TAG_RHELLO => {
+                let version = r.u32("hello version")?;
+                let n = r.u32("hello feature count")?;
+                let mut features = Vec::new();
+                for _ in 0..n {
+                    let f = r.str_field("hello feature")?;
+                    if !valid_feature(&f) {
+                        return Err("hello: malformed feature token".into());
+                    }
+                    features.push(f);
+                }
+                Self::Hello { version, features }
+            }
+            TAG_RSTATS => {
+                let mut next = |what| r.u64(what);
+                Self::Stats(StoreStats {
+                    live_records: next("stats field")?,
+                    live_bytes: next("stats field")?,
+                    file_bytes: next("stats field")?,
+                    runs: next("stats field")?,
+                    walks: next("stats field")?,
+                    programs: next("stats field")?,
+                    traces: next("stats field")?,
+                    active_connections: next("stats field")?,
+                    pipeline_hwm: next("stats field")?,
+                    batched_keys: next("stats field")?,
+                    max_batch: next("stats field")?,
+                    claims_granted: next("stats field")?,
+                    claims_expired: next("stats field")?,
+                })
+            }
+            TAG_GCDONE => {
+                let mut next = |what| r.u64(what);
+                let (live_records, live_bytes) = (next("gcdone field")?, next("gcdone field")?);
+                let dead = next("gcdone field")?;
+                let (ea, es) = (next("gcdone field")?, next("gcdone field")?);
+                let shards = next("gcdone field")?;
+                Self::Gc(GcReport {
+                    live_records,
+                    live_bytes,
+                    dead_bytes_dropped: dead,
+                    evicted_age: ea,
+                    evicted_size: es,
+                    shards_rewritten: u32::try_from(shards)
+                        .map_err(|_| "gcdone: shard count over u32")?,
+                })
+            }
+            TAG_ERR => {
+                let message = r.str_field("err message")?;
+                if message.contains('\n') {
+                    return Err("err: malformed message".into());
+                }
+                Self::Error { message }
+            }
+            other => return Err(format!("unknown response tag {other}")),
+        };
+        r.finish("response")?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Get {
+                ns: "runs".into(),
+                key: "runkey 177.mesa scale 1000 7".into(),
+            },
+            Request::Put {
+                ns: "walks".into(),
+                key: "k with spaces".into(),
+                value: "v with spaces and 0x3ff0000000000000".into(),
+            },
+            Request::Put {
+                ns: "programs".into(),
+                key: "k".into(),
+                value: String::new(),
+            },
+            Request::MGet { items: vec![] },
+            Request::MGet {
+                items: vec![
+                    ("runs".into(), "key one with spaces".into()),
+                    ("traces".into(), "key two".into()),
+                ],
+            },
+            Request::MPut {
+                items: vec![
+                    ("runs".into(), "k1".into(), "value one".into()),
+                    ("walks".into(), "k2".into(), String::new()),
+                ],
+            },
+            Request::Claim {
+                ns: "runs".into(),
+                key: "cold key".into(),
+                lease_ms: 30_000,
+            },
+            Request::Wait {
+                ns: "runs".into(),
+                key: "cold key".into(),
+                timeout_ms: 12_345,
+            },
+            Request::Hello { version: 2 },
+            Request::Stats,
+            Request::Gc,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Hit {
+                value: "report base vipt 1 2".into(),
+            },
+            Response::Hit {
+                value: String::new(),
+            },
+            Response::Miss,
+            Response::Done,
+            Response::MGot { values: vec![] },
+            Response::MGot {
+                values: vec![
+                    Some("value with spaces".into()),
+                    None,
+                    Some(String::new()),
+                    None,
+                ],
+            },
+            Response::Granted,
+            Response::Busy,
+            Response::Hello {
+                version: 2,
+                features: vec!["batch".into(), "binary".into(), "claim".into()],
+            },
+            Response::Hello {
+                version: 1,
+                features: vec![],
+            },
+            Response::Stats(StoreStats {
+                live_records: 1,
+                live_bytes: 2,
+                file_bytes: 3,
+                runs: 4,
+                walks: 5,
+                programs: 6,
+                traces: 7,
+                active_connections: 8,
+                pipeline_hwm: 9,
+                batched_keys: 10,
+                max_batch: 11,
+                claims_granted: 12,
+                claims_expired: 13,
+            }),
+            Response::Gc(GcReport {
+                live_records: 9,
+                live_bytes: 100,
+                dead_bytes_dropped: 11,
+                evicted_age: 1,
+                evicted_size: 2,
+                shards_rewritten: 3,
+            }),
+            Response::Error {
+                message: "something broke".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn request_and_response_codecs_round_trip() {
+        for req in sample_requests() {
+            assert_eq!(Request::decode(&req.encode()).as_ref(), Ok(&req));
+            assert_eq!(Request::decode_bin(&req.encode_bin()).as_ref(), Ok(&req));
+        }
+        for resp in sample_responses() {
+            assert_eq!(Response::decode(&resp.encode()).as_ref(), Ok(&resp));
+            assert_eq!(Response::decode_bin(&resp.encode_bin()).as_ref(), Ok(&resp));
+        }
+    }
+
+    #[test]
+    fn text_and_binary_codecs_agree() {
+        // The same message decoded from either codec is the same value —
+        // the codecs are two encodings of one grammar.
+        for req in sample_requests() {
+            assert_eq!(
+                Request::decode(&req.encode()),
+                Request::decode_bin(&req.encode_bin())
+            );
+        }
+        for resp in sample_responses() {
+            assert_eq!(
+                Response::decode(&resp.encode()),
+                Response::decode_bin(&resp.encode_bin())
+            );
+        }
+    }
+
+    #[test]
+    fn v1_stats_responses_still_decode() {
+        // A protocol-v1 peer sends 7 numbers; the service counters read
+        // as zero.
+        let got = Response::decode("stats 1 2 3 4 5 6 7").unwrap();
+        assert_eq!(
+            got,
+            Response::Stats(StoreStats {
+                live_records: 1,
+                live_bytes: 2,
+                file_bytes: 3,
+                runs: 4,
+                walks: 5,
+                programs: 6,
+                traces: 7,
+                ..StoreStats::default()
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for bad in [
+            "",
+            "get",
+            "get runs",
+            "get runs 5\nab",             // length mismatch
+            "get runs 2\nab extra\nline", // newline in key
+            "put runs 1 1\nk",
+            "put runs 1 1\nkXv",
+            "stats extra",
+            "gc 1",
+            "frobnicate",
+            "get r\u{a0}ns 1\nk", // non-ASCII whitespace in ns
+            "mget",
+            "mget x",
+            "mget 2\nruns\nkey",        // one item short
+            "mget 1\nruns\nkey\nextra", // trailing line
+            "mget 1\n\nkey",            // empty ns
+            "mput 1\nruns\nkey",        // missing value line
+            "claim runs 3\nkey",        // missing lease field
+            "claim runs 3 x\nkey",
+            "wait runs 2 100\nkey", // key length mismatch
+            "hello",
+            "hello x",
+            "hello 2 extra",
+        ] {
+            assert!(Request::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+        for bad in [
+            "",
+            "hit",
+            "hit 5\nab",
+            "stats 1 2 3",
+            "stats 1 2 3 4 5 6 7 8", // neither 7 nor 13 fields
+            "gcdone 1",
+            "frob",
+            "mgot",
+            "mgot 2\nmiss",        // one slot short
+            "mgot 1\nhit 5\nab",   // value length mismatch
+            "mgot 1\nmiss\nextra", // trailing line
+            "granted 1",
+            "busy extra",
+            "hello",
+            "hello x",
+            "hello 2 bad\u{a0}token",
+        ] {
+            assert!(Response::decode(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn malformed_binary_payloads_are_errors_not_panics() {
+        // Truncations of every valid message must error cleanly.
+        for req in sample_requests() {
+            let bytes = req.encode_bin();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Request::decode_bin(&bytes[..cut]).is_err(),
+                    "truncated {req:?} at {cut} must not decode"
+                );
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = resp.encode_bin();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Response::decode_bin(&bytes[..cut]).is_err(),
+                    "truncated {resp:?} at {cut} must not decode"
+                );
+            }
+        }
+        // Bad tags, trailing bytes, corrupt field lengths, invalid
+        // fields.
+        assert!(Request::decode_bin(&[99]).is_err());
+        assert!(Response::decode_bin(&[99]).is_err());
+        let mut trailing = Request::Stats.encode_bin();
+        trailing.push(0);
+        assert!(Request::decode_bin(&trailing).is_err());
+        // A corrupt string length larger than the payload must not
+        // allocate or panic.
+        let mut huge = vec![TAG_GET];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode_bin(&huge).is_err());
+        // A namespace with whitespace is rejected by the binary codec
+        // exactly like the text codec.
+        let bad_ns = Request::Get {
+            ns: "runs".into(),
+            key: "k".into(),
+        }
+        .encode_bin();
+        let patched: Vec<u8> = bad_ns
+            .iter()
+            .map(|&b| if b == b'u' { b' ' } else { b })
+            .collect();
+        assert!(Request::decode_bin(&patched).is_err());
+    }
+}

@@ -147,6 +147,40 @@ pub trait StoreBackend: Send + Sync + std::fmt::Debug {
     /// Persists `(ns, key) → value`, best-effort.
     fn save(&self, ns: &str, key: &str, value: &str);
 
+    /// Looks a whole batch of `(ns, key)` pairs up; one `Option` per
+    /// pair, in order. Networked backends serve the whole batch in one
+    /// round trip (`MGET`); the default delegates to [`Self::load`]
+    /// one by one, so every backend supports the batched surface.
+    fn load_many(&self, items: &[(String, String)]) -> Vec<Option<String>> {
+        items.iter().map(|(ns, key)| self.load(ns, key)).collect()
+    }
+
+    /// Persists a whole batch of `(ns, key, value)` records,
+    /// best-effort. Networked backends batch (`MPUT`); the default
+    /// delegates to [`Self::save`] one by one.
+    fn save_many(&self, items: &[(String, String, String)]) {
+        for (ns, key, value) in items {
+            self.save(ns, key, value);
+        }
+    }
+
+    /// Asks for the exclusive right to compute a missing `(ns, key)`.
+    /// Only backends with a global coordinator (the store daemon)
+    /// implement this; the default is [`ClaimOutcome::Unsupported`],
+    /// which callers treat exactly like `Granted` minus the dedup — they
+    /// compute locally, preserving every-failure-is-a-miss.
+    fn claim(&self, _ns: &str, _key: &str, _lease: std::time::Duration) -> ClaimOutcome {
+        ClaimOutcome::Unsupported
+    }
+
+    /// Parks until another client publishes `(ns, key)`, its claim
+    /// lapses, or `timeout` elapses; `None` means "compute it yourself".
+    /// Meaningful only after a [`ClaimOutcome::Busy`]; the default never
+    /// waits.
+    fn wait_for(&self, _ns: &str, _key: &str, _timeout: std::time::Duration) -> Option<String> {
+        None
+    }
+
     /// Best-effort writes that failed (diagnostics only).
     fn write_errors(&self) -> u64;
 
@@ -157,6 +191,22 @@ pub trait StoreBackend: Send + Sync + std::fmt::Debug {
     /// Human-readable identity for the `store:` summary line — a
     /// directory path, a `tcp://` address, or both.
     fn describe(&self) -> String;
+}
+
+/// What a [`StoreBackend::claim`] returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The value is already stored — no computation needed.
+    Hit(String),
+    /// The exclusive compute right is this client's for the lease:
+    /// compute, then `save` (which publishes to any waiters).
+    Granted,
+    /// Another live client holds the claim: `wait_for` the value
+    /// instead of duplicating the computation.
+    Busy,
+    /// This backend has no claim coordination (local store, old daemon,
+    /// or unreachable daemon): compute locally.
+    Unsupported,
 }
 
 impl StoreBackend for ArtifactStore {

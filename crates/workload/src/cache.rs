@@ -44,6 +44,11 @@ use crate::program::Program;
 pub struct ProgramCache {
     programs: Mutex<HashMap<&'static str, Arc<Program>>>,
     store: Mutex<Option<Arc<dyn StoreBackend>>>,
+    /// Store-probe answers delivered ahead of time by a batched prefetch
+    /// ([`ProgramCache::prime`]), keyed by store key: `Some(text)` is the
+    /// stored record, `None` a definite miss. Consumed by the next
+    /// [`ProgramCache::get`] in place of its own per-key store probe.
+    pending: Mutex<HashMap<String, Option<String>>>,
     generated: AtomicU64,
     loaded: AtomicU64,
 }
@@ -63,6 +68,23 @@ impl ProgramCache {
         *self.store.lock().expect("program cache poisoned") = Some(store);
     }
 
+    /// Hands the cache the result of a batched store probe for
+    /// `store_key` (see [`program_store_key`]): `Some(text)` is the
+    /// stored record, `None` a definite miss. The next [`Self::get`]
+    /// whose profile maps to that key consumes the answer instead of
+    /// issuing its own store round trip; a corrupt primed record
+    /// regenerates exactly as a corrupt loaded record would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    pub fn prime(&self, store_key: String, value: Option<String>) {
+        self.pending
+            .lock()
+            .expect("program cache poisoned")
+            .insert(store_key, value);
+    }
+
     /// The program for `profile`, from (in order) the in-memory memo, the
     /// attached store, or the generator — always returning the shared
     /// copy afterwards.
@@ -78,7 +100,22 @@ impl ProgramCache {
             return Arc::clone(program);
         }
         let store = self.store.lock().expect("program cache poisoned").clone();
-        let program = match store.as_deref().and_then(|s| self.try_load(s, profile)) {
+        let store_key = program_store_key(profile);
+        let primed = self
+            .pending
+            .lock()
+            .expect("program cache poisoned")
+            .remove(&store_key);
+        let warm = match primed {
+            // A batched prefetch already probed the store for this key;
+            // a primed `None` is a definite miss, so skip the re-probe.
+            Some(answer) => answer.and_then(|text| Self::parse_stored(&text)),
+            None => store
+                .as_deref()
+                .and_then(|s| s.load(NS_PROGRAMS, &store_key))
+                .and_then(|text| Self::parse_stored(&text)),
+        };
+        let program = match warm {
             Some(warm) => {
                 self.loaded.fetch_add(1, Ordering::Relaxed);
                 warm
@@ -89,7 +126,7 @@ impl ProgramCache {
                 if let Some(store) = &store {
                     let mut w = RecordWriter::new();
                     fresh.to_record(&mut w);
-                    store.save(NS_PROGRAMS, &program_store_key(profile), &w.finish());
+                    store.save(NS_PROGRAMS, &store_key, &w.finish());
                 }
                 fresh
             }
@@ -99,11 +136,11 @@ impl ProgramCache {
         program
     }
 
-    /// Loads and re-validates a stored program; any parse or validation
-    /// failure is a miss (the caller regenerates and overwrites).
-    fn try_load(&self, store: &dyn StoreBackend, profile: &BenchmarkProfile) -> Option<Program> {
-        let text = store.load(NS_PROGRAMS, &program_store_key(profile))?;
-        let mut r = RecordReader::new(&text);
+    /// Parses and re-validates a stored program record; any parse or
+    /// validation failure is a miss (the caller regenerates and
+    /// overwrites).
+    fn parse_stored(text: &str) -> Option<Program> {
+        let mut r = RecordReader::new(text);
         let program = Program::from_record(&mut r).ok()?;
         r.finish().ok()?;
         program.validate().ok()?;
@@ -184,6 +221,36 @@ mod tests {
         assert_eq!((warm.generated(), warm.loaded()), (0, 1));
         assert_eq!(*loaded, *generated);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn primed_answers_replace_per_key_store_probes() {
+        let profile = profiles::mesa();
+        let mut w = cfr_types::RecordWriter::new();
+        profile.generate().to_record(&mut w);
+        let record = w.finish();
+
+        // A primed hit serves warm with no store attached at all — proof
+        // the cache consumed the prefetched answer, not a store probe.
+        let cache = ProgramCache::new();
+        cache.prime(program_store_key(&profile), Some(record));
+        let program = cache.get(&profile);
+        assert_eq!((cache.generated(), cache.loaded()), (0, 1));
+        assert_eq!(*program, profile.generate());
+
+        // A primed definite miss generates without consulting the store.
+        let cold = ProgramCache::new();
+        cold.prime(program_store_key(&profile), None);
+        let _ = cold.get(&profile);
+        assert_eq!((cold.generated(), cold.loaded()), (1, 0));
+
+        // A corrupt primed record degrades to regeneration, like any
+        // corrupt stored record.
+        let corrupt = ProgramCache::new();
+        corrupt.prime(program_store_key(&profile), Some("not a program".into()));
+        let regenerated = corrupt.get(&profile);
+        assert_eq!((corrupt.generated(), corrupt.loaded()), (1, 0));
+        assert_eq!(*regenerated, profile.generate());
     }
 
     #[test]

@@ -757,6 +757,11 @@ type TraceKey = (&'static str, u64, bool, bool);
 pub struct TraceCache {
     traces: Mutex<HashMap<TraceKey, Arc<CompiledTrace>>>,
     store: Mutex<Option<Arc<dyn StoreBackend>>>,
+    /// Store-probe answers delivered ahead of time by a batched prefetch
+    /// ([`TraceCache::prime`]), keyed by store key: `Some(text)` is the
+    /// stored record, `None` a definite miss. Consumed by the next
+    /// [`TraceCache::get`] in place of its own per-key store probe.
+    pending: Mutex<HashMap<String, Option<String>>>,
     compiled: AtomicU64,
     loaded: AtomicU64,
 }
@@ -802,10 +807,21 @@ impl TraceCache {
         }
         let store = self.store.lock().expect("trace cache poisoned").clone();
         let store_key = trace_store_key(profile, laid.geom, laid.instrumented, sola_marked);
-        let trace = match store
-            .as_deref()
-            .and_then(|s| Self::try_load(s, &store_key, laid))
-        {
+        let primed = self
+            .pending
+            .lock()
+            .expect("trace cache poisoned")
+            .remove(&store_key);
+        let warm = match primed {
+            // A batched prefetch already probed the store for this key;
+            // a primed `None` is a definite miss, so skip the re-probe.
+            Some(answer) => answer.and_then(|text| Self::parse_stored(&text, laid)),
+            None => store
+                .as_deref()
+                .and_then(|s| s.load(NS_TRACES, &store_key))
+                .and_then(|text| Self::parse_stored(&text, laid)),
+        };
+        let trace = match warm {
             Some(warm) => {
                 self.loaded.fetch_add(1, Ordering::Relaxed);
                 warm
@@ -826,12 +842,29 @@ impl TraceCache {
         trace
     }
 
-    /// Loads and re-validates a stored trace; any parse, validation, or
-    /// shape mismatch against the live layout is a miss (the caller
-    /// recompiles and overwrites).
-    fn try_load(store: &dyn StoreBackend, key: &str, laid: &LaidProgram) -> Option<CompiledTrace> {
-        let text = store.load(NS_TRACES, key)?;
-        let mut r = RecordReader::new(&text);
+    /// Hands the cache the result of a batched store probe for
+    /// `store_key` (see [`trace_store_key`]): `Some(text)` is the stored
+    /// record, `None` a definite miss. The next [`Self::get`] whose
+    /// layout maps to that key consumes the answer instead of issuing
+    /// its own store round trip; the primed record passes the exact same
+    /// validation a loaded one would, so corruption still degrades to a
+    /// recompile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    pub fn prime(&self, store_key: String, value: Option<String>) {
+        self.pending
+            .lock()
+            .expect("trace cache poisoned")
+            .insert(store_key, value);
+    }
+
+    /// Parses and re-validates a stored trace record; any parse,
+    /// validation, or shape mismatch against the live layout is a miss
+    /// (the caller recompiles and overwrites).
+    fn parse_stored(text: &str, laid: &LaidProgram) -> Option<CompiledTrace> {
+        let mut r = RecordReader::new(text);
         let trace = CompiledTrace::from_record(&mut r).ok()?;
         r.finish().ok()?;
         trace.validate().ok()?;
@@ -1038,6 +1071,38 @@ mod tests {
         assert_eq!((warm.compiled(), warm.loaded()), (0, 1));
         assert_eq!(*loaded, *compiled);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn primed_answers_replace_per_key_store_probes() {
+        let profile = profiles::mesa();
+        let laid = LaidProgram::lay_out(&profile.generate(), PageGeometry::default_4k(), false);
+        let mut w = RecordWriter::new();
+        compile_trace(&laid).to_record(&mut w);
+        let record = w.finish();
+        let key = trace_store_key(&profile, laid.geom, laid.instrumented, false);
+
+        // A primed hit serves warm with no store attached at all — proof
+        // the cache consumed the prefetched answer, not a store probe.
+        let cache = TraceCache::new();
+        cache.prime(key.clone(), Some(record));
+        let trace = cache.get(&profile, &laid, false);
+        assert_eq!((cache.compiled(), cache.loaded()), (0, 1));
+        assert_eq!(*trace, compile_trace(&laid));
+
+        // A primed definite miss compiles without consulting the store.
+        let cold = TraceCache::new();
+        cold.prime(key.clone(), None);
+        let _ = cold.get(&profile, &laid, false);
+        assert_eq!((cold.compiled(), cold.loaded()), (1, 0));
+
+        // A corrupt primed record degrades to a recompile, like any
+        // corrupt stored record.
+        let corrupt = TraceCache::new();
+        corrupt.prime(key, Some("not a trace".into()));
+        let recompiled = corrupt.get(&profile, &laid, false);
+        assert_eq!((corrupt.compiled(), corrupt.loaded()), (1, 0));
+        assert_eq!(*recompiled, compile_trace(&laid));
     }
 
     #[test]

@@ -362,7 +362,10 @@ proptest! {
 // codec round-trips. See `cfr_types::net` and `tests/store_daemon.rs`.
 // ---------------------------------------------------------------------------
 
-use cfr_sim::types::net::{decode_frame, encode_frame, FrameDecode, Request, Response, StoreStats};
+use cfr_sim::types::net::{
+    decode_frame, decode_wire_frame, encode_frame, encode_frame_bin, FrameDecode, Request,
+    Response, StoreStats, WireDecode, WirePayload,
+};
 use cfr_sim::types::GcReport;
 
 /// Builds a printable-ish string (spaces, punctuation, alphanumerics, an
@@ -439,21 +442,31 @@ proptest! {
     }
 
     /// Request and response codecs round-trip for generated namespaces,
-    /// keys, values, and counter sets — every protocol frame codec.
+    /// keys, values, batches, claims, and counter sets — every protocol
+    /// frame codec, in **both** wire formats, and the two formats decode
+    /// to the same structure (text↔binary equivalence).
     #[test]
     fn request_and_response_codecs_round_trip(
-        which in 0u64..6,
+        which in 0u64..10,
         key_codes in proptest::collection::vec(0u64..0x500, 1..40),
         value_codes in proptest::collection::vec(0u64..0x500, 0..60),
         ns_pick in 0u64..4,
-        counters in proptest::collection::vec(0u64..1_000_000, 7..8),
+        batch in 0usize..5,
+        millis in 0u64..1_000_000,
+        counters in proptest::collection::vec(0u64..1_000_000, 13..14),
     ) {
         let ns = ["runs", "walks", "programs", "traces"][usize::try_from(ns_pick).unwrap()].to_string();
         let key = record_line_from(&key_codes);
         let value = record_line_from(&value_codes);
+        let items: Vec<(String, String)> = (0..batch)
+            .map(|i| (ns.clone(), format!("{key} {i}")))
+            .collect();
+        let put_items: Vec<(String, String, String)> = (0..batch)
+            .map(|i| (ns.clone(), format!("{key} {i}"), format!("{value} {i}")))
+            .collect();
         let request = match which {
             0 => Request::Get { ns: ns.clone(), key: key.clone() },
-            1 => Request::Put { ns, key, value: value.clone() },
+            1 => Request::Put { ns: ns.clone(), key: key.clone(), value: value.clone() },
             2 => Request::Put {
                 ns: "runs".into(),
                 key: "k".into(),
@@ -461,11 +474,21 @@ proptest! {
             },
             3 => Request::Stats,
             4 => Request::Gc,
+            5 => Request::MGet { items },
+            6 => Request::MPut { items: put_items },
+            7 => Request::Claim { ns: ns.clone(), key: key.clone(), lease_ms: millis },
+            8 => Request::Wait { ns: ns.clone(), key: key.clone(), timeout_ms: millis },
             _ => Request::Shutdown,
         };
         let decoded = Request::decode(&request.encode());
-        prop_assert_eq!(decoded, Ok(request));
+        prop_assert_eq!(decoded.as_ref(), Ok(&request));
+        // The binary codec round-trips too, and agrees with text.
+        let bin = Request::decode_bin(&request.encode_bin());
+        prop_assert_eq!(bin, decoded);
 
+        let mgot: Vec<Option<String>> = (0..batch)
+            .map(|i| (i % 2 == 0).then(|| format!("{value} {i}")))
+            .collect();
         let response = match which {
             0 => Response::Hit { value },
             1 => Response::Miss,
@@ -478,6 +501,12 @@ proptest! {
                 walks: counters[4],
                 programs: counters[5],
                 traces: counters[6],
+                active_connections: counters[7],
+                pipeline_hwm: counters[8],
+                batched_keys: counters[9],
+                max_batch: counters[10],
+                claims_granted: counters[11],
+                claims_expired: counters[12],
             }),
             4 => Response::Gc(GcReport {
                 live_records: counters[0],
@@ -487,12 +516,75 @@ proptest! {
                 evicted_size: counters[4],
                 shards_rewritten: u32::try_from(counters[5] % 17).unwrap(),
             }),
+            5 => Response::MGot { values: mgot },
+            6 => Response::Granted,
+            7 => Response::Busy,
+            8 => Response::Hello {
+                version: u32::try_from(millis % 100).unwrap(),
+                features: vec!["batch".into(), "binary".into(), "claim".into()],
+            },
             _ => Response::Error {
                 message: record_line_from(&value_codes),
             },
         };
         let decoded = Response::decode(&response.encode());
-        prop_assert_eq!(decoded, Ok(response));
+        prop_assert_eq!(decoded.as_ref(), Ok(&response));
+        let bin = Response::decode_bin(&response.encode_bin());
+        prop_assert_eq!(bin, decoded);
+    }
+
+    /// Binary frames round-trip byte payloads exactly, every strict
+    /// prefix of a binary frame reads as `Incomplete`, and the dual
+    /// decoder never mis-frames garbage: whatever it classifies as a
+    /// frame re-encodes to the exact bytes it consumed.
+    #[test]
+    fn binary_frames_round_trip_and_prefixes_are_incomplete(
+        payload in proptest::collection::vec(0u64..256, 0..160),
+    ) {
+        let payload: Vec<u8> = payload.iter().map(|&b| u8::try_from(b).unwrap()).collect();
+        let bytes = encode_frame_bin(&payload);
+        match decode_wire_frame(&bytes) {
+            WireDecode::Frame { payload: WirePayload::Binary(got), consumed } => {
+                prop_assert_eq!(&got, &payload);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => prop_assert!(false, "round trip decoded to {other:?}"),
+        }
+        for cut in 0..bytes.len() {
+            prop_assert_eq!(
+                decode_wire_frame(&bytes[..cut]),
+                WireDecode::Incomplete,
+                "cut {cut}"
+            );
+        }
+        // The dual decoder is total over the same garbage soup, and
+        // anything it frames re-encodes to the consumed bytes.
+        for start in 0..=payload.len() {
+            match decode_wire_frame(&payload[start..]) {
+                WireDecode::Frame { payload: got, consumed } => {
+                    let reencoded = match &got {
+                        WirePayload::Text(text) => encode_frame(text),
+                        WirePayload::Binary(bytes) => encode_frame_bin(bytes),
+                    };
+                    prop_assert_eq!(reencoded.as_slice(), &payload[start..start + consumed]);
+                }
+                WireDecode::Incomplete | WireDecode::Invalid => {}
+            }
+        }
+    }
+
+    /// Arbitrary byte soup never panics the binary request/response
+    /// parsers — they decode or error cleanly, and a decodable payload
+    /// re-encodes canonically (same canonical-form guarantee as text).
+    #[test]
+    fn binary_codecs_are_total_over_garbage(bytes in proptest::collection::vec(0u64..256, 0..120)) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| u8::try_from(b).unwrap()).collect();
+        if let Ok(request) = Request::decode_bin(&bytes) {
+            prop_assert_eq!(Request::decode_bin(&request.encode_bin()), Ok(request));
+        }
+        if let Ok(response) = Response::decode_bin(&bytes) {
+            prop_assert_eq!(Response::decode_bin(&response.encode_bin()), Ok(response));
+        }
     }
 
     /// Arbitrary text fed to the request/response parsers never panics —

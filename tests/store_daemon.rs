@@ -16,8 +16,8 @@ use std::time::Duration;
 
 use cfr_sim::core::{Engine, ExperimentScale, RunKey, Store, StrategyKind};
 use cfr_sim::types::{
-    AddressingMode, ArtifactStore, GcPolicy, LayeredStore, RemoteStore, ServerConfig, StoreBackend,
-    StoreServer, NS_RUNS,
+    AddressingMode, ArtifactStore, ClaimOutcome, GcPolicy, LayeredStore, RemoteStore, ServerConfig,
+    StoreBackend, StoreServer, NS_RUNS,
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -35,6 +35,7 @@ fn quiet_config() -> ServerConfig {
     ServerConfig {
         gc_policy: GcPolicy::unbounded(),
         gc_interval: None,
+        ..ServerConfig::default()
     }
 }
 
@@ -142,6 +143,117 @@ fn concurrent_engines_share_one_daemon() {
         }
     }
     assert_eq!(server.store().namespace_records(NS_RUNS), ks.len());
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Four engines race the same fully-cold plan through one daemon. The
+/// protocol-level claim/wait cycle must make each unique key simulate
+/// **exactly once globally** — the daemon's own counters are the proof:
+/// one claim granted per key, none expired, and the sum of the racers'
+/// simulation counts equals the unique-key count. Every racer still
+/// comes back with reference-identical reports (losers read the
+/// winner's published record).
+#[test]
+fn racing_engines_simulate_each_cold_key_exactly_once_globally() {
+    let dir = temp_dir("racing");
+    let server = serve(&dir, quiet_config());
+    let addr = server.addr().to_string();
+    let scale = tiny();
+    let ks = keys(&scale);
+
+    let reference = Engine::new();
+    let expected = reference.run_many(&ks);
+
+    let engines: Vec<Arc<Engine>> = (0..4).map(|_| Arc::new(remote_engine(&addr))).collect();
+    let workers: Vec<_> = engines
+        .iter()
+        .map(|engine| {
+            let engine = Arc::clone(engine);
+            let ks = ks.clone();
+            thread::spawn(move || {
+                engine
+                    .run_many(&ks)
+                    .iter()
+                    .map(|r| (**r).clone())
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for worker in workers {
+        let reports = worker.join().expect("racing engine must not panic");
+        for (a, b) in expected.iter().zip(&reports) {
+            assert_eq!(**a, *b, "every racer sees reference-identical reports");
+        }
+    }
+
+    let total_simulated: u64 = engines.iter().map(|e| e.simulated_runs()).sum();
+    assert_eq!(
+        total_simulated,
+        ks.len() as u64,
+        "cold simulations across all racers == unique keys (global dedup)"
+    );
+    // Every racer resolved every key: what it did not simulate, it read
+    // warm (probe hit, claim hit, or wait-published hit).
+    for engine in &engines {
+        assert_eq!(
+            engine.store_warm_runs() + engine.simulated_runs(),
+            ks.len() as u64
+        );
+    }
+    let stats = RemoteStore::new(addr).stats().expect("daemon reachable");
+    assert_eq!(
+        stats.claims_granted,
+        ks.len() as u64,
+        "exactly one claim granted per unique key"
+    );
+    assert_eq!(stats.claims_expired, 0, "no claim lapsed during the race");
+    assert!(
+        stats.batched_keys >= (ks.len() * engines.len()) as u64,
+        "every racer probed its plan through batched MGETs"
+    );
+    assert_eq!(server.store().namespace_records(NS_RUNS), ks.len());
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A client claims a cold key and dies without publishing. The daemon
+/// releases the orphaned claim on disconnect, so a later engine is
+/// never stuck behind a dead claimant: it computes the key itself and
+/// the daemon's expiry counter records the release.
+#[test]
+fn dead_claim_holder_never_wedges_a_racing_engine() {
+    let dir = temp_dir("deadclaim");
+    let server = serve(&dir, quiet_config());
+    let addr = server.addr().to_string();
+    let scale = tiny();
+    let key = RunKey::new("177.mesa", &scale, StrategyKind::Base, AddressingMode::ViPt);
+    let record = Store::key_record(&key);
+
+    // The doomed claimant takes a long lease… then its process dies
+    // (the dropped client closes the connection without publishing).
+    {
+        let doomed = RemoteStore::new(addr.clone());
+        assert_eq!(
+            doomed.claim(NS_RUNS, &record, Duration::from_secs(300)),
+            ClaimOutcome::Granted
+        );
+    }
+
+    // A fresh engine still completes promptly — released claim ⇒ local
+    // compute, preserving every-failure-is-a-miss — and the report is
+    // bit-identical to the no-daemon reference.
+    let engine = remote_engine(&addr);
+    let report = engine.run(key);
+    assert_eq!(engine.simulated_runs(), 1, "the engine computed it itself");
+    let reference = Engine::new();
+    assert_eq!(*report, *reference.run(key));
+
+    let stats = RemoteStore::new(addr).stats().expect("daemon reachable");
+    assert_eq!(
+        stats.claims_expired, 1,
+        "the daemon recorded the dead claimant's release"
+    );
     server.shutdown();
     let _ = fs::remove_dir_all(&dir);
 }
@@ -274,6 +386,7 @@ fn compaction_under_fire_loses_no_appends_for_100_iterations() {
         ServerConfig {
             gc_policy: GcPolicy::unbounded(),
             gc_interval: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
         },
     );
     let addr = server.addr().to_string();
