@@ -1,0 +1,317 @@
+//! Chaos soak: runs `all_experiments` against a store daemon reached
+//! through a fault-injecting TCP proxy, under a fault-injecting client
+//! backend, and proves three invariants per seed:
+//!
+//! 1. **Byte identity** — stdout is byte-for-byte identical to a
+//!    fault-free reference run. Every injected miss, torn append,
+//!    corrupt record, dropped connection, and stalled frame must
+//!    degrade to recomputation, never to different results.
+//! 2. **No hangs** — the run finishes inside `--deadline` seconds or
+//!    the child is killed and the soak fails.
+//! 3. **Crash-safe recovery** — after the run, both the daemon's and
+//!    the client's store directories reopen with **zero** corrupt
+//!    surviving records: torn tails are resynced past, and everything
+//!    the index still points at reads back byte-for-byte.
+//!
+//! ```sh
+//! cargo run -p cfr-bench --release --bin chaos_soak -- \
+//!     --commits 20000 --seeds 101,202,303 --deadline 300
+//! ```
+//!
+//! The fault schedules are pure functions of the seed, so a failing
+//! seed replays exactly.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfr_types::{
+    ArtifactStore, ChaosProxy, FaultPlan, FsyncPolicy, GcPolicy, ServerConfig, StoreServer,
+    CHAOS_PLAN_ENV, CHAOS_SEED_ENV, CLAIM_LEASE_ENV, STORE_ADDR_ENV, STORE_DIR_ENV,
+    STORE_FSYNC_ENV, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
+};
+
+struct Args {
+    commits: u64,
+    seeds: Vec<u64>,
+    deadline: u64,
+    report: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        commits: 20_000,
+        seeds: vec![101, 202, 303],
+        deadline: 600,
+        report: "chaos_soak_report.txt".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let mut value_of = |flag: &str| -> String {
+            inline.clone().or_else(|| it.next()).unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--commits" => {
+                args.commits = value_of("--commits").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --commits expects a count");
+                    std::process::exit(2);
+                });
+            }
+            "--seeds" => {
+                args.seeds = value_of("--seeds")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: --seeds expects comma-separated integers");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--deadline" => {
+                args.deadline = value_of("--deadline").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --deadline expects seconds");
+                    std::process::exit(2);
+                });
+            }
+            "--report" => args.report = value_of("--report"),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!(
+                    "usage: chaos_soak [--commits N] [--seeds A,B,C] [--deadline SECS] \
+                     [--report PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The `all_experiments` binary lives next to this one.
+fn experiments_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("current_exe");
+    path.set_file_name("all_experiments");
+    if !path.exists() {
+        eprintln!(
+            "error: {} not found; build it first (cargo build -p cfr-bench --bins)",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfr-chaos-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct RunOutcome {
+    stdout: Vec<u8>,
+    success: bool,
+    timed_out: bool,
+    elapsed: Duration,
+}
+
+/// Runs a child to completion or kills it at the deadline — a hang is
+/// a failure with a diagnosis, never a hung soak.
+fn run_with_deadline(mut child: Child, deadline: Duration) -> RunOutcome {
+    let t0 = Instant::now();
+    // Drain stdout on a thread so a chatty child can't dead-lock on a
+    // full pipe while we poll for exit.
+    let mut stdout_pipe = child.stdout.take().expect("stdout piped");
+    let reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stdout_pipe.read_to_end(&mut buf);
+        buf
+    });
+    let mut timed_out = false;
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if t0.elapsed() > deadline => {
+                timed_out = true;
+                let _ = child.kill();
+                break child.wait().expect("wait after kill");
+            }
+            None => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+    RunOutcome {
+        stdout: reader.join().expect("stdout reader"),
+        success: status.success() && !timed_out,
+        timed_out,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// A command with every store/chaos knob scrubbed, so the soak is
+/// immune to whatever the invoking shell exported.
+fn base_command(bin: &PathBuf, commits: u64, store_dir: &PathBuf) -> Command {
+    let mut cmd = Command::new(bin);
+    cmd.arg("--commits")
+        .arg(commits.to_string())
+        .env_remove(STORE_ADDR_ENV)
+        .env_remove(CHAOS_SEED_ENV)
+        .env_remove(CHAOS_PLAN_ENV)
+        .env_remove(STORE_FSYNC_ENV)
+        .env_remove(STORE_MAX_BYTES_ENV)
+        .env_remove(STORE_MAX_AGE_ENV)
+        .env(STORE_DIR_ENV, store_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    cmd
+}
+
+/// Reopens a store directory after the fact and verifies every record
+/// the index points at reads back byte-for-byte. Returns
+/// `(readable, corrupt)`.
+fn recover_and_verify(dir: &PathBuf) -> (u64, u64) {
+    match ArtifactStore::open(dir, GcPolicy::unbounded()) {
+        Ok(store) => store.verify_records(),
+        Err(err) => {
+            eprintln!("error: cannot reopen {} for recovery: {err}", dir.display());
+            (0, u64::MAX)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let bin = experiments_bin();
+    let deadline = Duration::from_secs(args.deadline);
+    let mut report = Vec::<String>::new();
+    let mut all_ok = true;
+
+    // ---- Reference: one fault-free run fixes the expected bytes.
+    let ref_dir = temp_dir("reference");
+    println!(
+        "chaos_soak: reference run ({} commits, fault-free)",
+        args.commits
+    );
+    let child = base_command(&bin, args.commits, &ref_dir)
+        .spawn()
+        .expect("spawn reference run");
+    let reference = run_with_deadline(child, deadline);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    if !reference.success {
+        eprintln!(
+            "error: reference run failed (timed out: {})",
+            reference.timed_out
+        );
+        std::process::exit(1);
+    }
+    report.push(format!(
+        "reference: {} stdout bytes in {:.1}s",
+        reference.stdout.len(),
+        reference.elapsed.as_secs_f64()
+    ));
+
+    // ---- Per seed: daemon + chaos proxy + chaos client backend.
+    for &seed in &args.seeds {
+        let daemon_dir = temp_dir(&format!("daemon-{seed}"));
+        let client_dir = temp_dir(&format!("client-{seed}"));
+        let store = match ArtifactStore::open(&daemon_dir, GcPolicy::unbounded()) {
+            Ok(store) => Arc::new(store.with_fsync(FsyncPolicy::Commit)),
+            Err(err) => {
+                eprintln!("error: cannot open daemon store for seed {seed}: {err}");
+                all_ok = false;
+                continue;
+            }
+        };
+        let server = match StoreServer::bind(store, "127.0.0.1:0", ServerConfig::default()) {
+            Ok(server) => server,
+            Err(err) => {
+                eprintln!("error: cannot bind daemon for seed {seed}: {err}");
+                all_ok = false;
+                continue;
+            }
+        };
+        let proxy = match ChaosProxy::start(server.addr(), FaultPlan::new(seed)) {
+            Ok(proxy) => proxy,
+            Err(err) => {
+                eprintln!("error: cannot start chaos proxy for seed {seed}: {err}");
+                server.shutdown();
+                all_ok = false;
+                continue;
+            }
+        };
+        println!(
+            "chaos_soak: seed {seed} — daemon {}, proxy {}",
+            server.addr(),
+            proxy.addr()
+        );
+        let child = base_command(&bin, args.commits, &client_dir)
+            .env(STORE_ADDR_ENV, proxy.addr().to_string())
+            .env(CHAOS_SEED_ENV, seed.to_string())
+            // Short leases keep claim stalls inside the deadline when
+            // an injected fault kills a claim holder's connection.
+            .env(CLAIM_LEASE_ENV, "2000")
+            .spawn()
+            .expect("spawn chaos run");
+        let outcome = run_with_deadline(child, deadline);
+        let mut proxy = proxy;
+        proxy.stop();
+        let injected = proxy.injected_faults();
+        server.shutdown();
+
+        // Recovery proof: both directories reopen with zero corrupt
+        // survivors — whatever the injected faults tore is resynced
+        // past, never served.
+        let (daemon_ok, daemon_corrupt) = recover_and_verify(&daemon_dir);
+        let (client_ok, client_corrupt) = recover_and_verify(&client_dir);
+
+        let identical = outcome.stdout == reference.stdout;
+        let pass = outcome.success
+            && !outcome.timed_out
+            && identical
+            && daemon_corrupt == 0
+            && client_corrupt == 0;
+        all_ok &= pass;
+        let line = format!(
+            "seed {seed}: {} — {:.1}s, {} proxy faults injected, stdout {} \
+             ({} vs {} bytes), hang: {}, daemon records {daemon_ok} ok / \
+             {daemon_corrupt} corrupt, client records {client_ok} ok / \
+             {client_corrupt} corrupt",
+            if pass { "PASS" } else { "FAIL" },
+            outcome.elapsed.as_secs_f64(),
+            injected,
+            if identical { "identical" } else { "DIVERGED" },
+            outcome.stdout.len(),
+            reference.stdout.len(),
+            outcome.timed_out,
+        );
+        println!("chaos_soak: {line}");
+        report.push(line);
+        let _ = std::fs::remove_dir_all(&daemon_dir);
+        let _ = std::fs::remove_dir_all(&client_dir);
+    }
+
+    let verdict = if all_ok { "PASS" } else { "FAIL" };
+    report.push(format!(
+        "verdict: {verdict} across {} seeds at {} commits",
+        args.seeds.len(),
+        args.commits
+    ));
+    let body = report.join("\n") + "\n";
+    if let Err(err) = std::fs::write(&args.report, &body) {
+        eprintln!("error: cannot write {}: {err}", args.report);
+    }
+    println!("chaos_soak: verdict {verdict} (report: {})", args.report);
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

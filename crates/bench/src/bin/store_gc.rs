@@ -72,12 +72,20 @@ fn remote_maintenance(addr: &str) {
         report.dead_bytes_dropped, report.evicted_age, report.evicted_size, report.shards_rewritten,
     );
     // Post-GC file bytes come from a second STATS probe: the GC report
-    // carries live bytes only.
-    let file_bytes = client.stats().map(|s| s.file_bytes);
-    let budget = match (policy.max_bytes, file_bytes) {
-        (Some(cap), Some(bytes)) if bytes <= cap => ", within budget",
-        (Some(_), Some(_)) => ", OVER budget",
-        _ => "",
+    // carries live bytes only. A daemon that vanishes between the GC
+    // and this probe leaves the report unverifiable — fail loudly
+    // rather than print a partial report that reads as a clean pass.
+    let Some(post) = client.stats() else {
+        eprintln!(
+            "error: daemon at {addr} became unreachable after GC; \
+             report incomplete, budget unverified"
+        );
+        std::process::exit(1);
+    };
+    let budget = match policy.max_bytes {
+        Some(cap) if post.file_bytes <= cap => ", within budget",
+        Some(_) => ", OVER budget",
+        None => "",
     };
     println!(
         "post-gc: {} records, {} bytes{budget}",

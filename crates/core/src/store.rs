@@ -47,8 +47,8 @@ use std::sync::Arc;
 
 use cfr_types::net::{claim_lease, STORE_ADDR_ENV};
 use cfr_types::{
-    ArtifactStore, ClaimOutcome, GcPolicy, LayeredStore, RecordReader, RecordWriter, RemoteStore,
-    StoreBackend, NS_RUNS,
+    ArtifactStore, ChaosBackend, ClaimOutcome, FaultPlan, GcPolicy, LayeredStore, RecordReader,
+    RecordWriter, RemoteStore, StoreBackend, NS_RUNS,
 };
 
 use crate::engine::RunKey;
@@ -122,16 +122,36 @@ impl Store {
     /// mode only; in remote mode a failed local open just drops the
     /// fallback layer).
     pub fn open_default() -> io::Result<Self> {
-        if let Some(addr) = std::env::var(STORE_ADDR_ENV)
-            .ok()
-            .map(|a| a.trim().to_string())
-            .filter(|a| !a.is_empty())
-        {
-            let local = ArtifactStore::open_default().ok().map(Arc::new);
-            let layered = LayeredStore::new(RemoteStore::new(addr), local);
-            return Ok(Self::over(Arc::new(layered)));
+        let (backend, shard_dir): (Arc<dyn StoreBackend>, Option<std::path::PathBuf>) =
+            if let Some(addr) = std::env::var(STORE_ADDR_ENV)
+                .ok()
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+            {
+                let local = ArtifactStore::open_default().ok().map(Arc::new);
+                let dir = local.as_ref().map(|l| l.dir().to_path_buf());
+                (
+                    Arc::new(LayeredStore::new(RemoteStore::new(addr), local)),
+                    dir,
+                )
+            } else {
+                let local = Arc::new(ArtifactStore::open_default()?);
+                let dir = local.dir().to_path_buf();
+                (local, Some(dir))
+            };
+        // Deterministic fault injection (`CFR_CHAOS_SEED` /
+        // `CFR_CHAOS_PLAN`): the chaos layer wraps whichever backend the
+        // environment picked, so injected misses, torn appends, and
+        // dropped saves exercise the exact degradation paths production
+        // failures would — without touching any call site.
+        if let Some(plan) = FaultPlan::from_env() {
+            let mut chaos = ChaosBackend::new(backend, plan);
+            if let Some(dir) = shard_dir {
+                chaos = chaos.with_shard_dir(dir);
+            }
+            return Ok(Self::over(Arc::new(chaos)));
         }
-        Ok(Self::over(Arc::new(ArtifactStore::open_default()?)))
+        Ok(Self::over(backend))
     }
 
     /// Wraps an already-open backend (an `Arc<ArtifactStore>` coerces

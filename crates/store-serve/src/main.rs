@@ -35,11 +35,51 @@ use std::time::Duration;
 use cfr_types::net::{RemoteStore, ServerConfig, StoreServer, DEFAULT_DAEMON_ADDR};
 use cfr_types::store::{ArtifactStore, GcPolicy, DEFAULT_STORE_DIR, STORE_DIR_ENV};
 
+/// SIGTERM → graceful drain. The handler only flips an atomic flag
+/// (the only thing async-signal-safe to do); the main thread polls it
+/// and runs the actual drain outside signal context.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    type SigHandler = extern "C" fn(i32);
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn received() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: cfr-store-serve [--addr HOST:PORT] [--dir DIR] [--gc-interval SECS]\n\
          \x20                     [--workers N] [--read-timeout SECS]\n\
-         \x20      cfr-store-serve stats|gc|shutdown [--addr HOST:PORT]\n\
+         \x20      cfr-store-serve stats|health|gc|shutdown [--addr HOST:PORT]\n\
          \n\
          serve mode (default): own DIR (default $CFR_STORE_DIR, else {DEFAULT_STORE_DIR})\n\
          and serve it on HOST:PORT (default {DEFAULT_DAEMON_ADDR}). GC policy comes from\n\
@@ -48,8 +88,10 @@ fn usage() -> ! {
          multiplex all connections (default 4); a connection stalled mid-frame\n\
          longer than the read timeout (default 10 s) is closed.\n\
          \n\
-         stats / gc / shutdown: send the protocol command to a running daemon\n\
-         and print its reply."
+         stats / health / gc / shutdown: send the protocol command to a running\n\
+         daemon and print its reply. SIGTERM drains gracefully: in-flight frames\n\
+         are answered, parked waiters get an err reply, shards are synced, and\n\
+         the directory lock is released."
     );
     std::process::exit(2);
 }
@@ -110,7 +152,7 @@ fn parse_args() -> Args {
                     usage();
                 });
             }
-            "stats" | "gc" | "shutdown" if first && args.command.is_none() => {
+            "stats" | "health" | "gc" | "shutdown" if first && args.command.is_none() => {
                 args.command = Some(flag);
             }
             "--help" | "-h" => usage(),
@@ -149,6 +191,25 @@ fn maintenance(command: &str, addr: &str) -> ExitCode {
                     s.max_batch,
                     s.claims_granted,
                     s.claims_expired,
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: no daemon reachable at {addr}");
+                ExitCode::FAILURE
+            }
+        },
+        "health" => match client.health() {
+            Some(h) => {
+                println!(
+                    "health: up {}s, draining: {}, {}/{} shards occupied, \
+                     {} live records in {} file bytes",
+                    h.uptime_secs,
+                    if h.draining { "yes" } else { "no" },
+                    h.shards_occupied,
+                    h.shard_count,
+                    h.live_records,
+                    h.file_bytes,
                 );
                 ExitCode::SUCCESS
             }
@@ -255,8 +316,26 @@ fn main() -> ExitCode {
     }
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    server.wait(); // until a client sends SHUTDOWN
+    term_signal::install();
+    // Poll for either exit trigger: a client's SHUTDOWN verb (the
+    // server begins its own drain) or SIGTERM (we ask for one). Both
+    // converge on `draining()`; the drain answers in-flight frames,
+    // fails parked waiters with an err reply, and stops accepting.
+    loop {
+        if term_signal::received() && !server.draining() {
+            println!("cfr-store-serve: SIGTERM received, draining");
+            let _ = std::io::stdout().flush();
+            server.drain();
+        }
+        if server.draining() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown(); // completes the drain and joins every thread
+    store.sync_shards(); // crash-safety: everything appended is on disk
     drop(lock); // hold the exclusive directory lock until the very end
+    println!("cfr-store-serve: drain complete, shards synced, lock released");
     println!("cfr-store-serve: shutdown requested, exiting");
     ExitCode::SUCCESS
 }

@@ -23,6 +23,7 @@
 //! ```
 
 mod addr;
+pub mod chaos;
 pub mod net;
 mod org;
 mod page;
@@ -31,18 +32,24 @@ pub mod record;
 pub mod store;
 
 pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn};
+pub use chaos::{
+    BackendFault, ChaosBackend, ChaosProxy, FaultPlan, ProxyFault, SplitMix64, CHAOS_PLAN_ENV,
+    CHAOS_SEED_ENV,
+};
 pub use net::{
-    claim_lease, LayeredStore, RemoteStore, Request, Response, ServerConfig, StoreServer,
-    StoreStats, WireFormat, CLAIM_LEASE_ENV, DEFAULT_DAEMON_ADDR, MAX_FRAME_ENV, STORE_ADDR_ENV,
+    claim_lease, HealthReport, LayeredStore, RemoteStore, Request, Response, ServerConfig,
+    StoreServer, StoreStats, WireFormat, CLAIM_LEASE_ENV, DEFAULT_DAEMON_ADDR, MAX_FRAME_ENV,
+    STORE_ADDR_ENV,
 };
 pub use org::{AddressingMode, CacheOrganization, TlbOrganization};
 pub use page::{PageGeometry, PageGeometryError};
 pub use protection::Protection;
 pub use record::{fnv1a64, RecordError, RecordReader, RecordWriter};
 pub use store::{
-    ArtifactStore, ClaimOutcome, GcPolicy, GcReport, ShardOccupancy, StoreBackend, StoreLock,
-    DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS, SHARD_COUNT,
-    STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
+    ArtifactStore, ClaimOutcome, FsyncPolicy, GcPolicy, GcReport, ShardOccupancy, StoreBackend,
+    StoreLock, DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS,
+    SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_FSYNC_ENV, STORE_MAX_AGE_ENV,
+    STORE_MAX_BYTES_ENV,
 };
 
 /// Number of bytes every instruction occupies in the synthetic ISA.

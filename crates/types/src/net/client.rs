@@ -13,8 +13,10 @@ use crate::store::{
 };
 
 use super::frame::{FrameReader, WireFormat};
-use super::proto::{Request, Response, StoreStats};
+use super::proto::{HealthReport, Request, Response, StoreStats};
 use super::{FEATURE_BINARY, PROTOCOL_VERSION};
+use crate::chaos::SplitMix64;
+use crate::record::fnv1a64;
 
 /// Read/write timeout on client sockets: a stalled daemon degrades to
 /// misses rather than hanging an experiment.
@@ -35,6 +37,75 @@ const BACKOFF_MAX: Duration = Duration::from_secs(2);
 /// round trip), but each frame stays comfortably under the frame-size
 /// guard even with multi-KB record values.
 const BATCH_CHUNK: usize = 128;
+
+/// Splits `items` into chunks of alternating [`BATCH_CHUNK`] /
+/// [`BATCH_CHUNK`]` - 1` length, so two adjacent chunks never share a
+/// length. The protocol has no request IDs; if a duplicated frame ever
+/// desynchronized the reply stream by one, a shifted `MGOT` reply
+/// would carry its *neighbour's* slot count — which then fails the
+/// per-chunk length check instead of silently filling the wrong keys.
+fn alternating_chunks<T>(items: &[T]) -> Vec<&[T]> {
+    let mut out = Vec::new();
+    let mut rest = items;
+    let mut size = BATCH_CHUNK;
+    while !rest.is_empty() {
+        let take = size.min(rest.len());
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+        size = if size == BATCH_CHUNK {
+            BATCH_CHUNK - 1
+        } else {
+            BATCH_CHUNK
+        };
+    }
+    out
+}
+
+/// Whether `resp` is a reply kind `req` can legally draw. An `err`
+/// reply is always legal (any request may fail server-side); anything
+/// else must match the request's verb, so a desynchronized reply
+/// stream (duplicated or dropped frames between here and the daemon)
+/// poisons the exchange instead of being misread as data.
+fn reply_matches(req: &Request, resp: &Response) -> bool {
+    if matches!(resp, Response::Error { .. }) {
+        return true;
+    }
+    match req {
+        Request::Get { .. } | Request::Wait { .. } => {
+            matches!(resp, Response::Hit { .. } | Response::Miss)
+        }
+        Request::Put { .. } | Request::MPut { .. } | Request::Shutdown => {
+            matches!(resp, Response::Done)
+        }
+        Request::MGet { .. } => matches!(resp, Response::MGot { .. }),
+        Request::Claim { .. } => {
+            matches!(
+                resp,
+                Response::Hit { .. } | Response::Granted | Response::Busy
+            )
+        }
+        Request::Hello { .. } => matches!(resp, Response::Hello { .. }),
+        Request::Stats => matches!(resp, Response::Stats(_)),
+        Request::Health => matches!(resp, Response::Health(_)),
+        Request::Gc => matches!(resp, Response::Gc(_)),
+    }
+}
+
+/// Whether replaying `req` after an indeterminate failure is safe.
+/// Reads and probes are; anything that mutates daemon state (`PUT`,
+/// `CLAIM`, `GC`, `SHUTDOWN`) or parks (`WAIT`) is not — a lost ack
+/// does not prove the daemon never acted on the frame.
+fn idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Get { .. }
+            | Request::MGet { .. }
+            | Request::Stats
+            | Request::Health
+            | Request::Hello { .. }
+    )
+}
 
 #[derive(Debug)]
 struct Conn {
@@ -206,79 +277,133 @@ impl RemoteStore {
         })
     }
 
-    fn note_failure(state: &mut ClientState) {
+    fn note_failure(&self, state: &mut ClientState) {
         state.conn = None;
         state.consecutive_failures = state.consecutive_failures.saturating_add(1);
         let shift = state.consecutive_failures.saturating_sub(1).min(8);
-        let delay = BACKOFF_BASE
+        let base = BACKOFF_BASE
             .checked_mul(1 << shift)
             .map_or(BACKOFF_MAX, |d| d.min(BACKOFF_MAX));
+        // Half fixed, half jittered, so a fleet of clients that lost the
+        // same daemon at the same instant does not reconnect in
+        // lockstep. The jitter is drawn from a PRNG seeded by (address,
+        // failure count) — deterministic, so runs stay reproducible.
+        let seed = fnv1a64(&self.addr).wrapping_add(u64::from(state.consecutive_failures));
+        let frac = SplitMix64::new(seed).next_f64();
+        let delay = base.div_f64(2.0).mul_f64(1.0 + frac).min(BACKOFF_MAX);
         state.retry_at = Some(Instant::now() + delay);
+    }
+
+    /// Writes every request frame in one blob, then reads exactly one
+    /// reply per request, in order, validating each reply's kind
+    /// against its request. The whole exchange shares one deadline:
+    /// the read timeout shrinks as replies arrive, so a daemon that
+    /// trickles one frame per timeout window cannot stretch a batched
+    /// exchange to `N x CLIENT_IO_TIMEOUT`.
+    fn run_exchange(conn: &mut Conn, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        let deadline = Instant::now() + CLIENT_IO_TIMEOUT;
+        // Pipelining: all requests go out in one write; the replies
+        // stream back in order. One round trip regardless of batch
+        // size.
+        let mut blob = Vec::new();
+        for req in reqs {
+            blob.extend_from_slice(&req.to_frame(conn.format));
+        }
+        conn.stream.write_all(&blob)?;
+        let mut replies = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::TimedOut, "exchange deadline exhausted")
+                })?;
+            conn.stream.set_read_timeout(Some(remaining))?;
+            let payload = conn.reader.read_frame(&mut conn.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+            })?;
+            let response = Response::from_payload(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if !reply_matches(req, &response) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "reply kind does not match the request",
+                ));
+            }
+            replies.push(response);
+        }
+        Ok(replies)
     }
 
     /// One pipelined exchange: writes every request frame, then reads
     /// exactly one reply per request, in order. `None` covers every
     /// failure: not connected and inside the backoff window,
-    /// connect/write/read failure, or an undecodable reply.
+    /// connect/write/read failure, an undecodable reply, or a reply
+    /// whose kind does not match its request.
+    ///
+    /// A batch made up entirely of idempotent requests (reads and
+    /// probes) is retried once on a fresh connection before the
+    /// failure counts against the backoff; a batch containing any
+    /// mutation or park is never replayed — a lost ack does not prove
+    /// the daemon never applied the frame.
     #[must_use]
     pub fn exchange_many(&self, reqs: &[Request]) -> Option<Vec<Response>> {
         if reqs.is_empty() {
             return Some(Vec::new());
         }
         let mut state = self.state.lock().expect("remote store poisoned");
-        if state.conn.is_none() {
-            if let Some(at) = state.retry_at {
-                if Instant::now() < at {
-                    return None; // back off: degrade to a miss immediately
-                }
-            }
-            match Self::connect(&self.addr, self.allow_binary) {
-                Ok(conn) => state.conn = Some(conn),
-                Err(_) => {
-                    Self::note_failure(&mut state);
-                    return None;
-                }
-            }
+        // A reply stream that over-delivered (more frames than the last
+        // exchange requested) leaves bytes parked in the frame buffer;
+        // pairing them with *this* exchange's requests would misfile
+        // every reply by one. Poisoned — reconnect.
+        if state
+            .conn
+            .as_ref()
+            .is_some_and(|c| c.reader.buffered_bytes() > 0)
+        {
+            state.conn = None;
         }
-        let exchange = (|| -> io::Result<Vec<Response>> {
+        let mut attempts = if reqs.iter().all(idempotent) { 2 } else { 1 };
+        loop {
+            if state.conn.is_none() {
+                if let Some(at) = state.retry_at {
+                    if Instant::now() < at {
+                        return None; // back off: degrade to a miss immediately
+                    }
+                }
+                match Self::connect(&self.addr, self.allow_binary) {
+                    Ok(conn) => state.conn = Some(conn),
+                    Err(_) => {
+                        self.note_failure(&mut state);
+                        return None;
+                    }
+                }
+            }
             let conn = state.conn.as_mut().expect("connected above");
-            // Pipelining: all requests go out in one write; the replies
-            // stream back in order. One round trip regardless of batch
-            // size.
-            let mut blob = Vec::new();
-            for req in reqs {
-                blob.extend_from_slice(&req.to_frame(conn.format));
-            }
-            conn.stream.write_all(&blob)?;
-            let mut replies = Vec::with_capacity(reqs.len());
-            for _ in reqs {
-                let payload = conn.reader.read_frame(&mut conn.stream)?.ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
-                })?;
-                let response = Response::from_payload(&payload)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                replies.push(response);
-            }
-            Ok(replies)
-        })();
-        match exchange {
-            Ok(replies) => {
-                // Only a completed exchange proves the daemon healthy.
-                // Resetting on connect alone would pin the backoff at its
-                // base against a daemon that accepts (the kernel
-                // completes handshakes from the backlog) but never
-                // replies — each request would burn the full I/O timeout
-                // forever instead of backing off.
-                state.consecutive_failures = 0;
-                state.retry_at = None;
-                self.round_trips.fetch_add(1, Ordering::Relaxed);
-                self.requests_sent
-                    .fetch_add(reqs.len() as u64, Ordering::Relaxed);
-                Some(replies)
-            }
-            Err(_) => {
-                Self::note_failure(&mut state);
-                None
+            match Self::run_exchange(conn, reqs) {
+                Ok(replies) => {
+                    // Only a completed exchange proves the daemon healthy.
+                    // Resetting on connect alone would pin the backoff at its
+                    // base against a daemon that accepts (the kernel
+                    // completes handshakes from the backlog) but never
+                    // replies — each request would burn the full I/O timeout
+                    // forever instead of backing off.
+                    state.consecutive_failures = 0;
+                    state.retry_at = None;
+                    self.round_trips.fetch_add(1, Ordering::Relaxed);
+                    self.requests_sent
+                        .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                    return Some(replies);
+                }
+                Err(_) => {
+                    // The connection is indeterminate either way: drop it.
+                    state.conn = None;
+                    attempts -= 1;
+                    if attempts == 0 {
+                        self.note_failure(&mut state);
+                        return None;
+                    }
+                }
             }
         }
     }
@@ -311,8 +436,8 @@ impl RemoteStore {
         if items.is_empty() {
             return true;
         }
-        let reqs: Vec<Request> = items
-            .chunks(BATCH_CHUNK)
+        let reqs: Vec<Request> = alternating_chunks(items)
+            .into_iter()
             .map(|chunk| Request::MPut {
                 items: chunk.to_vec(),
             })
@@ -331,6 +456,16 @@ impl RemoteStore {
     pub fn stats(&self) -> Option<StoreStats> {
         match self.request(&Request::Stats) {
             Some(Response::Stats(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The daemon's liveness report, if reachable. Cheaper than
+    /// [`Self::stats`] and safe to poll.
+    #[must_use]
+    pub fn health(&self) -> Option<HealthReport> {
+        match self.request(&Request::Health) {
+            Some(Response::Health(h)) => Some(h),
             _ => None,
         }
     }
@@ -376,15 +511,16 @@ impl StoreBackend for RemoteStore {
         }
         // Several MGET chunks, one pipelined exchange: still one round
         // trip for the whole plan.
-        let reqs: Vec<Request> = items
-            .chunks(BATCH_CHUNK)
+        let chunks = alternating_chunks(items);
+        let reqs: Vec<Request> = chunks
+            .iter()
             .map(|chunk| Request::MGet {
                 items: chunk.to_vec(),
             })
             .collect();
         let mut out = Vec::with_capacity(items.len());
         if let Some(replies) = self.exchange_many(&reqs) {
-            for (reply, chunk) in replies.into_iter().zip(items.chunks(BATCH_CHUNK)) {
+            for (reply, chunk) in replies.into_iter().zip(&chunks) {
                 match reply {
                     Response::MGot { values } if values.len() == chunk.len() => {
                         out.extend(values);

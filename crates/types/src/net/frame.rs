@@ -281,6 +281,15 @@ impl FrameReader {
         Self::default()
     }
 
+    /// Bytes buffered but not yet consumed as a frame. Between
+    /// request/reply exchanges this must be zero — leftover bytes mean
+    /// the peer sent more frames than were requested (a duplicated or
+    /// desynchronized reply stream), and the connection is poisoned.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Reads one frame from `stream`. `Ok(None)` is a clean EOF at a
     /// frame boundary; `ErrorKind::InvalidData` means the peer sent bytes
     /// that can never become a frame (the caller should error-reply

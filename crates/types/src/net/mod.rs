@@ -52,6 +52,10 @@
 //! - `MGET`/`MPUT` — batch lookups/saves: an entire plan's keys in one
 //!   round trip (the engine's batched warm probe).
 //! - `HELLO` — version/feature negotiation (see above).
+//! - `HEALTH` — liveness probe: uptime, shard occupancy, live record
+//!   and byte counts, and whether the daemon is draining (refusing new
+//!   connections while it answers in-flight frames). Surfaced by the
+//!   `cfr-store-serve health` subcommand.
 //! - `CLAIM`/`WAIT` — **global cold-key dedup**: `CLAIM` asks for the
 //!   exclusive right to compute a missing key (lease-bounded; the reply
 //!   is the stored value if someone already published it, `granted` if
@@ -79,7 +83,7 @@ pub use frame::{
     FrameReader, WireDecode, WireFormat, WirePayload, BIN_HEADER_BYTES, BIN_MAGIC, MAX_FRAME_BYTES,
     MAX_HEADER_BYTES, PROTOCOL_MAGIC,
 };
-pub use proto::{Request, Response, StoreStats};
+pub use proto::{HealthReport, Request, Response, StoreStats};
 pub use server::{ServerConfig, StoreServer};
 
 use std::time::Duration;

@@ -89,9 +89,14 @@ pub enum Request {
     /// Report occupancy (live records/bytes, per-namespace counts) and
     /// service counters.
     Stats,
+    /// Liveness probe: uptime, shard occupancy, and whether the daemon
+    /// is draining. Cheaper than `STATS` and safe to poll.
+    Health,
     /// Run a GC/compaction pass under the daemon's policy now.
     Gc,
-    /// Stop accepting connections and exit.
+    /// Stop accepting connections and exit — via the graceful drain
+    /// path: stop accepting, answer in-flight frames, fail parked
+    /// waiters fast, fsync, release the lock.
     Shutdown,
 }
 
@@ -106,6 +111,7 @@ const TAG_MPUT: u8 = 7;
 const TAG_CLAIM: u8 = 8;
 const TAG_WAIT: u8 = 9;
 const TAG_HELLO: u8 = 10;
+const TAG_HEALTH: u8 = 11;
 
 const TAG_HIT: u8 = 1;
 const TAG_MISS: u8 = 2;
@@ -117,6 +123,7 @@ const TAG_MGOT: u8 = 7;
 const TAG_GRANTED: u8 = 8;
 const TAG_BUSY: u8 = 9;
 const TAG_RHELLO: u8 = 10;
+const TAG_RHEALTH: u8 = 11;
 
 /// A little-endian cursor over a binary payload: every read is
 /// bounds-checked and returns a descriptive error, so the binary
@@ -231,6 +238,7 @@ impl Request {
             } => format!("wait {ns} {} {timeout_ms}\n{key}", key.len()),
             Self::Hello { version } => format!("hello {version}"),
             Self::Stats => "stats".to_string(),
+            Self::Health => "health".to_string(),
             Self::Gc => "gc".to_string(),
             Self::Shutdown => "shutdown".to_string(),
         }
@@ -298,6 +306,7 @@ impl Request {
                 out.extend_from_slice(&version.to_le_bytes());
             }
             Self::Stats => out.push(TAG_STATS),
+            Self::Health => out.push(TAG_HEALTH),
             Self::Gc => out.push(TAG_GC),
             Self::Shutdown => out.push(TAG_SHUTDOWN),
         }
@@ -485,6 +494,7 @@ impl Request {
                 Ok(Self::Hello { version })
             }
             "stats" if body.is_none() && tokens.next().is_none() => Ok(Self::Stats),
+            "health" if body.is_none() && tokens.next().is_none() => Ok(Self::Health),
             "gc" if body.is_none() && tokens.next().is_none() => Ok(Self::Gc),
             "shutdown" if body.is_none() && tokens.next().is_none() => Ok(Self::Shutdown),
             other => Err(format!("unknown request verb {other:?}")),
@@ -570,6 +580,7 @@ impl Request {
                 version: r.u32("hello version")?,
             },
             TAG_STATS => Self::Stats,
+            TAG_HEALTH => Self::Health,
             TAG_GC => Self::Gc,
             TAG_SHUTDOWN => Self::Shutdown,
             other => return Err(format!("unknown request tag {other}")),
@@ -612,6 +623,24 @@ pub struct StoreStats {
     pub claims_expired: u64,
 }
 
+/// The daemon's liveness report (the `HEALTH` reply).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Seconds since the server started serving.
+    pub uptime_secs: u64,
+    /// Whether the daemon is draining: no longer accepting connections,
+    /// answering in-flight frames before exiting.
+    pub draining: bool,
+    /// Shard files holding at least one live record.
+    pub shards_occupied: u32,
+    /// Total shard files ([`crate::store::SHARD_COUNT`]).
+    pub shard_count: u32,
+    /// Live (latest-per-key) records across all namespaces.
+    pub live_records: u64,
+    /// Physical shard-file bytes (live + dead).
+    pub file_bytes: u64,
+}
+
 /// One server reply.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -645,6 +674,8 @@ pub enum Response {
     },
     /// `STATS` reply.
     Stats(StoreStats),
+    /// `HEALTH` reply.
+    Health(HealthReport),
     /// `GC` reply: what the pass did.
     Gc(GcReport),
     /// The request could not be served (malformed, internal error). The
@@ -701,6 +732,15 @@ impl Response {
                 s.max_batch,
                 s.claims_granted,
                 s.claims_expired
+            ),
+            Self::Health(h) => format!(
+                "health {} {} {} {} {} {}",
+                h.uptime_secs,
+                u64::from(h.draining),
+                h.shards_occupied,
+                h.shard_count,
+                h.live_records,
+                h.file_bytes
             ),
             Self::Gc(r) => format!(
                 "gcdone {} {} {} {} {} {}",
@@ -776,6 +816,15 @@ impl Response {
                 ] {
                     out.extend_from_slice(&n.to_le_bytes());
                 }
+            }
+            Self::Health(h) => {
+                out.push(TAG_RHEALTH);
+                out.extend_from_slice(&h.uptime_secs.to_le_bytes());
+                out.push(u8::from(h.draining));
+                out.extend_from_slice(&h.shards_occupied.to_le_bytes());
+                out.extend_from_slice(&h.shard_count.to_le_bytes());
+                out.extend_from_slice(&h.live_records.to_le_bytes());
+                out.extend_from_slice(&h.file_bytes.to_le_bytes());
             }
             Self::Gc(r) => {
                 out.push(TAG_GCDONE);
@@ -933,6 +982,24 @@ impl Response {
                     claims_expired: at(12),
                 }))
             }
+            "health" if body.is_none() => {
+                let v = numbers(&mut tokens, 6, verb)?;
+                if tokens.next().is_some() {
+                    return Err("health: trailing tokens".into());
+                }
+                if v[1] > 1 {
+                    return Err("health: draining flag must be 0 or 1".into());
+                }
+                Ok(Self::Health(HealthReport {
+                    uptime_secs: v[0],
+                    draining: v[1] == 1,
+                    shards_occupied: u32::try_from(v[2])
+                        .map_err(|_| "health: shard count over u32")?,
+                    shard_count: u32::try_from(v[3]).map_err(|_| "health: shard count over u32")?,
+                    live_records: v[4],
+                    file_bytes: v[5],
+                }))
+            }
             "gcdone" if body.is_none() => {
                 let v = numbers(&mut tokens, 6, verb)?;
                 if tokens.next().is_some() {
@@ -1028,6 +1095,22 @@ impl Response {
                     claims_expired: next("stats field")?,
                 })
             }
+            TAG_RHEALTH => {
+                let uptime_secs = r.u64("health uptime")?;
+                let draining = match r.u8("health draining flag")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(format!("health: bad draining flag {other}")),
+                };
+                Self::Health(HealthReport {
+                    uptime_secs,
+                    draining,
+                    shards_occupied: r.u32("health shards occupied")?,
+                    shard_count: r.u32("health shard count")?,
+                    live_records: r.u64("health live records")?,
+                    file_bytes: r.u64("health file bytes")?,
+                })
+            }
             TAG_GCDONE => {
                 let mut next = |what| r.u64(what);
                 let (live_records, live_bytes) = (next("gcdone field")?, next("gcdone field")?);
@@ -1103,6 +1186,7 @@ mod tests {
             },
             Request::Hello { version: 2 },
             Request::Stats,
+            Request::Health,
             Request::Gc,
             Request::Shutdown,
         ]
@@ -1151,6 +1235,22 @@ mod tests {
                 max_batch: 11,
                 claims_granted: 12,
                 claims_expired: 13,
+            }),
+            Response::Health(HealthReport {
+                uptime_secs: 3600,
+                draining: false,
+                shards_occupied: 12,
+                shard_count: 16,
+                live_records: 4096,
+                file_bytes: 1_048_576,
+            }),
+            Response::Health(HealthReport {
+                uptime_secs: 0,
+                draining: true,
+                shards_occupied: 0,
+                shard_count: 16,
+                live_records: 0,
+                file_bytes: 0,
             }),
             Response::Gc(GcReport {
                 live_records: 9,
@@ -1242,6 +1342,8 @@ mod tests {
             "hello",
             "hello x",
             "hello 2 extra",
+            "health extra",
+            "health\nbody",
         ] {
             assert!(Request::decode(bad).is_err(), "{bad:?} must not decode");
         }
@@ -1262,6 +1364,10 @@ mod tests {
             "hello",
             "hello x",
             "hello 2 bad\u{a0}token",
+            "health 1 0 2 16 3",         // one field short
+            "health 1 0 2 16 3 4 5",     // one field over
+            "health 1 2 2 16 3 4",       // draining flag must be 0|1
+            "health 1 0 2 16 3 4\nbody", // unexpected body
         ] {
             assert!(Response::decode(bad).is_err(), "{bad:?} must not decode");
         }

@@ -26,10 +26,12 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::store::{ArtifactStore, GcPolicy, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS};
+use crate::store::{
+    ArtifactStore, GcPolicy, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS, SHARD_COUNT,
+};
 
 use super::frame::{WireDecode, WireFormat};
-use super::proto::{Request, Response, StoreStats};
+use super::proto::{HealthReport, Request, Response, StoreStats};
 use super::{FEATURE_BATCH, FEATURE_BINARY, FEATURE_CLAIM, PROTOCOL_VERSION};
 
 /// Longest lease/park a client may ask for; larger requests clamp here
@@ -39,6 +41,11 @@ const MAX_LEASE: Duration = Duration::from_secs(600);
 /// Worker poll-loop tick: the upper bound on how stale a shutdown
 /// check, claim-expiry sweep, or read-timeout check can be.
 const WORKER_TICK: Duration = Duration::from_millis(100);
+
+/// How long a draining worker keeps flushing replies to connections
+/// that will not read them before giving up and closing anyway. The
+/// normal case — responsive clients — drains in one or two ticks.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
 
 /// How the daemon runs its store.
 #[derive(Clone, Copy, Debug)]
@@ -457,15 +464,32 @@ pub struct StoreServer {
     workers: Vec<JoinHandle<()>>,
     wakers: Arc<Wakers>,
     store: Arc<ArtifactStore>,
+    shared: Arc<Shared>,
 }
 
 struct Shared {
     store: Arc<ArtifactStore>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    /// The graceful half of teardown: set first, it stops the acceptor
+    /// and puts every worker into drain mode — answer what is already
+    /// in flight, fail parked waiters with `err`, flush, close. The
+    /// hard `shutdown` flag is only set once draining finished.
+    draining: AtomicBool,
+    started: Instant,
     counters: ServerCounters,
     claims: ClaimTable,
     server_addr: SocketAddr,
+}
+
+/// Flips the daemon into drain mode (idempotent) and unblocks the
+/// acceptor and every worker so they notice immediately.
+fn begin_drain(shared: &Shared, wakers: &Wakers) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let _ = TcpStream::connect(shared.server_addr); // unblock accept()
+    wakers.wake_all();
 }
 
 impl StoreServer {
@@ -488,6 +512,8 @@ impl StoreServer {
             store: Arc::clone(&store),
             config,
             shutdown: Arc::clone(&shutdown),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
             counters: ServerCounters::default(),
             claims: ClaimTable::default(),
             server_addr: local_addr,
@@ -514,13 +540,17 @@ impl StoreServer {
         }
 
         let accept = {
+            let shared = Arc::clone(&shared);
             let shutdown = Arc::clone(&shutdown);
             let wakers = Arc::clone(&wakers);
             thread::spawn(move || {
+                let stopping = |shared: &Shared| {
+                    shared.draining.load(Ordering::SeqCst) || shutdown.load(Ordering::SeqCst)
+                };
                 let mut next = 0usize;
                 loop {
                     let Ok((stream, _)) = listener.accept() else {
-                        if shutdown.load(Ordering::SeqCst) {
+                        if stopping(&shared) {
                             return;
                         }
                         // Transient accept error — e.g. EMFILE, which
@@ -529,7 +559,7 @@ impl StoreServer {
                         thread::sleep(Duration::from_millis(20));
                         continue;
                     };
-                    if shutdown.load(Ordering::SeqCst) {
+                    if stopping(&shared) {
                         return; // the wake-up connection, or a racer
                     }
                     let worker = next % inboxes.len();
@@ -553,6 +583,7 @@ impl StoreServer {
             workers,
             wakers,
             store,
+            shared,
         })
     }
 
@@ -576,27 +607,41 @@ impl StoreServer {
         self.stop();
     }
 
-    /// Stops the daemon from this process: stops accepting, wakes every
-    /// worker to notice (≤ [`WORKER_TICK`] plus any in-flight request),
-    /// and joins the GC thread. After this returns no thread serves the
-    /// store — a client's next request definitively fails (and degrades
-    /// to a miss on its side).
+    /// Stops the daemon from this process — via the same graceful drain
+    /// the `SHUTDOWN` verb takes: stop accepting, answer in-flight
+    /// frames, fail parked waiters with `err`, flush, then tear down.
+    /// After this returns no thread serves the store — a client's next
+    /// request definitively fails (and degrades to a miss on its side).
     pub fn shutdown(mut self) {
         self.stop();
     }
 
+    /// Begins draining without blocking: the acceptor stops, workers
+    /// answer what is in flight and fail parked waiters fast. Call
+    /// [`StoreServer::shutdown`] (or drop) to join the teardown.
+    pub fn drain(&self) {
+        begin_drain(&self.shared, &self.wakers);
+    }
+
+    /// Whether the daemon is draining (or already stopped).
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor (it checks the flag per accepted
-        // connection) and every worker's poll.
-        let _ = TcpStream::connect(self.addr);
-        self.wakers.wake_all();
+        // Graceful first: drain answers in-flight frames and resolves
+        // parked waiters instead of abandoning them mid-queue.
+        begin_drain(&self.shared, &self.wakers);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Only now flip the hard flag (stops the GC thread; also the
+        // terminal state `draining` paired with no served socket).
+        self.shutdown.store(true, Ordering::SeqCst);
         if let Some(gc) = self.gc_thread.take() {
             let _ = gc.join();
         }
@@ -654,6 +699,23 @@ fn stats_of(shared: &Shared) -> StoreStats {
     }
 }
 
+fn health_of(shared: &Shared) -> HealthReport {
+    let store = &shared.store;
+    let shards_occupied = store
+        .shard_occupancy()
+        .iter()
+        .filter(|o| o.live_records > 0)
+        .count();
+    HealthReport {
+        uptime_secs: shared.started.elapsed().as_secs(),
+        draining: shared.draining.load(Ordering::SeqCst),
+        shards_occupied: u32::try_from(shards_occupied).unwrap_or(SHARD_COUNT),
+        shard_count: SHARD_COUNT,
+        live_records: store.live_records() as u64,
+        file_bytes: store.file_bytes(),
+    }
+}
+
 /// Serves one decoded request (`Shutdown` is intercepted by the caller,
 /// which owns teardown). Returns the reply slot to queue; the caller
 /// owns write-out.
@@ -691,6 +753,10 @@ fn serve(
                 shared.store.save(ns, key, value);
                 shared.claims.publish(ns, key, value);
             }
+            // A served batch is a durability commit point: under
+            // `CFR_STORE_FSYNC=commit` the whole batch hits stable
+            // storage before the client sees `ok`.
+            shared.store.commit_batch();
             if !items.is_empty() {
                 wakers.wake_all();
             }
@@ -736,6 +802,7 @@ fn serve(
             ],
         },
         Request::Stats => Response::Stats(stats_of(shared)),
+        Request::Health => Response::Health(health_of(shared)),
         Request::Gc => Response::Gc(shared.store.gc_with(shared.config.gc_policy)),
         Request::Shutdown => Response::Done, // caller handles teardown
     };
@@ -751,33 +818,48 @@ fn worker_loop(
     use std::os::fd::AsRawFd;
     let mut conns: Vec<ConnState> = Vec::new();
     let mut owner_seq = u64::from(wake_rx.local_addr().map_or(0, |a| a.port())) << 32;
+    let mut drain_since: Option<Instant> = None;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        // Adopt newly accepted connections.
-        while let Ok(stream) = inbox.try_recv() {
-            if stream.set_nonblocking(true).is_err() {
-                continue;
+        let draining = shared.draining.load(Ordering::SeqCst);
+        if draining {
+            if drain_since.is_none() {
+                drain_since = Some(Instant::now());
             }
-            let _ = stream.set_nodelay(true);
-            owner_seq += 1;
-            shared
-                .counters
-                .active_connections
-                .fetch_add(1, Ordering::Relaxed);
-            conns.push(ConnState {
-                stream,
-                rbuf: Vec::new(),
-                out: VecDeque::new(),
-                written: 0,
-                owner: owner_seq,
-                last_progress: Instant::now(),
-                close_after_flush: false,
-            });
+            // Refuse connections that raced into the inbox after the
+            // drain began — dropping the stream closes them.
+            while inbox.try_recv().is_ok() {}
+        } else {
+            // Adopt newly accepted connections.
+            while let Ok(stream) = inbox.try_recv() {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                owner_seq += 1;
+                shared
+                    .counters
+                    .active_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                conns.push(ConnState {
+                    stream,
+                    rbuf: Vec::new(),
+                    out: VecDeque::new(),
+                    written: 0,
+                    owner: owner_seq,
+                    last_progress: Instant::now(),
+                    close_after_flush: false,
+                });
+            }
         }
 
-        // Expire overdue claims so their waiters unpark.
+        // Expire overdue claims so their waiters unpark. Running here —
+        // on every poll tick, not on request arrival — is what lets a
+        // dead holder's lease lapse even when the daemon receives zero
+        // traffic: waiters parked on other connections unblock within
+        // one WORKER_TICK of the deadline.
         shared.claims.sweep(&shared.counters);
 
         // Readiness: the wake socket plus every connection (write
@@ -794,17 +876,35 @@ fn worker_loop(
             while matches!(wake_rx.read(&mut drain), Ok(n) if n > 0) {}
         }
 
-        let mut shutdown_requested = false;
+        let mut drain_requested = false;
         for (i, conn) in conns.iter_mut().enumerate() {
             let (readable, writable) = ready[i + 1];
             let mut dead = false;
             if readable && !conn.close_after_flush {
-                dead = pump_reads(shared, wakers, conn, &mut shutdown_requested);
+                dead = pump_reads(shared, wakers, conn, &mut drain_requested);
+            }
+            if draining && !dead {
+                // Drain mode: every frame already received got its
+                // reply above; parked waiters fail fast with `err`
+                // instead of hanging until the client-side timeout,
+                // and the connection closes once its queue flushes.
+                for slot in &mut conn.out {
+                    if let OutSlot::Waiting { format, .. } = slot {
+                        let reply = Response::Error {
+                            message: "daemon draining".to_string(),
+                        };
+                        *slot = OutSlot::Ready(reply.to_frame(*format));
+                    }
+                }
+                conn.close_after_flush = true;
             }
             // Opportunistic flush: freshly queued replies usually fit
             // the socket buffer without waiting for a POLLOUT round.
             if !dead && (writable || conn.flushable()) {
                 dead = pump_writes(conn);
+            }
+            if !dead && draining && conn.out.is_empty() {
+                dead = true; // nothing left to answer: close now
             }
             if !dead
                 && conn.awaiting_progress()
@@ -834,10 +934,14 @@ fn worker_loop(
         }
         conns.retain(|c| c.written != usize::MAX);
 
-        if shutdown_requested {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(shared.server_addr); // unblock acceptor
-            wakers.wake_all();
+        if drain_requested {
+            // A client sent `SHUTDOWN`: its `ok` is queued; the daemon
+            // now drains instead of dropping everyone mid-queue.
+            begin_drain(shared, wakers);
+        }
+        if draining
+            && (conns.is_empty() || drain_since.is_some_and(|since| since.elapsed() > DRAIN_GRACE))
+        {
             break;
         }
     }
@@ -860,7 +964,7 @@ fn pump_reads(
     shared: &Shared,
     wakers: &Wakers,
     conn: &mut ConnState,
-    shutdown_requested: &mut bool,
+    drain_requested: &mut bool,
 ) -> bool {
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -901,7 +1005,7 @@ fn pump_reads(
                         // clean error reply; the connection survives.
                         Err(message) => OutSlot::Ready(Response::Error { message }.to_frame(wire)),
                         Ok(Request::Shutdown) => {
-                            *shutdown_requested = true;
+                            *drain_requested = true;
                             conn.close_after_flush = true;
                             OutSlot::Ready(Response::Done.to_frame(wire))
                         }
@@ -1428,6 +1532,162 @@ mod tests {
             Some("version 199")
         );
         assert_eq!(ArtifactStore::namespace_records(&reopened, "runs"), 201);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_answers_inflight_frames_and_fails_parked_waiters() {
+        let dir = temp_dir("drain");
+        let server = serve_dir(&dir, no_gc());
+        // A holder claims the cold key so the waiter below parks.
+        let holder = RemoteStore::new(server.addr().to_string());
+        assert_eq!(
+            holder.claim("runs", "cold", Duration::from_secs(600)),
+            crate::store::ClaimOutcome::Granted
+        );
+        let waiter = {
+            let addr = server.addr().to_string();
+            thread::spawn(move || {
+                let w = RemoteStore::new(addr);
+                let t0 = Instant::now();
+                (
+                    w.wait_for("runs", "cold", Duration::from_secs(30)),
+                    t0.elapsed(),
+                )
+            })
+        };
+        thread::sleep(Duration::from_millis(150)); // waiter is parked
+                                                   // In-flight work: a pipelined PUT + GET written right before the
+                                                   // drain begins must still be answered.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&encode_frame(
+            &Request::Put {
+                ns: "runs".into(),
+                key: "inflight".into(),
+                value: "survives the drain".into(),
+            }
+            .encode(),
+        ));
+        blob.extend_from_slice(&encode_frame(
+            &Request::Get {
+                ns: "runs".into(),
+                key: "inflight".into(),
+            }
+            .encode(),
+        ));
+        stream.write_all(&blob).unwrap();
+        thread::sleep(Duration::from_millis(100)); // conn adopted, frames queued
+        server.drain();
+        assert!(server.draining());
+        // The in-flight frames drew real replies, not a slammed door.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = FrameReader::new();
+        let reply = reader.read_frame(&mut stream).unwrap().unwrap();
+        let WirePayload::Text(text) = reply else {
+            panic!("text request must draw a text reply")
+        };
+        assert_eq!(Response::decode(&text), Ok(Response::Done));
+        let reply = reader.read_frame(&mut stream).unwrap().unwrap();
+        let WirePayload::Text(text) = reply else {
+            panic!("text request must draw a text reply")
+        };
+        assert_eq!(
+            Response::decode(&text),
+            Ok(Response::Hit {
+                value: "survives the drain".into()
+            })
+        );
+        // The parked waiter was failed fast with an err reply — it did
+        // not ride out its 30 s park.
+        let (got, waited) = waiter.join().unwrap();
+        assert_eq!(got, None, "drain fails parked waiters to local compute");
+        assert!(
+            waited < Duration::from_secs(5),
+            "drain must release the waiter promptly, waited {waited:?}"
+        );
+        drop(holder);
+        server.shutdown();
+        // The in-flight PUT is durable: a fresh scan still sees it.
+        let reopened = ArtifactStore::open(&dir, GcPolicy::unbounded()).unwrap();
+        assert_eq!(
+            ArtifactStore::load(&reopened, "runs", "inflight").as_deref(),
+            Some("survives the drain")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn idle_tick_sweeps_expired_leases_without_traffic() {
+        let dir = temp_dir("idle-sweep");
+        let server = serve_dir(&dir, no_gc());
+        let holder = RemoteStore::new(server.addr().to_string());
+        assert_eq!(
+            holder.claim("runs", "cold", Duration::from_millis(150)),
+            crate::store::ClaimOutcome::Granted
+        );
+        // Zero traffic while the lease lapses: only the worker's idle
+        // poll tick can expire it. The holder stays connected, so the
+        // disconnect path cannot release the claim either.
+        thread::sleep(Duration::from_millis(500));
+        let probe = RemoteStore::new(server.addr().to_string());
+        let stats = probe.stats().unwrap();
+        assert!(
+            stats.claims_expired >= 1,
+            "idle tick must have swept the lapsed lease before any request arrived"
+        );
+        assert_eq!(
+            probe.claim("runs", "cold", Duration::from_secs(5)),
+            crate::store::ClaimOutcome::Granted,
+            "the key is claimable again"
+        );
+        drop(holder);
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn large_batches_round_trip_across_alternating_chunks() {
+        let dir = temp_dir("alt-chunks");
+        let server = serve_dir(&dir, no_gc());
+        let client = RemoteStore::new(server.addr().to_string());
+        // 300 items span three chunks (128/127/45) — no two adjacent
+        // chunks share a length, and every value must round trip.
+        let items: Vec<(String, String, String)> = (0..300)
+            .map(|i| ("runs".to_string(), format!("key {i}"), format!("value {i}")))
+            .collect();
+        assert!(client.try_save_many(&items));
+        let probes: Vec<(String, String)> = (0..300)
+            .map(|i| ("runs".to_string(), format!("key {i}")))
+            .collect();
+        let got = client.load_many(&probes);
+        assert_eq!(got.len(), 300);
+        for (i, slot) in got.iter().enumerate() {
+            assert_eq!(
+                slot.as_deref(),
+                Some(format!("value {i}").as_str()),
+                "key {i} must survive the chunked round trip"
+            );
+        }
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn health_probe_reports_occupancy_and_draining() {
+        let dir = temp_dir("health");
+        let server = serve_dir(&dir, no_gc());
+        let client = RemoteStore::new(server.addr().to_string());
+        client.save("runs", "k", "one live record");
+        let health = client.health().unwrap();
+        assert!(!health.draining);
+        assert_eq!(health.live_records, 1);
+        assert_eq!(health.shards_occupied, 1);
+        assert_eq!(health.shard_count, SHARD_COUNT);
+        assert!(health.file_bytes > 0);
+        server.shutdown();
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -109,6 +109,10 @@ pub const STORE_MAX_BYTES_ENV: &str = "CFR_STORE_MAX_BYTES";
 /// Environment variable capping record age, in seconds.
 pub const STORE_MAX_AGE_ENV: &str = "CFR_STORE_MAX_AGE";
 
+/// Environment variable selecting the shard-append durability policy:
+/// `never` (default), `commit`, or `always` — see [`FsyncPolicy`].
+pub const STORE_FSYNC_ENV: &str = "CFR_STORE_FSYNC";
+
 /// Namespace holding pipeline run reports (`RunKey → RunReport`).
 pub const NS_RUNS: &str = "runs";
 
@@ -396,12 +400,45 @@ pub struct GcReport {
     pub shards_rewritten: u32,
 }
 
+/// When shard appends are flushed to stable storage.
+///
+/// The store's crash-safety story does not *depend* on fsync — a torn
+/// tail is resynced past at the next open and the record recomputed —
+/// so the default trades durability of the last few appends for append
+/// throughput. The daemon raises the bar for shared stores.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync; the OS flushes when it pleases. A machine crash can
+    /// tear the last appends (recovered as misses at next open).
+    #[default]
+    Never,
+    /// Fsync at batch commit points ([`ArtifactStore::commit_batch`],
+    /// called by the daemon after each `MPUT`) and before compaction
+    /// renames — single appends still ride the OS cache.
+    Commit,
+    /// Fsync after every append. Maximum durability, slowest saves.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Reads [`STORE_FSYNC_ENV`]; unset or unrecognized means `Never`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(STORE_FSYNC_ENV).as_deref().map(str::trim) {
+            Ok("commit") => Self::Commit,
+            Ok("always") => Self::Always,
+            _ => Self::Never,
+        }
+    }
+}
+
 /// A sharded, packed, garbage-collected `(namespace, key) → value` store
 /// of record strings, shared by every process on the machine.
 #[derive(Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
     policy: GcPolicy,
+    fsync: FsyncPolicy,
     index: Mutex<Index>,
     write_errors: AtomicU64,
     evicted: AtomicU64,
@@ -505,6 +542,7 @@ impl ArtifactStore {
         let mut store = Self {
             dir,
             policy,
+            fsync: FsyncPolicy::from_env(),
             index: Mutex::new(index),
             write_errors: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -562,6 +600,21 @@ impl ArtifactStore {
     #[must_use]
     pub fn policy(&self) -> GcPolicy {
         self.policy
+    }
+
+    /// Overrides the environment's [`FsyncPolicy`] — for daemons and
+    /// tests that pick durability explicitly instead of mutating the
+    /// process environment.
+    #[must_use]
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// The durability policy shard appends run under.
+    #[must_use]
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
     }
 
     /// Best-effort writes that failed (diagnostics only; a failed write
@@ -683,6 +736,9 @@ impl ArtifactStore {
         // only interleave whole records (and a torn tail is resynced past
         // by the scanner).
         f.write_all(buf.as_bytes())?;
+        if self.fsync == FsyncPolicy::Always {
+            f.sync_all()?;
+        }
         let end = f.stream_position()?;
         index.file_bytes[shard as usize] = end;
         index.dirty_tail[shard as usize] = false;
@@ -842,7 +898,18 @@ impl ArtifactStore {
                 std::process::id(),
                 self.tmp_counter.fetch_add(1, Ordering::Relaxed),
             ));
-            let written = fs::write(&tmp, &out).and_then(|()| fs::rename(&tmp, &path));
+            // Under a durability policy the tmp file is synced *before*
+            // the rename, so a crash right after the rename can never
+            // leave a shard pointing at unflushed data.
+            let written = fs::write(&tmp, &out)
+                .and_then(|()| {
+                    if self.fsync == FsyncPolicy::Never {
+                        Ok(())
+                    } else {
+                        fs::File::open(&tmp).and_then(|f| f.sync_all())
+                    }
+                })
+                .and_then(|()| fs::rename(&tmp, &path));
             if written.is_err() {
                 let _ = fs::remove_file(&tmp);
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
@@ -897,6 +964,50 @@ impl ArtifactStore {
             .lock()
             .expect("store index poisoned")
             .total_file_bytes()
+    }
+
+    /// A batch commit point: under [`FsyncPolicy::Commit`], fsyncs every
+    /// shard file so the batch that just landed survives a machine
+    /// crash. A no-op under the other policies (`Never` skips syncs
+    /// entirely; `Always` already synced each append).
+    pub fn commit_batch(&self) {
+        if self.fsync == FsyncPolicy::Commit {
+            self.sync_shards();
+        }
+    }
+
+    /// Fsyncs every shard file, unconditionally — the drain path's last
+    /// act before the daemon releases its lock, regardless of policy.
+    /// Best-effort: a shard that cannot be opened or synced is skipped
+    /// (its tail recovers as a miss, like any torn write).
+    pub fn sync_shards(&self) {
+        let _index = self.index.lock().expect("store index poisoned");
+        for shard in 0..SHARD_COUNT {
+            if let Ok(f) = fs::File::open(self.shard_path(shard)) {
+                let _ = f.sync_all();
+            }
+        }
+    }
+
+    /// Re-reads every indexed record from disk and verifies it
+    /// byte-for-byte (namespace, key, framing), returning
+    /// `(readable, corrupt)` counts. The chaos soak's recovery proof:
+    /// after an adversarial run plus a fresh open (whose scan resyncs
+    /// past torn tails), `corrupt` must be zero — every record that
+    /// *survived* is exactly what was written.
+    #[must_use]
+    pub fn verify_records(&self) -> (u64, u64) {
+        let index = self.index.lock().expect("store index poisoned");
+        let mut readable = 0;
+        let mut corrupt = 0;
+        for ((ns, key), slot) in &index.map {
+            if self.read_slot(ns, key, *slot).is_some() {
+                readable += 1;
+            } else {
+                corrupt += 1;
+            }
+        }
+        (readable, corrupt)
     }
 
     /// Per-shard occupancy, in shard order.
@@ -1487,5 +1598,52 @@ mod tests {
             max_age_secs: None,
         };
         assert!(q.bounded());
+    }
+
+    #[test]
+    fn fsync_policies_preserve_record_contents() {
+        // Every policy must produce byte-identical records and survive
+        // the batch-commit and drain-sync entry points.
+        for (tag, policy) in [
+            ("fs-never", FsyncPolicy::Never),
+            ("fs-commit", FsyncPolicy::Commit),
+            ("fs-always", FsyncPolicy::Always),
+        ] {
+            let dir = temp_dir(tag);
+            let store = open(&dir).with_fsync(policy);
+            assert_eq!(store.fsync_policy(), policy);
+            store.save("runs", "k", "v 1");
+            store.save("walks", "k2", "v 2");
+            store.commit_batch();
+            store.sync_shards();
+            assert_eq!(store.load("runs", "k").as_deref(), Some("v 1"));
+            assert_eq!(store.load("walks", "k2").as_deref(), Some("v 2"));
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn verify_records_counts_live_and_corrupt() {
+        let dir = temp_dir("verify");
+        let store = open(&dir);
+        for i in 0..20 {
+            store.save("runs", &format!("k{i}"), &format!("value {i}"));
+        }
+        assert_eq!(store.verify_records(), (20, 0));
+        // Truncate one shard mid-record behind the index's back: the
+        // damaged record now fails byte-for-byte verification.
+        let occupied: Vec<u32> = store
+            .shard_occupancy()
+            .into_iter()
+            .filter(|o| o.live_records > 0)
+            .map(|o| o.shard)
+            .collect();
+        let victim = dir.join(format!("shard-{:02}.cfr", occupied[0]));
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() - 3]).unwrap();
+        let (readable, corrupt) = store.verify_records();
+        assert!(corrupt >= 1, "truncation must surface as corruption");
+        assert_eq!(readable + corrupt, 20);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

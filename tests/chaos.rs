@@ -1,0 +1,176 @@
+//! Chaos-layer integration tests: deterministic fault schedules, torn-
+//! tail crash recovery through the injected-fault backend, and the TCP
+//! fault proxy against a live store daemon. The invariant under every
+//! fault is the store contract's: **any failure is a miss, never a
+//! hang, a crash, or wrong bytes.**
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfr_sim::types::{
+    ArtifactStore, ChaosBackend, ChaosProxy, FaultPlan, GcPolicy, RemoteStore, ServerConfig,
+    StoreBackend, StoreServer,
+};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfr-chaos-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf) -> ArtifactStore {
+    ArtifactStore::open(dir, GcPolicy::unbounded()).unwrap()
+}
+
+/// The fault schedule is a pure function of (seed, domain, op): the
+/// same seed replays the same faults, different seeds diverge. This is
+/// what makes a failing chaos-soak seed reproducible.
+#[test]
+fn fault_schedules_replay_by_seed() {
+    let plan = FaultPlan::new(42);
+    let replay = FaultPlan::new(42);
+    let other = FaultPlan::new(43);
+    let mut diverged = false;
+    for op in 0..5_000u64 {
+        assert_eq!(plan.backend_fault(op), replay.backend_fault(op));
+        assert_eq!(plan.proxy_fault(op), replay.proxy_fault(op));
+        diverged |= plan.backend_fault(op) != other.backend_fault(op)
+            || plan.proxy_fault(op) != other.proxy_fault(op);
+    }
+    assert!(diverged, "different seeds must draw different schedules");
+}
+
+/// A crash mid-append (a torn tail shorter than the record) must cost
+/// exactly the torn record: every earlier record survives bit-for-bit,
+/// the torn key reads as a miss, and the shard accepts appends again.
+#[test]
+fn torn_tail_crash_recovery_preserves_earlier_records() {
+    let dir = temp_store("torn-tail");
+
+    // Session 1: a healthy store writes ten records and exits cleanly.
+    {
+        let store = open(&dir);
+        for i in 0..10 {
+            store.save("runs", &format!("key {i}"), &format!("value {i} payload"));
+        }
+    }
+
+    // Session 2: every save draws a torn-append fault — the bytes stop
+    // partway through the record, as if the process died mid-write.
+    {
+        let inner = Arc::new(open(&dir));
+        let chaos = ChaosBackend::new(inner, FaultPlan::quiet(7).with("torn=1"))
+            .with_shard_dir(dir.clone());
+        chaos.save("runs", "torn key", "this record never fully lands");
+        assert!(chaos.injected_faults() >= 1);
+    }
+
+    // Session 3 (recovery): reopen from the bytes on disk.
+    let recovered = open(&dir);
+    for i in 0..10 {
+        assert_eq!(
+            recovered.load("runs", &format!("key {i}")).as_deref(),
+            Some(format!("value {i} payload").as_str()),
+            "records before the torn tail must survive bit-for-bit"
+        );
+    }
+    assert_eq!(
+        recovered.load("runs", "torn key"),
+        None,
+        "the torn record is resynced past, never served partially"
+    );
+    // Every record the recovered index points at reads back clean.
+    let (readable, corrupt) = recovered.verify_records();
+    assert_eq!((readable, corrupt), (10, 0));
+    // The shard accepts appends again, including the once-torn key.
+    recovered.save("runs", "torn key", "second attempt lands");
+    assert_eq!(
+        recovered.load("runs", "torn key").as_deref(),
+        Some("second attempt lands")
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Forced backend faults degrade to the store contract's failure mode —
+/// a miss or a counted dropped write — and a quiet plan is transparent.
+#[test]
+fn forced_backend_faults_degrade_to_misses() {
+    let dir = temp_store("forced-faults");
+    let inner = Arc::new(open(&dir));
+    inner.save("runs", "k", "stored value");
+
+    let missy = ChaosBackend::new(
+        Arc::clone(&inner) as Arc<dyn StoreBackend>,
+        FaultPlan::quiet(1).with("miss=1"),
+    );
+    assert_eq!(missy.load("runs", "k"), None, "forced miss hides the hit");
+
+    let droppy = ChaosBackend::new(
+        Arc::clone(&inner) as Arc<dyn StoreBackend>,
+        FaultPlan::quiet(2).with("save_err=1"),
+    );
+    droppy.save("runs", "dropped", "never lands");
+    assert_eq!(inner.load("runs", "dropped"), None);
+    assert!(droppy.write_errors() >= 1, "dropped saves are counted");
+
+    let quiet = ChaosBackend::new(
+        Arc::clone(&inner) as Arc<dyn StoreBackend>,
+        FaultPlan::quiet(3),
+    );
+    assert_eq!(quiet.load("runs", "k").as_deref(), Some("stored value"));
+    quiet.save("runs", "k2", "through the quiet layer");
+    assert_eq!(
+        inner.load("runs", "k2").as_deref(),
+        Some("through the quiet layer")
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A quiet proxy is byte-transparent; a reset-everything proxy degrades
+/// every exchange to a miss without hanging the client or harming the
+/// daemon behind it.
+#[test]
+fn chaos_proxy_quiet_passthrough_and_reset_degradation() {
+    let dir = temp_store("proxy");
+    let store = Arc::new(open(&dir));
+    let server = StoreServer::bind(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    // Quiet: the proxied client round-trips exactly like a direct one.
+    let mut quiet = ChaosProxy::start(server.addr(), FaultPlan::quiet(11)).unwrap();
+    let proxied = RemoteStore::new(quiet.addr().to_string());
+    proxied.save("runs", "via-proxy", "proxied bytes survive");
+    assert_eq!(
+        proxied.load("runs", "via-proxy").as_deref(),
+        Some("proxied bytes survive")
+    );
+    quiet.stop();
+
+    // Hostile: every forwarded chunk drops the connection.
+    let mut hostile =
+        ChaosProxy::start(server.addr(), FaultPlan::quiet(12).with("reset=1")).unwrap();
+    let broken = RemoteStore::new(hostile.addr().to_string());
+    let t0 = Instant::now();
+    assert_eq!(
+        broken.load("runs", "via-proxy"),
+        None,
+        "a reset connection is a miss, not a hang or a panic"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(15),
+        "degradation must resolve within the client I/O timeout"
+    );
+    assert!(hostile.injected_faults() >= 1);
+    hostile.stop();
+
+    // The daemon behind the chaos is untouched: a direct client still
+    // sees the record.
+    let direct = RemoteStore::new(server.addr().to_string());
+    assert_eq!(
+        direct.load("runs", "via-proxy").as_deref(),
+        Some("proxied bytes survive")
+    );
+    server.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
