@@ -33,8 +33,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use cfr_types::{
-    AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter, NS_PROGRAMS, NS_TRACES,
-    NS_WALKS,
+    AddressingMode, PageGeometry, RecordError, RecordReader, RecordWriter, NS_PROGRAMS,
+    NS_SCENARIOS, NS_TRACES, NS_WALKS,
 };
 use cfr_workload::{
     measure_walk, program_store_key, trace_store_key, walk_store_key, BenchmarkProfile,
@@ -44,6 +44,7 @@ use rayon::prelude::*;
 
 use crate::compiler;
 use crate::experiment::ExperimentScale;
+use crate::scenario::{self, ScenarioBinary, ScenarioConfig, ScenarioReport};
 use crate::simulator::{ExecBackend, ItlbChoice, RunReport, SimConfig, Simulator};
 use crate::store::{RunClaim, Store};
 use crate::strategy::StrategyKind;
@@ -233,6 +234,13 @@ pub struct Engine {
     walks_warm: AtomicU64,
     /// Walk measurements actually computed (store miss, or no store).
     walks_cold: AtomicU64,
+    /// Memoized scenario reports, keyed by the config record (the same
+    /// string that content-addresses the `scenarios` store namespace).
+    scenarios: Mutex<HashMap<String, Arc<ScenarioReport>>>,
+    /// Scenario reports served from the persistent store.
+    scenarios_warm: AtomicU64,
+    /// Scenario reports actually simulated (store miss, or no store).
+    scenarios_cold: AtomicU64,
     /// Persistent cross-process result store, consulted before simulating
     /// and written after (see [`Store`]). `None` = in-memory only.
     store: Option<Store>,
@@ -261,6 +269,9 @@ pub struct StoreSummary {
     /// Pre-decoded execution traces (`traces`). Cold = compiled in this
     /// process; all zero under the interpreter backend.
     pub traces: NamespaceTraffic,
+    /// Multiprogrammed scenario reports (`scenarios`); all zero unless
+    /// [`Engine::run_scenarios`] was used.
+    pub scenarios: NamespaceTraffic,
 }
 
 /// Result cache plus the set of keys some `run_many` call is currently
@@ -320,6 +331,9 @@ impl Engine {
             simulated: AtomicU64::new(0),
             walks_warm: AtomicU64::new(0),
             walks_cold: AtomicU64::new(0),
+            scenarios: Mutex::new(HashMap::new()),
+            scenarios_warm: AtomicU64::new(0),
+            scenarios_cold: AtomicU64::new(0),
             store: None,
         }
     }
@@ -499,6 +513,10 @@ impl Engine {
                 warm: self.traces.loaded(),
                 cold: self.traces.compiled(),
             },
+            scenarios: NamespaceTraffic {
+                warm: self.scenarios_warm.load(Ordering::Relaxed),
+                cold: self.scenarios_cold.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -509,10 +527,20 @@ impl Engine {
     #[must_use]
     pub fn summary_line(&self) -> String {
         let s = self.store_summary();
+        // The scenarios segment only appears when scenarios ran, so the
+        // line stays byte-identical for every pre-existing binary.
+        let scen = if s.scenarios.warm + s.scenarios.cold > 0 {
+            format!(
+                "; scenarios {} warm / {} cold",
+                s.scenarios.warm, s.scenarios.cold
+            )
+        } else {
+            String::new()
+        };
         match &self.store {
             Some(store) => format!(
                 "store: runs {} warm / {} cold; walks {} warm / {} cold; \
-                 programs {} warm / {} cold; traces {} warm / {} cold ({})",
+                 programs {} warm / {} cold; traces {} warm / {} cold{} ({})",
                 s.runs.warm,
                 s.runs.cold,
                 s.walks.warm,
@@ -521,12 +549,21 @@ impl Engine {
                 s.programs.cold,
                 s.traces.warm,
                 s.traces.cold,
+                scen,
                 store.describe(),
             ),
             None => format!(
                 "store: disabled ({} runs simulated, {} walks measured, \
-                 {} programs generated, {} traces compiled in-process)",
-                s.runs.cold, s.walks.cold, s.programs.cold, s.traces.cold,
+                 {} programs generated, {} traces compiled in-process{})",
+                s.runs.cold,
+                s.walks.cold,
+                s.programs.cold,
+                s.traces.cold,
+                if s.scenarios.cold > 0 {
+                    format!(", {} scenarios simulated", s.scenarios.cold)
+                } else {
+                    String::new()
+                },
             ),
         }
     }
@@ -801,6 +838,134 @@ impl Engine {
             }
         }
     }
+
+    /// Executes one multiprogrammed scenario (cached like any other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config names an unregistered profile (see
+    /// [`Engine::run_scenarios`]).
+    #[must_use]
+    pub fn run_scenario(&self, cfg: &ScenarioConfig) -> Arc<ScenarioReport> {
+        self.run_scenarios(std::slice::from_ref(cfg))
+            .pop()
+            .expect("one config in, one report out")
+    }
+
+    /// Executes a batch of scenarios, returning reports in request order.
+    ///
+    /// A scenario's identity is its full config record: equal configs
+    /// deduplicate in-process (within and across batches) and across
+    /// processes through the `scenarios` store namespace, exactly like
+    /// plain runs — one batched store probe up front, one batched
+    /// write-back of whatever had to be simulated cold, and warm replays
+    /// are byte-identical. Per-process binaries and pre-decoded traces
+    /// resolve through the same memoized compilation caches (and store
+    /// namespaces) the single-program path uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a config names an unregistered profile, asks for zero
+    /// processes, or sets a zero quantum or ASID count.
+    #[must_use]
+    pub fn run_scenarios(&self, cfgs: &[ScenarioConfig]) -> Vec<Arc<ScenarioReport>> {
+        let keys: Vec<String> = cfgs.iter().map(ScenarioConfig::store_key).collect();
+        // Unique keys not already memoized (first requester wins; a
+        // concurrent batch racing the same key recomputes the identical
+        // report, so last-insert-wins stays correct).
+        let unique: Vec<usize> = {
+            let memo = self.scenarios.lock().expect("scenario memo poisoned");
+            let mut seen = HashSet::new();
+            keys.iter()
+                .enumerate()
+                .filter(|(_, k)| !memo.contains_key(*k) && seen.insert((*k).clone()))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        if !unique.is_empty() {
+            let artifacts = self.store.as_ref().map(Store::backend);
+            let mut warm: Vec<Option<ScenarioReport>> = match &artifacts {
+                Some(store) => {
+                    let items: Vec<(String, String)> = unique
+                        .iter()
+                        .map(|&i| (NS_SCENARIOS.to_string(), keys[i].clone()))
+                        .collect();
+                    let mut values = store.load_many(&items);
+                    values.resize_with(items.len(), || None);
+                    values
+                        .into_iter()
+                        .map(|value| {
+                            value.and_then(|text| {
+                                let mut r = RecordReader::new(&text);
+                                let rep = ScenarioReport::from_record(&mut r).ok()?;
+                                r.finish().ok()?;
+                                Some(rep)
+                            })
+                        })
+                        .collect()
+                }
+                None => unique.iter().map(|_| None).collect(),
+            };
+            let backend = ExecBackend::from_env();
+            let mut ready: Vec<(usize, ScenarioReport)> = Vec::new();
+            let mut cold: Vec<(usize, Vec<ScenarioBinary>)> = Vec::new();
+            for (&i, warm) in unique.iter().zip(warm.drain(..)) {
+                if let Some(rep) = warm {
+                    self.scenarios_warm.fetch_add(1, Ordering::Relaxed);
+                    ready.push((i, rep));
+                    continue;
+                }
+                // Resolve this scenario's binaries serially (memoized per
+                // compilation class) so parallel workers share one
+                // immutable Arc per binary, exactly as `run_many` does.
+                let bins: Vec<ScenarioBinary> = cfgs[i]
+                    .procs
+                    .iter()
+                    .map(|p| {
+                        let mut key =
+                            RunKey::new(p.profile, &cfgs[i].scale, cfgs[i].strategy, cfgs[i].mode);
+                        if let Some(bytes) = p.page_bytes {
+                            key = key.with_page_bytes(bytes);
+                        }
+                        let laid = self.compiled(&key);
+                        let trace =
+                            (backend == ExecBackend::Compiled).then(|| self.trace_for(&key, &laid));
+                        ScenarioBinary { laid, trace }
+                    })
+                    .collect();
+                cold.push((i, bins));
+            }
+            let fresh: Vec<(usize, ScenarioReport)> = cold
+                .par_iter()
+                .map(|(i, bins)| {
+                    let rep = scenario::simulate(&cfgs[*i], bins, backend);
+                    self.scenarios_cold.fetch_add(1, Ordering::Relaxed);
+                    (*i, rep)
+                })
+                .collect();
+            if let Some(store) = &artifacts {
+                let writes: Vec<(String, String, String)> = fresh
+                    .iter()
+                    .map(|(i, rep)| {
+                        let mut w = RecordWriter::new();
+                        rep.to_record(&mut w);
+                        (NS_SCENARIOS.to_string(), keys[*i].clone(), w.finish())
+                    })
+                    .collect();
+                if !writes.is_empty() {
+                    store.save_many(&writes);
+                }
+            }
+            let mut memo = self.scenarios.lock().expect("scenario memo poisoned");
+            for (i, rep) in ready.into_iter().chain(fresh) {
+                memo.insert(keys[i].clone(), Arc::new(rep));
+            }
+        }
+        let memo = self.scenarios.lock().expect("scenario memo poisoned");
+        keys.iter()
+            .map(|k| Arc::clone(memo.get(k).expect("every requested scenario resolved")))
+            .collect()
+    }
 }
 
 impl Default for Engine {
@@ -911,6 +1076,61 @@ mod tests {
         // Default-valued overrides canonicalize to the plain key, so a
         // sweep's default column deduplicates against non-sweep runs.
         assert_eq!(base.with_il1_bytes(8 * 1024).with_page_bytes(4096), base);
+    }
+
+    #[test]
+    fn scenarios_dedup_and_persist() {
+        use crate::scenario::{ScenarioProc, TlbMode};
+        let dir =
+            std::env::temp_dir().join(format!("cfr-store-scenario-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ScenarioConfig::new(
+            vec![ScenarioProc::new("177.mesa"), ScenarioProc::new("254.gap")],
+            tiny(),
+            StrategyKind::Ia,
+            AddressingMode::ViPt,
+        );
+        cfg.quantum = 4_000;
+        cfg.tlb_mode = TlbMode::Flush;
+
+        let cold = Engine::new().with_store(Store::open(&dir).unwrap());
+        let a = cold.run_scenarios(&[cfg.clone(), cfg.clone()]);
+        assert!(
+            Arc::ptr_eq(&a[0], &a[1]),
+            "duplicate configs share one report"
+        );
+        let s = cold.store_summary().scenarios;
+        assert_eq!((s.warm, s.cold), (0, 1), "one unique scenario simulated");
+        assert!(a[0].context_switches > 0);
+
+        // A fresh engine over the same directory replays warm,
+        // byte-identically (the differential suite pins this end to end).
+        let warm = Engine::new().with_store(Store::open(&dir).unwrap());
+        let b = warm.run_scenario(&cfg);
+        let s = warm.store_summary().scenarios;
+        assert_eq!((s.warm, s.cold), (1, 0), "served from the store");
+        assert_eq!(*b, *a[0], "warm replay is field-identical");
+        assert!(
+            warm.summary_line().contains("scenarios 1 warm / 0 cold"),
+            "summary line grows a scenarios segment: {}",
+            warm.summary_line()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_line_has_no_scenario_segment_without_scenarios() {
+        let engine = Engine::new();
+        let _ = engine.run(RunKey::new(
+            "177.mesa",
+            &tiny(),
+            StrategyKind::Base,
+            AddressingMode::ViPt,
+        ));
+        assert!(
+            !engine.summary_line().contains("scenario"),
+            "pre-existing binaries' store lines must stay byte-identical"
+        );
     }
 
     #[test]

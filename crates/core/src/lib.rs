@@ -62,6 +62,7 @@ mod cfr;
 pub mod compiler;
 mod engine;
 mod experiment;
+pub mod scenario;
 mod simulator;
 mod store;
 mod strategy;
@@ -73,14 +74,17 @@ pub use cfr_types::net::{
 };
 pub use cfr_types::store::{
     ArtifactStore, ClaimOutcome, GcPolicy, GcReport, ShardOccupancy, StoreBackend, StoreLock,
-    DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS, SHARD_COUNT,
-    STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
+    DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_SCENARIOS, NS_TRACES, NS_WALKS,
+    SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_MAX_AGE_ENV, STORE_MAX_BYTES_ENV,
 };
 pub use engine::{Engine, NamespaceTraffic, RunKey, StoreSummary};
 pub use experiment::{
     fig4, fig5, fig6, table2, table3, table4, table5, table6, table6_itlbs, table7, table8,
     ExperimentScale, Fig4Row, Fig6Row, Table2Row, Table3Row, Table4Row, Table6Row, Table8Row,
     FIG4_SCHEMES,
+};
+pub use scenario::{
+    ScenarioBinary, ScenarioConfig, ScenarioProc, ScenarioReport, TlbMode, QUANTUM_INFINITE,
 };
 pub use simulator::{ExecBackend, ItlbChoice, RunReport, SimConfig, Simulator, BACKEND_ENV};
 pub use store::{RunClaim, Store};

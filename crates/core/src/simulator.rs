@@ -101,7 +101,7 @@ impl ItlbChoice {
         }
     }
 
-    fn build(self, miss_penalty: u32) -> ItlbModel {
+    pub(crate) fn build(self, miss_penalty: u32) -> ItlbModel {
         match self {
             ItlbChoice::Mono(org) => ItlbModel::Mono(cfr_mem::Tlb::new(TlbConfig {
                 organization: org,

@@ -142,6 +142,7 @@ struct MeterSlots {
     itlb_l2_access: MeterSlot,
     itlb_l1_refill: MeterSlot,
     itlb_l2_refill: MeterSlot,
+    fault_trap: MeterSlot,
 }
 
 /// Per-event iTLB energies, precomputed once at construction: the CACTI
@@ -192,7 +193,7 @@ impl ItlbModel {
         meter: &mut EnergyMeter,
         slots: &mut MeterSlots,
         energies: ItlbEnergies,
-    ) -> (Pfn, Protection, u32) {
+    ) -> (Pfn, Protection, u32, bool) {
         match self {
             ItlbModel::Mono(tlb) => {
                 meter.charge_cached(&mut slots.itlb_access, "itlb_access", energies.access_pj);
@@ -200,7 +201,7 @@ impl ItlbModel {
                 if !r.hit {
                     meter.charge_cached(&mut slots.itlb_refill, "itlb_refill", energies.refill_pj);
                 }
-                (r.pfn, r.prot, r.penalty)
+                (r.pfn, r.prot, r.penalty, r.fault)
             }
             ItlbModel::TwoLevel(two) => {
                 meter.charge_cached(
@@ -228,7 +229,7 @@ impl ItlbModel {
                         );
                     }
                 }
-                (r.pfn, r.prot, r.penalty)
+                (r.pfn, r.prot, r.penalty, r.fault)
             }
         }
     }
@@ -257,6 +258,41 @@ impl ItlbModel {
                 t.invalidate(vpn);
             }
             ItlbModel::TwoLevel(t) => t.invalidate(vpn),
+        }
+    }
+
+    fn invalidate_all(&mut self) -> u64 {
+        match self {
+            ItlbModel::Mono(t) => t.invalidate_all(),
+            ItlbModel::TwoLevel(t) => t.invalidate_all(),
+        }
+    }
+
+    fn invalidate_asid(&mut self, asid: u16) -> u64 {
+        match self {
+            ItlbModel::Mono(t) => t.invalidate_asid(asid),
+            ItlbModel::TwoLevel(t) => t.invalidate_asid(asid),
+        }
+    }
+
+    fn set_asid(&mut self, asid: u16) {
+        match self {
+            ItlbModel::Mono(t) => t.set_asid(asid),
+            ItlbModel::TwoLevel(t) => t.set_asid(asid),
+        }
+    }
+
+    fn set_demand_fault_penalty(&mut self, cycles: u32) {
+        match self {
+            ItlbModel::Mono(t) => t.set_demand_fault_penalty(cycles),
+            ItlbModel::TwoLevel(t) => t.set_demand_fault_penalty(cycles),
+        }
+    }
+
+    fn demand_faults(&self) -> u64 {
+        match self {
+            ItlbModel::Mono(t) => t.demand_faults(),
+            ItlbModel::TwoLevel(t) => t.demand_faults(),
         }
     }
 }
@@ -316,6 +352,9 @@ pub struct Strategy {
     /// Precomputed per-event iTLB energies (see [`ItlbEnergies`]).
     energies: ItlbEnergies,
     context_switches: u64,
+    /// Cycles an iTLB protection fault spends trapping to the OS handler
+    /// (0 = faults are counted but free, the paper's implicit setting).
+    fault_latency: u32,
 }
 
 impl Strategy {
@@ -355,6 +394,7 @@ impl Strategy {
             slots: MeterSlots::default(),
             energies,
             context_switches: 0,
+            fault_latency: 0,
         }
     }
 
@@ -397,6 +437,52 @@ impl Strategy {
         self.context_switches
     }
 
+    /// OS hook: cycles an iTLB protection fault spends trapping to the OS
+    /// handler. Nonzero values make `TlbStats::protection_faults` cost
+    /// cycles *and* energy (a `fault_trap` meter component).
+    pub fn set_fault_latency(&mut self, cycles: u32) {
+        self.fault_latency = cycles;
+    }
+
+    /// OS hook: the address-space identifier tag folded into every iTLB
+    /// entry from now on (ASID-tagged TLB mode; 0 is the boot/default
+    /// space and is tag-identical to an untagged TLB).
+    pub fn set_asid(&mut self, asid: u16) {
+        self.itlb.set_asid(asid);
+    }
+
+    /// OS hook: flush-on-switch TLB mode — invalidate every iTLB entry
+    /// (both levels under the two-level model). Returns the number of
+    /// entries flushed.
+    pub fn flush_itlb(&mut self) -> u64 {
+        self.itlb.invalidate_all()
+    }
+
+    /// OS hook: shoot down every iTLB entry tagged with `asid` (an exiting
+    /// process's space being recycled). Returns the number of entries shot.
+    pub fn shootdown_asid(&mut self, asid: u16) -> u64 {
+        self.itlb.invalidate_asid(asid)
+    }
+
+    /// OS hook: switch the fetch path to the incoming process's page
+    /// geometry (4 KB vs 2 MB mixes in the scenario layer).
+    pub fn set_geometry(&mut self, geom: PageGeometry) {
+        self.geom = geom;
+    }
+
+    /// OS hook: cycles a demand fault (first touch of an unmapped page)
+    /// adds to the iTLB miss penalty. 0 disables the page-table probe.
+    pub fn set_demand_fault_penalty(&mut self, cycles: u32) {
+        self.itlb.set_demand_fault_penalty(cycles);
+    }
+
+    /// Demand faults taken by the iTLB (first touches of unmapped pages);
+    /// counted only when a demand-fault penalty is configured.
+    #[must_use]
+    pub fn demand_faults(&self) -> u64 {
+        self.itlb.demand_faults()
+    }
+
     fn charge_cfr_read(&mut self) {
         self.meter.charge_cached(
             &mut self.slots.cfr_read,
@@ -429,9 +515,22 @@ impl Strategy {
         let vpn = self.geom.vpn(ev.pc);
         self.count_lookup_cause(ev);
         let mut meter = std::mem::take(&mut self.meter);
-        let (pfn, prot, penalty) =
+        let (pfn, prot, mut penalty, fault) =
             self.itlb
                 .lookup(vpn, pt, &mut meter, &mut self.slots, self.energies);
+        if fault && self.fault_latency > 0 {
+            // A protection fault traps to the OS handler: the fetch stalls
+            // for the handler's latency and the trap's pipeline activity is
+            // charged to its own meter component. With `fault_latency == 0`
+            // (the default) faults are counted but cost nothing, keeping the
+            // fault-free model byte-identical.
+            penalty += self.fault_latency;
+            meter.charge_cached(
+                &mut self.slots.fault_trap,
+                "fault_trap",
+                self.model.fault_trap_pj(self.fault_latency),
+            );
+        }
         self.meter = meter;
         self.cfr.load(vpn, pfn, prot);
         (pfn, penalty)
@@ -663,6 +762,51 @@ mod tests {
             },
             wrong_path: false,
         }
+    }
+
+    #[test]
+    fn fault_latency_charges_trap_cycles_and_energy() {
+        // Map the fetch page data-only so fetching (Protection::code) faults.
+        let mut pt = PageTable::new();
+        let geom = PageGeometry::default_4k();
+        pt.translate(geom.vpn(VirtAddr::new(0x40_0000)), Protection::data());
+
+        // Latency 0 (the default): the fault is counted but free, and no
+        // trap meter component materializes — byte-identical to the
+        // fault-free model.
+        let mut s0 = strategy(StrategyKind::Base, AddressingMode::ViPt);
+        let out0 = s0.on_fetch(&seq(0x40_0000), &mut pt);
+        assert_eq!(s0.itlb_stats().protection_faults, 1);
+        assert_eq!(s0.meter().events("fault_trap"), 0);
+
+        // Nonzero latency: the same fetch stalls the handler's cycles on
+        // top and charges a fault_trap energy event.
+        let mut s1 = strategy(StrategyKind::Base, AddressingMode::ViPt);
+        s1.set_fault_latency(900);
+        let out1 = s1.on_fetch(&seq(0x40_0000), &mut pt);
+        assert_eq!(s1.itlb_stats().protection_faults, 1);
+        assert_eq!(out1.stall, out0.stall + 900);
+        assert_eq!(s1.meter().events("fault_trap"), 1);
+        let trap_pj = EnergyModel::default().fault_trap_pj(900);
+        assert!((s1.meter().total_pj() - s0.meter().total_pj() - trap_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asid_and_flush_hooks_reach_the_itlb() {
+        let mut pt = PageTable::new();
+        let mut s = strategy(StrategyKind::Base, AddressingMode::ViPt);
+        for i in 0..4 {
+            s.on_fetch(&seq(0x40_0000 + i * 0x1000), &mut pt);
+        }
+        assert_eq!(s.itlb_stats().misses, 4);
+        // Re-fetch under a new ASID: nothing resident under that tag.
+        s.set_asid(7);
+        s.on_fetch(&seq(0x40_0000), &mut pt);
+        assert_eq!(s.itlb_stats().misses, 5, "asid 7 cannot see asid 0 entries");
+        // Shoot down the new space only, then flush everything.
+        assert_eq!(s.shootdown_asid(7), 1);
+        assert_eq!(s.flush_itlb(), 4);
+        assert_eq!(s.flush_itlb(), 0);
     }
 
     #[test]

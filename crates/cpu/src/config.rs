@@ -49,6 +49,12 @@ pub struct CpuConfig {
     pub dram: DramConfig,
     /// Page geometry (Table 1: 4 KB).
     pub geometry: PageGeometry,
+    /// Cycles a faulting data access spends trapping to the OS handler
+    /// (charged on top of the TLB penalty whenever the dTLB reports a
+    /// protection fault). 0 — the default, and the paper's implicit
+    /// setting — reproduces the fault-free cost model exactly: faults are
+    /// still *counted*, they just cost nothing.
+    pub fault_latency: u32,
 }
 
 impl CpuConfig {
@@ -75,6 +81,7 @@ impl CpuConfig {
             dtlb: TlbConfig::default_dtlb(),
             dram: DramConfig::default(),
             geometry: PageGeometry::default_4k(),
+            fault_latency: 0,
         }
     }
 }

@@ -43,6 +43,6 @@ mod translate;
 pub use backend::{CompiledBackend, ExecutionBackend, InterpBackend, LookupBatch};
 pub use bpred::{BranchPredictor, Btb, Prediction, PredictorConfig, ReturnAddressStack};
 pub use config::CpuConfig;
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, SliceEnd};
 pub use stats::CpuStats;
 pub use translate::{FetchEvent, FetchKind, FetchTranslator, NullTranslator, TranslationOutcome};

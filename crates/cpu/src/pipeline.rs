@@ -39,6 +39,16 @@ const MEM_PORTS: u32 = 2;
 /// instruction before the pipeline declares itself wedged.
 const MAX_CPI: u64 = 1000;
 
+/// Why a [`Pipeline::run_slice`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceEnd {
+    /// The commit target was reached; this process is done.
+    Finished,
+    /// The quantum expired first; the pipeline is frozen mid-flight and
+    /// another `run_slice` call resumes it exactly where it stopped.
+    Quantum,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct FetchedBranch {
     mispredicted: bool,
@@ -348,8 +358,36 @@ impl<B: ExecutionBackend> Pipeline<B> {
     /// Panics if the pipeline wedges (cycles exceed `1000 × max_commits`),
     /// which indicates a simulator bug rather than a slow workload.
     pub fn run<T: FetchTranslator + ?Sized>(&mut self, translator: &mut T, max_commits: u64) {
-        let cycle_cap = max_commits.saturating_mul(MAX_CPI) + 1_000_000;
-        while self.stats.committed < max_commits {
+        self.run_slice(translator, max_commits, u64::MAX);
+        self.finalize_stats();
+    }
+
+    /// Runs until `max_commits` instructions have committed **or** the
+    /// cycle clock reaches `quantum_end`, whichever comes first — the
+    /// scheduling primitive a time-sliced multiprogrammed scenario needs.
+    /// All pipeline state (fetch queue, RUU, in-flight memory ops, branch
+    /// history) is preserved across slices, exactly as a context switch
+    /// freezes a core; resuming simply continues the loop. With
+    /// `quantum_end == u64::MAX` this is [`Pipeline::run`] minus the final
+    /// stats snapshot (call [`Pipeline::finalize_stats`] after the last
+    /// slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline wedges (see [`Pipeline::run`]).
+    pub fn run_slice<T: FetchTranslator + ?Sized>(
+        &mut self,
+        translator: &mut T,
+        max_commits: u64,
+        quantum_end: u64,
+    ) -> SliceEnd {
+        let cycle_cap = self
+            .cycle
+            .saturating_add(
+                (max_commits - self.stats.committed.min(max_commits)).saturating_mul(MAX_CPI),
+            )
+            .saturating_add(1_000_000);
+        while self.stats.committed < max_commits && self.cycle < quantum_end {
             let did_commit = self.commit(max_commits);
             if self.stats.committed >= max_commits {
                 break;
@@ -388,7 +426,13 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 }
                 // `wake == u64::MAX` means a wedged pipeline; fall back to
                 // single-stepping so the cycle-cap assert below reports it.
-                self.cycle = wake.max(self.cycle + 1).min(self.cycle + MAX_CPI);
+                // A quantum boundary caps the jump: the slice ends exactly
+                // at `quantum_end`, never beyond it (the loop condition
+                // guarantees `quantum_end > cycle`, so progress holds).
+                self.cycle = wake
+                    .max(self.cycle + 1)
+                    .min(self.cycle + MAX_CPI)
+                    .min(quantum_end);
             }
             assert!(
                 self.cycle < cycle_cap,
@@ -397,11 +441,37 @@ impl<B: ExecutionBackend> Pipeline<B> {
                 self.cycle
             );
         }
+        if self.stats.committed >= max_commits {
+            SliceEnd::Finished
+        } else {
+            SliceEnd::Quantum
+        }
+    }
+
+    /// Snapshots the memory-hierarchy counters (and the final cycle count)
+    /// into [`Pipeline::stats`]. [`Pipeline::run`] does this implicitly; a
+    /// slice-driven caller does it once, after the last slice.
+    pub fn finalize_stats(&mut self) {
         self.stats.cycles = self.cycle;
         self.stats.il1 = *self.il1.stats();
         self.stats.dl1 = *self.dl1.stats();
         self.stats.l2 = *self.l2.stats();
         self.stats.dtlb = *self.dtlb.stats();
+    }
+
+    /// Advances the pipeline's cycle clock to (at least) `cycle` — how a
+    /// scheduler accounts wall-clock that passed while this pipeline was
+    /// switched out (other processes' slices, context-switch and shootdown
+    /// penalties). Monotonic: never moves the clock backwards.
+    pub fn set_cycle(&mut self, cycle: u64) {
+        self.cycle = self.cycle.max(cycle);
+    }
+
+    /// Mutable access to the dTLB — a scheduler migrates the (single,
+    /// shared) hardware dTLB between per-process pipelines on a context
+    /// switch, applying its ASID or flush policy in between.
+    pub fn dtlb_mut(&mut self) -> &mut Tlb {
+        &mut self.dtlb
     }
 
     /// Dyn-compatible wrapper over [`Pipeline::run`] for callers that only
@@ -710,6 +780,13 @@ impl<B: ExecutionBackend> Pipeline<B> {
             .dtlb
             .lookup(vpn, &mut self.page_table, Protection::data());
         let mut latency = t.penalty; // 0 on hit, 50 on miss
+        if t.fault {
+            // A protection fault traps to the OS handler: the access still
+            // completes (the simulator has no architectural kill path) but
+            // the configured handler latency is charged, so faults cost
+            // cycles instead of just incrementing a counter.
+            latency += self.cfg.fault_latency;
+        }
         let pa = self.geom.join(t.pfn, self.geom.offset(addr));
         let r = self.dl1.access(addr.raw(), kind);
         if r.hit {
@@ -1050,6 +1127,65 @@ mod tests {
         let a = run_for(&p, 10_000);
         let b = run_for(&p, 10_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sliced_run_is_transparent() {
+        // A single process chopped into quantum slices (with nothing
+        // happening between slices) must be indistinguishable from one
+        // uninterrupted run: `run_slice` freezes and resumes the pipeline
+        // exactly, so every statistic — cycles included — is identical.
+        let p = laid();
+        let whole = run_for(&p, 15_000);
+        for quantum in [1u64, 7, 100, 4096] {
+            let mut pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+            let mut t = NullTranslator::default();
+            let mut slices = 0u64;
+            loop {
+                let end = pipe.cycle().saturating_add(quantum);
+                slices += 1;
+                if pipe.run_slice(&mut t, 15_000, end) == SliceEnd::Finished {
+                    break;
+                }
+            }
+            pipe.finalize_stats();
+            assert_eq!(*pipe.stats(), whole, "quantum {quantum} diverged");
+            assert!(slices > 1, "quantum {quantum} never actually sliced");
+        }
+    }
+
+    #[test]
+    fn set_cycle_is_monotonic_and_charges_idle_time() {
+        let p = laid();
+        let mut pipe = Pipeline::new(&p, CpuConfig::default_config(), 42);
+        let mut t = NullTranslator::default();
+        pipe.run_slice(&mut t, 1_000, u64::MAX);
+        let at = pipe.cycle();
+        pipe.set_cycle(at + 500); // switched out for 500 cycles
+        assert_eq!(pipe.cycle(), at + 500);
+        pipe.set_cycle(at); // never backwards
+        assert_eq!(pipe.cycle(), at + 500);
+    }
+
+    #[test]
+    fn fault_latency_charges_faulting_data_accesses() {
+        // Wire check for `CpuConfig::fault_latency`: a data access whose
+        // dTLB translation protection-faults costs the handler latency on
+        // top of the TLB penalty. The page is pre-allocated as *code* so
+        // the data access (wanting read/write) faults.
+        let p = laid();
+        let addr = VirtAddr::new(0x3000_0000);
+        let mut costs = [0u32; 2];
+        for (i, fault_latency) in [0u32, 900].into_iter().enumerate() {
+            let mut cfg = CpuConfig::default_config();
+            cfg.fault_latency = fault_latency;
+            let mut pipe = Pipeline::new(&p, cfg, 42);
+            let vpn = pipe.geom.vpn(addr);
+            pipe.page_table.translate(vpn, Protection::code());
+            costs[i] = pipe.data_access(addr, AccessKind::Read);
+            assert_eq!(pipe.dtlb.stats().protection_faults, 1);
+        }
+        assert_eq!(costs[1], costs[0] + 900, "handler latency not charged");
     }
 
     #[test]

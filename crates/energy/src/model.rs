@@ -47,6 +47,10 @@ pub struct TechnologyParams {
     pub tag_bits: u32,
     /// Data bits per TLB entry (PFN + protection/other bits).
     pub data_bits: u32,
+    /// Core energy per cycle spent in an OS trap handler (pJ/cycle) —
+    /// pipeline drain, handler fetch/execute, return. Charged per
+    /// fault-handler cycle when a fault latency is configured.
+    pub trap_pj_per_cycle: f64,
 }
 
 impl Default for TechnologyParams {
@@ -63,6 +67,7 @@ impl Default for TechnologyParams {
             write_factor: 1.2,
             tag_bits: 20,
             data_bits: 23,
+            trap_pj_per_cycle: 30.0,
         }
     }
 }
@@ -170,6 +175,15 @@ impl EnergyModel {
     #[must_use]
     pub fn cfr_compare_pj(&self) -> f64 {
         self.comparator_pj(self.params.tag_bits)
+    }
+
+    /// Energy of one OS fault trap whose handler runs for
+    /// `handler_cycles` cycles (pJ): the core burns its trap-handler
+    /// per-cycle energy for the duration. With a zero handler latency the
+    /// trap is free — exactly the pre-fault-model accounting.
+    #[must_use]
+    pub fn fault_trap_pj(&self, handler_cycles: u32) -> f64 {
+        self.params.trap_pj_per_cycle * f64::from(handler_cycles)
     }
 }
 

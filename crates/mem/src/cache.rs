@@ -645,6 +645,22 @@ mod tests {
     }
 
     #[test]
+    fn post_flush_access_cannot_hit_via_last_hit_fast_path() {
+        // Regression (flush-on-switch): the last-hit block fast path must
+        // be cleared by `invalidate_all` — an access right after a flush
+        // must miss even on the block the fast path was parked on.
+        let mut c = tiny(2);
+        for _ in 0..8 {
+            c.access(0x000, AccessKind::Read); // park the MRU block fast path
+        }
+        let hits_before = c.stats().hits;
+        c.invalidate_all();
+        let after = c.access(0x000, AccessKind::Read);
+        assert!(!after.hit, "stale last-hit block served after flush");
+        assert_eq!(c.stats().hits, hits_before);
+    }
+
+    #[test]
     fn miss_rate() {
         let mut c = tiny(1);
         c.access(0x000, AccessKind::Read);

@@ -332,6 +332,103 @@ proptest! {
         }
     }
 
+    /// An ASID-tagged TLB holding a **single** address space is
+    /// step-identical to the untagged reference model: with one ASID the
+    /// tag bits are a constant fold into every key, so hits, misses,
+    /// victim choice, counters, and residency must all be unchanged —
+    /// whichever ASID value that is.
+    #[test]
+    fn single_asid_tlb_matches_untagged_reference(
+        shape in 0u64..4,
+        asid in 0u64..0x10000,
+        ops in proptest::collection::vec((0u64..4, 0u64..12, proptest::bool::ANY), 1..300),
+    ) {
+        let org = tlb_org(shape);
+        let mut tagged = Tlb::new(TlbConfig { organization: org, miss_penalty: 50 });
+        tagged.set_asid(asid as u16);
+        let mut reference = RefTlb::new(org);
+        let mut pt = PageTable::new();
+        for &(op, page, prefetch) in &ops {
+            let vpn = Vpn::new(page);
+            if prefetch {
+                tagged.prefetch(vpn);
+            }
+            match op {
+                0 | 1 => {
+                    let got = tagged.lookup(vpn, &mut pt, Protection::code());
+                    let want = match reference.access(vpn) {
+                        Some((pfn, prot)) => (true, pfn, prot),
+                        None => {
+                            let (pfn, prot) = pt.translate(vpn, Protection::code());
+                            reference.install(vpn, pfn, prot);
+                            (false, pfn, prot)
+                        }
+                    };
+                    prop_assert_eq!((got.hit, got.pfn, got.prot), want);
+                }
+                2 => {
+                    prop_assert_eq!(tagged.access(vpn), reference.access(vpn));
+                }
+                _ => {
+                    prop_assert_eq!(tagged.invalidate(vpn), reference.invalidate(vpn));
+                }
+            }
+            prop_assert_eq!(tagged.stats().accesses, reference.accesses);
+            prop_assert_eq!(tagged.stats().hits, reference.hits);
+            prop_assert_eq!(tagged.stats().misses, reference.misses);
+        }
+        for page in 0..12 {
+            let vpn = Vpn::new(page);
+            let resident = reference
+                .entries
+                .iter()
+                .find(|e| e.valid && e.vpn == vpn)
+                .map(|e| e.pfn);
+            prop_assert_eq!(tagged.probe(vpn), resident);
+        }
+    }
+
+    /// Flush-on-switch never serves a pre-switch translation: after
+    /// `invalidate_all`, nothing is resident, and the incoming process's
+    /// first lookup of every page misses and returns a translation from
+    /// *its own* page table — observable because the outgoing process
+    /// allocated its pages as code and the incoming one allocates data,
+    /// and the page table's first touch wins.
+    #[test]
+    fn flush_on_switch_never_serves_a_pre_switch_translation(
+        shape in 0u64..4,
+        warmup in proptest::collection::vec(0u64..12, 1..100),
+        probes in proptest::collection::vec(0u64..12, 1..50),
+    ) {
+        let org = tlb_org(shape);
+        let mut tlb = Tlb::new(TlbConfig { organization: org, miss_penalty: 50 });
+        let mut pt_out = PageTable::new();
+        for &page in &warmup {
+            tlb.lookup(Vpn::new(page), &mut pt_out, Protection::code());
+        }
+
+        // Context switch, flush mode: every resident entry is shot down.
+        tlb.invalidate_all();
+        prop_assert_eq!(tlb.resident_entries(), 0);
+        for page in 0..12 {
+            prop_assert!(tlb.probe(Vpn::new(page)).is_none());
+        }
+
+        // The incoming process (own page table, data pages): its first
+        // lookup of each page must miss and must carry the incoming
+        // process's protection — a stale pre-switch entry would hit with
+        // the outgoing process's code protection.
+        let mut pt_in = PageTable::new();
+        let mut seen = std::collections::HashSet::new();
+        for &page in &probes {
+            let got = tlb.lookup(Vpn::new(page), &mut pt_in, Protection::data());
+            if seen.insert(page) {
+                prop_assert!(!got.hit, "pre-switch translation served for page {}", page);
+            }
+            prop_assert_eq!(got.prot, Protection::data());
+        }
+    }
+
     /// The open-addressed page table agrees with the `HashMap` reference
     /// across interleaved translate / probe / remap / unmap sequences,
     /// including tombstone reuse and growth.

@@ -136,6 +136,13 @@ const MRU_SLOTS: usize = 4;
 /// Key mirror value for an invalid way (no real VPN reaches 2^64 - 1).
 const NO_KEY: u64 = u64::MAX;
 
+/// Bit position of the ASID tag inside a way key. Virtual addresses stay
+/// below 2^60 and pages are ≥ 4 KiB, so VPNs fit comfortably below bit 48;
+/// the top 16 bits of the key are free for an address-space id. ASID 0
+/// (the reset value) leaves keys identical to the untagged layout, so a
+/// single-process simulation is bit-for-bit unchanged.
+const ASID_SHIFT: u32 = 48;
+
 /// A set-associative (or fully-associative) TLB with true LRU replacement.
 ///
 /// Lookups check the **last-hit entry first** (an MRU fast path): the
@@ -171,6 +178,17 @@ pub struct Tlb {
     /// Indices into `entries` of the most recently hit (or refilled)
     /// entries, most recent first; [`NO_MRU`] marks unused slots.
     mru: [usize; MRU_SLOTS],
+    /// Current address-space id, pre-shifted to [`ASID_SHIFT`] and OR-ed
+    /// into every key compare and store. 0 (the default) reproduces the
+    /// untagged single-process layout exactly.
+    asid_tag: u64,
+    /// Extra cycles charged when a miss finds the page unmapped (the OS
+    /// must service a demand fault before the walk can complete); 0 (the
+    /// default) reproduces the fault-free cost model.
+    demand_fault_penalty: u32,
+    /// Misses that required a demand fault (page not yet mapped). Kept
+    /// out of [`TlbStats`] so the persistent record codec is unchanged.
+    demand_faults: u64,
     tick: u64,
     stats: TlbStats,
 }
@@ -191,6 +209,9 @@ impl Tlb {
             sets,
             set_mask: sets.is_power_of_two().then(|| sets - 1),
             mru: [NO_MRU; MRU_SLOTS],
+            asid_tag: 0,
+            demand_fault_penalty: 0,
+            demand_faults: 0,
             tick: 0,
             stats: TlbStats::default(),
         }
@@ -222,6 +243,41 @@ impl Tlb {
         }
     }
 
+    /// The way key for `vpn` under the current ASID: the tag lives in the
+    /// otherwise-unused top bits, so one `u64` compare still covers
+    /// validity, VPN match, *and* address-space match.
+    #[inline]
+    fn key(&self, vpn: Vpn) -> u64 {
+        debug_assert!(vpn.raw() < 1 << ASID_SHIFT, "VPN overflows the ASID tag");
+        self.asid_tag | vpn.raw()
+    }
+
+    /// Switches the TLB to address space `asid`. Resident entries of other
+    /// address spaces stay resident but can no longer match (their keys
+    /// carry a different tag) — the ASID-tagged alternative to a full
+    /// flush on context switch. ASID 0 is the reset state.
+    pub fn set_asid(&mut self, asid: u16) {
+        self.asid_tag = u64::from(asid) << ASID_SHIFT;
+    }
+
+    /// The current address-space id.
+    #[must_use]
+    pub fn asid(&self) -> u16 {
+        (self.asid_tag >> ASID_SHIFT) as u16
+    }
+
+    /// Sets the extra miss cost charged when the missing page is not yet
+    /// mapped (a demand fault trapping to the OS before the walk).
+    pub fn set_demand_fault_penalty(&mut self, cycles: u32) {
+        self.demand_fault_penalty = cycles;
+    }
+
+    /// Misses that demand-faulted (page unmapped at lookup time).
+    #[must_use]
+    pub fn demand_faults(&self) -> u64 {
+        self.demand_faults
+    }
+
     /// Looks `vpn` up; on a miss, walks `page_table` and refills. `prot`
     /// plays two roles: it is the protection requested for a first-touch
     /// allocation — an iTLB passes [`Protection::code`], a dTLB
@@ -245,6 +301,14 @@ impl Tlb {
                 fault,
             };
         }
+        // A miss on an unmapped page demand-faults: the OS maps the page
+        // (the `translate` below) and the configured trap latency is
+        // charged on top of the walk.
+        let mut penalty = self.cfg.miss_penalty;
+        if self.demand_fault_penalty > 0 && page_table.probe(vpn).is_none() {
+            self.demand_faults += 1;
+            penalty += self.demand_fault_penalty;
+        }
         let (pfn, translated_prot) = page_table.translate(vpn, prot);
         self.refill(vpn, pfn, translated_prot);
         let fault = self.note_fault(translated_prot, prot);
@@ -252,7 +316,7 @@ impl Tlb {
             hit: false,
             pfn,
             prot: translated_prot,
-            penalty: self.cfg.miss_penalty,
+            penalty,
             fault,
         }
     }
@@ -277,16 +341,17 @@ impl Tlb {
     /// level (or walk) actually produced the translation.
     #[inline]
     pub fn access(&mut self, vpn: Vpn) -> Option<(Pfn, Protection)> {
+        let key = self.key(vpn);
         self.tick += 1;
         self.stats.accesses += 1;
         // MRU fast path: a matching VPN is always in its own set, so
         // checking the recently-hit entries directly is sound for any
-        // geometry. An invalid way's key is `NO_KEY`, which no real VPN
-        // equals, so one key compare covers validity too (and the `get`
-        // bounds check covers unused `NO_MRU` slots).
+        // geometry. An invalid way's key is `NO_KEY`, which no real key
+        // equals, so one compare covers validity, VPN, and ASID (and the
+        // `get` bounds check covers unused `NO_MRU` slots).
         for pi in 0..MRU_SLOTS {
             let cand = self.mru[pi];
-            if self.keys.get(cand) == Some(&vpn.raw()) {
+            if self.keys.get(cand) == Some(&key) {
                 self.lru[cand] = self.tick;
                 let hit = (self.pfns[cand], self.prots[cand]);
                 if pi != 0 {
@@ -300,7 +365,7 @@ impl Tlb {
         let base = set * self.ways;
         if let Some(off) = self.keys[base..base + self.ways]
             .iter()
-            .position(|&k| k == vpn.raw())
+            .position(|&k| k == key)
         {
             let i = base + off;
             self.lru[i] = self.tick;
@@ -344,11 +409,12 @@ impl Tlb {
     /// entry) without touching any counter — shared by the miss-path
     /// refill and [`Tlb::install`].
     fn refill(&mut self, vpn: Vpn, pfn: Pfn, prot: Protection) {
+        let key = self.key(vpn);
         let set = self.set_of(vpn);
         let base = set * self.ways;
         let tick = self.tick;
         let keys_row = &self.keys[base..base + self.ways];
-        if let Some(off) = keys_row.iter().position(|&k| k == vpn.raw()) {
+        if let Some(off) = keys_row.iter().position(|&k| k == key) {
             let i = base + off;
             self.pfns[i] = pfn;
             self.prots[i] = prot;
@@ -373,7 +439,7 @@ impl Tlb {
                 min
             });
         let i = base + victim;
-        self.keys[i] = vpn.raw();
+        self.keys[i] = key;
         self.pfns[i] = pfn;
         self.prots[i] = prot;
         self.lru[i] = tick;
@@ -387,25 +453,28 @@ impl Tlb {
         self.refill(vpn, pfn, prot);
     }
 
-    /// Whether `vpn` is resident, without touching LRU or stats.
+    /// Whether `vpn` is resident (under the current ASID), without
+    /// touching LRU or stats.
     #[must_use]
     pub fn probe(&self, vpn: Vpn) -> Option<Pfn> {
+        let key = self.key(vpn);
         let set = self.set_of(vpn);
         let base = set * self.ways;
         self.keys[base..base + self.ways]
             .iter()
-            .position(|&k| k == vpn.raw())
+            .position(|&k| k == key)
             .map(|off| self.pfns[base + off])
     }
 
     /// Invalidates the entry for `vpn`, if resident — the OS hook the paper
     /// requires when a page is evicted or remapped.
     pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let key = self.key(vpn);
         let set = self.set_of(vpn);
         let base = set * self.ways;
         if let Some(off) = self.keys[base..base + self.ways]
             .iter()
-            .position(|&k| k == vpn.raw())
+            .position(|&k| k == key)
         {
             let i = base + off;
             self.keys[i] = NO_KEY;
@@ -421,15 +490,42 @@ impl Tlb {
         }
     }
 
-    /// Invalidates every entry (address-space switch without ASIDs).
-    pub fn invalidate_all(&mut self) {
+    /// Invalidates every entry (address-space switch without ASIDs),
+    /// clearing the MRU recency fast path with it, and returns how many
+    /// entries were flushed (the shootdown cost driver).
+    pub fn invalidate_all(&mut self) -> u64 {
         self.mru = [NO_MRU; MRU_SLOTS];
+        let mut flushed = 0;
         for k in &mut self.keys {
             if *k != NO_KEY {
                 *k = NO_KEY;
-                self.stats.invalidations += 1;
+                flushed += 1;
             }
         }
+        self.stats.invalidations += flushed;
+        flushed
+    }
+
+    /// Invalidates every entry tagged with `asid` — a TLB shootdown of one
+    /// address space (issued when an ASID is reassigned to a different
+    /// process). Matching MRU slots are cleared so the recency fast path
+    /// cannot resurrect a shot-down entry. Returns the flushed count.
+    pub fn invalidate_asid(&mut self, asid: u16) -> u64 {
+        let tag = u64::from(asid) << ASID_SHIFT;
+        let mut flushed = 0;
+        for (i, k) in self.keys.iter_mut().enumerate() {
+            if *k != NO_KEY && *k & (0xFFFF << ASID_SHIFT) == tag {
+                *k = NO_KEY;
+                flushed += 1;
+                for slot in &mut self.mru {
+                    if *slot == i {
+                        *slot = NO_MRU;
+                    }
+                }
+            }
+        }
+        self.stats.invalidations += flushed;
+        flushed
     }
 
     /// Number of valid entries.
@@ -472,6 +568,12 @@ pub struct TwoLevelTlb {
     l1: Tlb,
     l2: Tlb,
     l2_latency: u32,
+    /// Extra cycles charged when a full miss finds the page unmapped; see
+    /// [`Tlb::set_demand_fault_penalty`]. The walk (and hence the fault)
+    /// happens here, not inside the level TLBs, so the hierarchy carries
+    /// its own copy of the knob.
+    demand_fault_penalty: u32,
+    demand_faults: u64,
 }
 
 impl TwoLevelTlb {
@@ -483,6 +585,8 @@ impl TwoLevelTlb {
             l1: Tlb::new(l1),
             l2: Tlb::new(l2),
             l2_latency,
+            demand_fault_penalty: 0,
+            demand_faults: 0,
         }
     }
 
@@ -566,6 +670,11 @@ impl TwoLevelTlb {
                 fault,
             };
         }
+        let mut penalty = self.l2_latency + self.l2.cfg.miss_penalty;
+        if self.demand_fault_penalty > 0 && page_table.probe(vpn).is_none() {
+            self.demand_faults += 1;
+            penalty += self.demand_fault_penalty;
+        }
         let (pfn, translated_prot) = page_table.translate(vpn, prot);
         self.l2.install(vpn, pfn, translated_prot);
         self.l1.install(vpn, pfn, translated_prot);
@@ -577,7 +686,7 @@ impl TwoLevelTlb {
             l2_hit: Some(false),
             pfn,
             prot: translated_prot,
-            penalty: self.l2_latency + self.l2.cfg.miss_penalty,
+            penalty,
             fault,
         }
     }
@@ -594,6 +703,36 @@ impl TwoLevelTlb {
     pub fn invalidate(&mut self, vpn: Vpn) {
         self.l1.invalidate(vpn);
         self.l2.invalidate(vpn);
+    }
+
+    /// Flushes both levels (flush-on-switch without ASIDs), returning the
+    /// total number of entries shot down.
+    pub fn invalidate_all(&mut self) -> u64 {
+        self.l1.invalidate_all() + self.l2.invalidate_all()
+    }
+
+    /// Shoots down one address space in both levels; see
+    /// [`Tlb::invalidate_asid`].
+    pub fn invalidate_asid(&mut self, asid: u16) -> u64 {
+        self.l1.invalidate_asid(asid) + self.l2.invalidate_asid(asid)
+    }
+
+    /// Switches both levels to address space `asid`; see [`Tlb::set_asid`].
+    pub fn set_asid(&mut self, asid: u16) {
+        self.l1.set_asid(asid);
+        self.l2.set_asid(asid);
+    }
+
+    /// Sets the demand-fault trap latency charged on a full miss of an
+    /// unmapped page.
+    pub fn set_demand_fault_penalty(&mut self, cycles: u32) {
+        self.demand_fault_penalty = cycles;
+    }
+
+    /// Misses that demand-faulted (page unmapped at walk time).
+    #[must_use]
+    pub fn demand_faults(&self) -> u64 {
+        self.demand_faults
     }
 }
 
@@ -692,9 +831,119 @@ mod tests {
             tlb.lookup(Vpn::new(i), &mut pt, Protection::code());
         }
         assert_eq!(tlb.resident_entries(), 10);
-        tlb.invalidate_all();
+        assert_eq!(tlb.invalidate_all(), 10, "flush reports its entry count");
         assert_eq!(tlb.resident_entries(), 0);
         assert_eq!(tlb.stats().invalidations, 10);
+        assert_eq!(tlb.invalidate_all(), 0, "second flush finds nothing");
+    }
+
+    #[test]
+    fn post_flush_lookup_cannot_hit_stale_state() {
+        // Regression (flush-on-switch): `invalidate_all` must clear the
+        // MRU recency fast path along with the way keys — a lookup right
+        // after a flush must miss even for the page the fast path was
+        // hottest on.
+        let (mut tlb, mut pt) = itlb();
+        for _ in 0..8 {
+            tlb.lookup(Vpn::new(3), &mut pt, Protection::code());
+        }
+        let hits_before = tlb.stats().hits;
+        tlb.invalidate_all();
+        assert_eq!(tlb.access(Vpn::new(3)), None, "stale MRU entry served");
+        assert_eq!(tlb.stats().hits, hits_before);
+        let refetch = tlb.lookup(Vpn::new(3), &mut pt, Protection::code());
+        assert!(!refetch.hit, "post-flush lookup must re-walk");
+    }
+
+    #[test]
+    fn asid_isolates_address_spaces() {
+        let (mut tlb, mut pt_a) = itlb();
+        let mut pt_b = PageTable::new();
+        tlb.set_asid(1);
+        tlb.lookup(Vpn::new(5), &mut pt_a, Protection::code());
+        assert!(tlb.probe(Vpn::new(5)).is_some());
+
+        // Same VPN, different address space: must miss and refill its own
+        // tagged entry, leaving ASID 1's entry resident.
+        tlb.set_asid(2);
+        assert!(tlb.probe(Vpn::new(5)).is_none());
+        let other = tlb.lookup(Vpn::new(5), &mut pt_b, Protection::code());
+        assert!(!other.hit, "cross-ASID hit");
+        assert_eq!(tlb.resident_entries(), 2);
+
+        // Back to ASID 1: the original entry still serves.
+        tlb.set_asid(1);
+        assert!(tlb.lookup(Vpn::new(5), &mut pt_a, Protection::code()).hit);
+    }
+
+    #[test]
+    fn invalidate_asid_shoots_down_one_space_and_its_mru_slots() {
+        let (mut tlb, mut pt) = itlb();
+        tlb.set_asid(1);
+        tlb.lookup(Vpn::new(1), &mut pt, Protection::code());
+        tlb.set_asid(2);
+        tlb.lookup(Vpn::new(2), &mut pt, Protection::code());
+        tlb.lookup(Vpn::new(2), &mut pt, Protection::code()); // ASID 2's entry is MRU-front
+        assert_eq!(tlb.invalidate_asid(2), 1);
+        assert_eq!(tlb.access(Vpn::new(2)), None, "stale MRU after shootdown");
+        assert_eq!(tlb.resident_entries(), 1, "ASID 1 untouched");
+        tlb.set_asid(1);
+        assert!(tlb.probe(Vpn::new(1)).is_some());
+        assert_eq!(tlb.invalidate_asid(3), 0, "unknown ASID flushes nothing");
+    }
+
+    #[test]
+    fn demand_fault_penalty_charged_on_unmapped_miss_only() {
+        let (mut tlb, mut pt) = itlb();
+        tlb.set_demand_fault_penalty(700);
+        // First touch: the page is unmapped, so the miss traps.
+        let cold = tlb.lookup(Vpn::new(11), &mut pt, Protection::code());
+        assert!(!cold.hit);
+        assert_eq!(cold.penalty, 50 + 700);
+        assert_eq!(tlb.demand_faults(), 1);
+        // Resident: no penalty at all.
+        assert_eq!(
+            tlb.lookup(Vpn::new(11), &mut pt, Protection::code())
+                .penalty,
+            0
+        );
+        // Evicted but still mapped: plain miss penalty, no trap.
+        tlb.invalidate(Vpn::new(11));
+        let warm = tlb.lookup(Vpn::new(11), &mut pt, Protection::code());
+        assert_eq!(warm.penalty, 50);
+        assert_eq!(tlb.demand_faults(), 1);
+    }
+
+    #[test]
+    fn two_level_flush_and_demand_faults() {
+        let mut t = TwoLevelTlb::fig6_large();
+        let mut pt = PageTable::new();
+        t.set_demand_fault_penalty(300);
+        let cold = t.lookup(Vpn::new(4), &mut pt, Protection::code());
+        assert_eq!(cold.penalty, 1 + 50 + 300);
+        assert_eq!(t.demand_faults(), 1);
+        t.lookup(Vpn::new(5), &mut pt, Protection::code()); // also first touch
+        assert_eq!(t.demand_faults(), 2);
+        // Both levels hold both pages: 4 entries flushed in total.
+        assert_eq!(t.invalidate_all(), 4);
+        assert!(t.l1().probe(Vpn::new(4)).is_none());
+        assert!(t.l2().probe(Vpn::new(4)).is_none());
+        // Mapped pages re-miss without a second demand fault.
+        let back = t.lookup(Vpn::new(4), &mut pt, Protection::code());
+        assert_eq!(back.penalty, 1 + 50);
+        assert_eq!(t.demand_faults(), 2);
+    }
+
+    #[test]
+    fn two_level_asid_tagging_spans_both_levels() {
+        let mut t = TwoLevelTlb::fig6_small();
+        let mut pt = PageTable::new();
+        t.set_asid(3);
+        t.lookup(Vpn::new(9), &mut pt, Protection::code());
+        t.set_asid(4);
+        assert!(t.l1().probe(Vpn::new(9)).is_none());
+        assert!(t.l2().probe(Vpn::new(9)).is_none());
+        assert_eq!(t.invalidate_asid(3), 2, "one entry per level shot down");
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub use protection::Protection;
 pub use record::{fnv1a64, RecordError, RecordReader, RecordWriter};
 pub use store::{
     ArtifactStore, ClaimOutcome, FsyncPolicy, GcPolicy, GcReport, ShardOccupancy, StoreBackend,
-    StoreLock, DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_TRACES, NS_WALKS,
-    SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_FSYNC_ENV, STORE_MAX_AGE_ENV,
+    StoreLock, DEFAULT_STORE_DIR, LOCK_FILE_NAME, NS_PROGRAMS, NS_RUNS, NS_SCENARIOS, NS_TRACES,
+    NS_WALKS, SHARD_COUNT, STORE_DIR_ENV, STORE_FORMAT_VERSION, STORE_FSYNC_ENV, STORE_MAX_AGE_ENV,
     STORE_MAX_BYTES_ENV,
 };
 

@@ -125,6 +125,10 @@ pub const NS_PROGRAMS: &str = "programs";
 /// Namespace holding pre-decoded compiled traces.
 pub const NS_TRACES: &str = "traces";
 
+/// Namespace holding multiprogrammed scenario reports
+/// (`ScenarioConfig → ScenarioReport`).
+pub const NS_SCENARIOS: &str = "scenarios";
+
 fn now_secs() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)

@@ -360,6 +360,31 @@ pub fn all() -> Vec<BenchmarkProfile> {
     vec![mesa(), crafty(), fma3d(), eon(), gap(), vortex()]
 }
 
+/// A deterministic per-seed mix of `n` profile names for a
+/// multiprogrammed scenario: the same `(seed, n)` always yields the same
+/// mix, across processes and platforms. The mix cycles a seed-shuffled
+/// order of the six profiles, so any window of up to six processes has no
+/// duplicates.
+#[must_use]
+pub fn mix(seed: u64, n: usize) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all().iter().map(|p| p.name).collect();
+    // splitmix64-driven Fisher–Yates: stable, dependency-free shuffling.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..names.len()).rev() {
+        #[allow(clippy::cast_possible_truncation)]
+        let j = (next() % (i as u64 + 1)) as usize;
+        names.swap(i, j);
+    }
+    (0..n).map(|i| names[i % names.len()]).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +399,18 @@ mod tests {
         let mut names: Vec<_> = ps.iter().map(|p| p.name).collect();
         names.dedup();
         assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_duplicate_free_per_window() {
+        assert_eq!(mix(7, 4), mix(7, 4), "same seed, same mix");
+        assert_ne!(mix(7, 6), mix(8, 6), "different seeds shuffle differently");
+        let m = mix(0x5EED, 6);
+        let mut uniq: Vec<_> = m.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 6, "a six-wide window has no duplicates: {m:?}");
+        assert_eq!(mix(3, 8)[0], mix(3, 8)[6], "the mix cycles past six");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Regenerates the golden scenario records that
+//! `tests/scenario_golden.rs` pins.
+//!
+//! Prints one `store_key` / `ScenarioReport::to_record` pair per golden
+//! scenario, in the fixed order the test expects. Run it only to
+//! *refresh* the goldens after an intentional model change; the records
+//! are backend-invariant (interp and compiled agree field-for-field, as
+//! `tests/scenario_differential.rs` proves), so one dump covers both
+//! `CFR_BACKEND` values.
+//!
+//! ```sh
+//! cargo run --release --example scenario_dump
+//! ```
+
+use cfr_sim::core::{
+    Engine, ExperimentScale, ScenarioConfig, ScenarioProc, StrategyKind, TlbMode, QUANTUM_INFINITE,
+};
+use cfr_sim::types::{AddressingMode, RecordWriter};
+
+/// The fixed scenario set: both TLB modes under preemption with every OS
+/// penalty live, plus a solo infinite-quantum fault-latency-0 cell that
+/// must stay byte-identical to the plain engine path.
+#[must_use]
+pub fn golden_scenarios() -> Vec<ScenarioConfig> {
+    let scale = ExperimentScale {
+        max_commits: 20_000,
+        seed: 0x5EED,
+    };
+    let mix = || {
+        vec![
+            ScenarioProc::new("177.mesa"),
+            ScenarioProc::new("254.gap").with_page_bytes(2 * 1024 * 1024),
+        ]
+    };
+    let preempted = |tlb_mode: TlbMode, asid_count: u16| {
+        let mut cfg = ScenarioConfig::new(mix(), scale, StrategyKind::Ia, AddressingMode::ViPt);
+        cfg.quantum = 6_000;
+        cfg.tlb_mode = tlb_mode;
+        cfg.asid_count = asid_count;
+        cfg.switch_penalty = 400;
+        cfg.shootdown_per_entry = 2;
+        cfg.fault_latency = 300;
+        cfg.demand_fault_penalty = 800;
+        cfg
+    };
+    let mut solo = ScenarioConfig::new(
+        vec![ScenarioProc::new("177.mesa")],
+        scale,
+        StrategyKind::Ia,
+        AddressingMode::ViPt,
+    );
+    solo.quantum = QUANTUM_INFINITE;
+    vec![
+        preempted(TlbMode::Asid, 2),
+        preempted(TlbMode::Flush, 1),
+        solo,
+    ]
+}
+
+fn main() {
+    // No store: the goldens must come from real simulations every time.
+    let engine = Engine::new();
+    let cfgs = golden_scenarios();
+    let reports = engine.run_scenarios(&cfgs);
+    for (cfg, report) in cfgs.iter().zip(&reports) {
+        let mut rw = RecordWriter::new();
+        report.to_record(&mut rw);
+        println!("KEY {}", cfg.store_key());
+        println!("REPORT {}", rw.finish());
+    }
+}

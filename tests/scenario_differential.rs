@@ -1,0 +1,189 @@
+//! Differential proofs for the multiprogrammed scenario layer.
+//!
+//! Two claims, both enforced here rather than argued in comments:
+//!
+//! 1. **Degeneracy** — a 1-process scenario with an infinite quantum is
+//!    the plain engine path wearing a different hat. Its machine report
+//!    must be field-identical (and record-byte-identical) to
+//!    [`Engine::run`] for the same key, under either TLB mode. CI runs
+//!    this binary under both `CFR_BACKEND` values, so the claim holds for
+//!    the interpreter and the pre-decoded trace backend alike.
+//!
+//! 2. **Backend agreement** — over *random* scenario schedules (process
+//!    mix, page sizes, quantum, TLB mode, ASID count, every OS penalty),
+//!    the interpreted and compiled backends produce byte-identical
+//!    reports. The scheduler slices pipelines mid-flight at arbitrary
+//!    cycle boundaries; this property pins that slicing to be
+//!    backend-invariant, not just end-state-invariant.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use cfr_sim::core::{
+    compiler, scenario, Engine, ExecBackend, ExperimentScale, RunKey, ScenarioBinary,
+    ScenarioConfig, ScenarioProc, StrategyKind, TlbMode,
+};
+use cfr_sim::types::{AddressingMode, PageGeometry, RecordWriter};
+use cfr_sim::workload::{compile_trace, profiles, CompiledTrace, LaidProgram};
+
+/// Profiles the random scheduler draws from (a superset of any mix).
+const NAMES: [&str; 4] = ["177.mesa", "186.crafty", "254.gap", "255.vortex"];
+
+/// Binary cache: layout and trace depend only on (profile, geometry)
+/// here (strategy is fixed per test), so 64 proptest cases share a
+/// handful of compilations instead of redoing them per case.
+fn binary(profile: &'static str, geom: PageGeometry) -> (Arc<LaidProgram>, Arc<CompiledTrace>) {
+    type Key = (&'static str, u64);
+    type Cached = (Arc<LaidProgram>, Arc<CompiledTrace>);
+    static CACHE: OnceLock<Mutex<HashMap<Key, Cached>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("binary cache poisoned");
+    cache
+        .entry((profile, geom.page_bytes()))
+        .or_insert_with(|| {
+            let p = profiles::all()
+                .into_iter()
+                .find(|p| p.name == profile)
+                .expect("registered profile");
+            let laid = Arc::new(compiler::compile_for(&p.generate(), geom, StrategyKind::Ia));
+            let trace = Arc::new(compile_trace(&laid));
+            (laid, trace)
+        })
+        .clone()
+}
+
+fn bins_for(cfg: &ScenarioConfig) -> Vec<ScenarioBinary> {
+    (0..cfg.procs.len())
+        .map(|i| {
+            let (laid, trace) = binary(cfg.procs[i].profile, cfg.proc_config(i).cpu.geometry);
+            ScenarioBinary {
+                laid,
+                trace: Some(trace),
+            }
+        })
+        .collect()
+}
+
+/// Degeneracy at the engine level: the scenario machinery (scheduler,
+/// shared-TLB migration, store round trip through the `scenarios`
+/// namespace) adds exactly nothing to a solo infinite-quantum run.
+#[test]
+fn one_proc_infinite_quantum_matches_plain_engine_run() {
+    let scale = ExperimentScale {
+        max_commits: 12_000,
+        seed: 0x5EED,
+    };
+    let engine = Engine::new();
+    for strategy in [StrategyKind::Base, StrategyKind::Ia] {
+        let plain = engine.run(RunKey::new(
+            "186.crafty",
+            &scale,
+            strategy,
+            AddressingMode::ViPt,
+        ));
+        for tlb_mode in [TlbMode::Asid, TlbMode::Flush] {
+            let cfg = {
+                let mut cfg = ScenarioConfig::new(
+                    vec![ScenarioProc::new("186.crafty")],
+                    scale,
+                    strategy,
+                    AddressingMode::ViPt,
+                );
+                cfg.tlb_mode = tlb_mode;
+                cfg
+            };
+            let scen = engine.run_scenario(&cfg);
+            assert_eq!(
+                scen.machine, *plain,
+                "{strategy:?}/{tlb_mode:?}: scenario must degenerate to the plain path"
+            );
+            let (mut a, mut b) = (RecordWriter::new(), RecordWriter::new());
+            scen.machine.to_record(&mut a);
+            plain.to_record(&mut b);
+            assert_eq!(a.finish(), b.finish(), "byte-identical serialized reports");
+            assert_eq!(scen.context_switches, 0);
+            assert_eq!(scen.switch_cycles, 0);
+            assert_eq!(scen.per_proc_committed, vec![plain.committed]);
+        }
+    }
+}
+
+/// Same degeneracy with a non-default page size: the per-process page
+/// override must route through the scenario path exactly as
+/// `RunKey::with_page_bytes` routes through the plain one.
+#[test]
+fn one_proc_superpage_scenario_matches_plain_engine_run() {
+    let scale = ExperimentScale {
+        max_commits: 12_000,
+        seed: 0x5EED,
+    };
+    let engine = Engine::new();
+    let plain = engine.run(
+        RunKey::new("254.gap", &scale, StrategyKind::Ia, AddressingMode::ViPt)
+            .with_page_bytes(2 * 1024 * 1024),
+    );
+    let cfg = ScenarioConfig::new(
+        vec![ScenarioProc::new("254.gap").with_page_bytes(2 * 1024 * 1024)],
+        scale,
+        StrategyKind::Ia,
+        AddressingMode::ViPt,
+    );
+    let scen = engine.run_scenario(&cfg);
+    assert_eq!(scen.machine, *plain, "2 MB pages: field-identical");
+}
+
+proptest! {
+    /// Interp-vs-compiled field identity over random scenario schedules.
+    /// Every OS knob is drawn at random; the only invariant demanded is
+    /// that the two execution backends cannot be told apart.
+    #[test]
+    fn backends_agree_over_random_schedules(
+        n_procs in 1usize..4,
+        proc_picks in proptest::collection::vec(0usize..NAMES.len() * 2, 3..4),
+        commits in 1_500u64..4_000,
+        seed in 0u64..1 << 20,
+        quantum in 500u64..20_000,
+        // Low bit: flush-on-switch; high bits: ASID count 1..=4.
+        tlb_pick in 0u32..8,
+        switch_penalty in 0u32..600,
+        shootdown_per_entry in 0u32..4,
+        fault_latency in 0u32..400,
+        demand_fault_penalty in 0u32..1_000,
+    ) {
+        let procs: Vec<ScenarioProc> = proc_picks[..n_procs]
+            .iter()
+            .map(|&pick| {
+                let p = ScenarioProc::new(NAMES[pick % NAMES.len()]);
+                if pick >= NAMES.len() {
+                    p.with_page_bytes(2 * 1024 * 1024)
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let mut cfg = ScenarioConfig::new(
+            procs,
+            ExperimentScale { max_commits: commits, seed },
+            StrategyKind::Ia,
+            AddressingMode::ViPt,
+        );
+        cfg.quantum = quantum;
+        cfg.tlb_mode = if tlb_pick & 1 == 1 { TlbMode::Flush } else { TlbMode::Asid };
+        cfg.asid_count = 1 + (tlb_pick >> 1) as u16;
+        cfg.switch_penalty = switch_penalty;
+        cfg.shootdown_per_entry = shootdown_per_entry;
+        cfg.fault_latency = fault_latency;
+        cfg.demand_fault_penalty = demand_fault_penalty;
+
+        let bins = bins_for(&cfg);
+        let interp = scenario::simulate(&cfg, &bins, ExecBackend::Interp);
+        let compiled = scenario::simulate(&cfg, &bins, ExecBackend::Compiled);
+        prop_assert_eq!(&interp, &compiled);
+        prop_assert_eq!(
+            interp.per_proc_committed.iter().sum::<u64>(),
+            commits * cfg.procs.len() as u64
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Golden-output regression for the multiprogrammed scenario layer.
+//!
+//! The records below were captured via `examples/scenario_dump.rs` and
+//! pin three scenario cells byte-for-byte: both TLB modes under
+//! preemption with every OS penalty live, plus a solo infinite-quantum
+//! cell with every penalty at zero. The third cell doubles as the
+//! fault-latency-0 compatibility proof: its machine report must stay
+//! byte-identical to the plain engine path, so adding the scenario layer
+//! cannot have moved any pre-scenario number.
+//!
+//! The records are backend-invariant (see
+//! `tests/scenario_differential.rs`); CI runs this binary under both
+//! `CFR_BACKEND` values against the same literals.
+//!
+//! If a PR *intentionally* changes the model, rerun
+//! `cargo run --release --example scenario_dump` and refresh the records
+//! — and say so in the PR, because it moves every scenario experiment.
+
+use cfr_sim::core::{
+    Engine, ExperimentScale, RunKey, ScenarioConfig, ScenarioProc, StrategyKind, TlbMode,
+    QUANTUM_INFINITE,
+};
+use cfr_sim::types::{AddressingMode, RecordWriter};
+
+const GOLDEN: [(&str, &str); 3] = [
+    (
+        "scenario 2 177.mesa default 254.gap 2097152 scale 20000 24301 ia vipt asid 2 6000 400 2 300 800",
+        "scenreport report ia vipt 40000 106767 tlbstats2 870 864 6 0 0 meter 4 cfr_compare comp 3027 0x40dd8f8000000000 cfr_read comp 43906 0x4108a77ccccce202 itlb_access comp 870 0x411652d000000037 itlb_refill comp 6 0x40a7a5c28f5c28f5 breakdown 13 857 cpustats 106767 40000 40104 4672 3379 425 0 430 0 cachestats 44776 44365 411 0 cachestats 12548 4901 7647 2782 cachestats 10840 4244 6596 403 tlbstats2 12548 12460 88 0 0 8801 4107 2 20000 20000 17 0 0 0 94 6800",
+    ),
+    (
+        "scenario 2 177.mesa default 254.gap 2097152 scale 20000 24301 ia vipt flush 1 6000 400 2 300 800",
+        "scenreport report ia vipt 40000 108605 tlbstats2 873 834 39 38 0 meter 4 cfr_compare comp 3023 0x40dd858000000000 cfr_read comp 43802 0x410898899999aeba itlb_access comp 873 0x41166684cccccd05 itlb_refill comp 39 0x40d336ae147ae144 breakdown 18 855 cpustats 108605 40000 40093 4582 3377 421 0 430 0 cachestats 44675 44266 409 0 cachestats 12545 4900 7645 2780 cachestats 10834 4239 6595 403 tlbstats2 12545 12158 387 365 0 8786 4102 2 20000 20000 17 38 365 0 94 7606",
+    ),
+    (
+        "scenario 1 177.mesa default scale 20000 24301 ia vipt asid 16 18446744073709551615 0 0 0 0",
+        "scenreport report ia vipt 20000 28099 tlbstats2 676 671 5 0 0 meter 4 cfr_compare comp 1906 0x40d29d0000000000 cfr_read comp 21804 0x40f87ca666666e48 itlb_access comp 676 0x4111587999999983 itlb_refill comp 5 0x40a3b4cccccccccc breakdown 1 675 cpustats 28099 20000 20033 2447 1910 246 0 430 0 cachestats 22480 22387 93 0 cachestats 5982 2320 3662 1716 cachestats 5471 2786 2685 0 tlbstats2 5982 5919 63 0 0 3736 2388 1 20000 0 0 0 0 0 0",
+    ),
+];
+
+/// The golden scenario set, in `examples/scenario_dump.rs` order.
+fn golden_scenarios() -> Vec<ScenarioConfig> {
+    let scale = ExperimentScale {
+        max_commits: 20_000,
+        seed: 0x5EED,
+    };
+    let mix = || {
+        vec![
+            ScenarioProc::new("177.mesa"),
+            ScenarioProc::new("254.gap").with_page_bytes(2 * 1024 * 1024),
+        ]
+    };
+    let preempted = |tlb_mode: TlbMode, asid_count: u16| {
+        let mut cfg = ScenarioConfig::new(mix(), scale, StrategyKind::Ia, AddressingMode::ViPt);
+        cfg.quantum = 6_000;
+        cfg.tlb_mode = tlb_mode;
+        cfg.asid_count = asid_count;
+        cfg.switch_penalty = 400;
+        cfg.shootdown_per_entry = 2;
+        cfg.fault_latency = 300;
+        cfg.demand_fault_penalty = 800;
+        cfg
+    };
+    let mut solo = ScenarioConfig::new(
+        vec![ScenarioProc::new("177.mesa")],
+        scale,
+        StrategyKind::Ia,
+        AddressingMode::ViPt,
+    );
+    solo.quantum = QUANTUM_INFINITE;
+    vec![
+        preempted(TlbMode::Asid, 2),
+        preempted(TlbMode::Flush, 1),
+        solo,
+    ]
+}
+
+#[test]
+fn scenario_reports_match_recorded_goldens_byte_for_byte() {
+    let cfgs = golden_scenarios();
+    // No store: the goldens must be *simulated*, never read warm.
+    let engine = Engine::new();
+    let first = engine.run_scenarios(&cfgs);
+    for (i, (cfg, (key, report))) in cfgs.iter().zip(GOLDEN).enumerate() {
+        assert_eq!(cfg.store_key(), key, "golden {i}: config identity moved");
+        let mut w = RecordWriter::new();
+        first[i].to_record(&mut w);
+        assert_eq!(w.finish(), report, "golden {i}: report record moved");
+    }
+    // The same plan on a second engine is bit-identical (determinism is
+    // what makes the goldens meaningful at all).
+    let second = Engine::new().run_scenarios(&cfgs);
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(**a, **b, "golden {i}: second engine diverged");
+    }
+}
+
+/// Fault latency 0 + infinite quantum pins the scenario layer to the
+/// pre-scenario suite: the solo golden's machine record is byte-identical
+/// to what the plain single-program engine path produces today.
+#[test]
+fn zero_penalty_solo_golden_is_the_plain_engine_report() {
+    let scale = ExperimentScale {
+        max_commits: 20_000,
+        seed: 0x5EED,
+    };
+    let plain = Engine::new().run(RunKey::new(
+        "177.mesa",
+        &scale,
+        StrategyKind::Ia,
+        AddressingMode::ViPt,
+    ));
+    let mut w = RecordWriter::new();
+    plain.to_record(&mut w);
+    let machine_record = w.finish();
+    let (_, golden_solo) = GOLDEN[2];
+    assert!(
+        golden_solo.starts_with(&format!("scenreport {machine_record} ")),
+        "solo scenario golden no longer embeds the plain engine report"
+    );
+}
